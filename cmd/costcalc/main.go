@@ -1,0 +1,68 @@
+// Command costcalc is a stand-alone cloud cost calculator using the
+// paper's fee schedule and normalization: give it resource usage, get a
+// dollar breakdown.
+//
+// Usage:
+//
+//	costcalc -cpu-hours 84 -in-gb 2 -out-gb 2.229 -gb-months 0.01
+//	costcalc -cpu-hours 5.6 -storage-rate 0.30
+//
+// The defaults are the 2008 Amazon rates; each rate can be overridden to
+// explore the paper's closing speculation about providers with different
+// fee structures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	cpuHours := flag.Float64("cpu-hours", 0, "CPU hours consumed")
+	inGB := flag.Float64("in-gb", 0, "data transferred into the cloud, GB")
+	outGB := flag.Float64("out-gb", 0, "data transferred out of the cloud, GB")
+	gbMonths := flag.Float64("gb-months", 0, "storage used, GB-months")
+	cpuRate := flag.Float64("cpu-rate", 0.10, "$ per CPU-hour")
+	inRate := flag.Float64("in-rate", 0.10, "$ per GB in")
+	outRate := flag.Float64("out-rate", 0.16, "$ per GB out")
+	storageRate := flag.Float64("storage-rate", 0.15, "$ per GB-month")
+	flag.Parse()
+
+	p := cost.Pricing{
+		StoragePerGBMonth: units.Money(*storageRate),
+		TransferInPerGB:   units.Money(*inRate),
+		TransferOutPerGB:  units.Money(*outRate),
+		CPUPerHour:        units.Money(*cpuRate),
+	}
+	if err := run(p, *cpuHours, *inGB, *outGB, *gbMonths); err != nil {
+		fmt.Fprintf(os.Stderr, "costcalc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(p cost.Pricing, cpuHours, inGB, outGB, gbMonths float64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if cpuHours < 0 || inGB < 0 || outGB < 0 || gbMonths < 0 {
+		return fmt.Errorf("usage quantities must be non-negative")
+	}
+	b := cost.Breakdown{
+		CPU:         p.CPUCost(cpuHours * units.SecondsPerHour),
+		Storage:     p.StorageCost(gbMonths * units.GB * units.SecondsPerMonth),
+		TransferIn:  p.TransferInCost(units.BytesOf(inGB * units.GB)),
+		TransferOut: p.TransferOutCost(units.BytesOf(outGB * units.GB)),
+	}
+	tbl := report.New("Cloud cost breakdown", "component", "usage", "cost")
+	tbl.MustAdd("CPU", fmt.Sprintf("%.3f CPU-hours", cpuHours), b.CPU.String())
+	tbl.MustAdd("storage", fmt.Sprintf("%.4f GB-months", gbMonths), b.Storage.String())
+	tbl.MustAdd("transfer in", fmt.Sprintf("%.3f GB", inGB), b.TransferIn.String())
+	tbl.MustAdd("transfer out", fmt.Sprintf("%.3f GB", outGB), b.TransferOut.String())
+	tbl.MustAdd("total", "", b.Total().String())
+	return tbl.WriteText(os.Stdout)
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestRunValidatesInputs(t *testing.T) {
+	p := cost.Amazon2008()
+	if err := run(p, -1, 0, 0, 0); err == nil {
+		t.Error("negative CPU hours accepted")
+	}
+	if err := run(p, 0, -1, 0, 0); err == nil {
+		t.Error("negative GB in accepted")
+	}
+	bad := p
+	bad.CPUPerHour = -1
+	if err := run(bad, 1, 0, 0, 0); err == nil {
+		t.Error("invalid pricing accepted")
+	}
+}
+
+func TestRunPrintsBreakdown(t *testing.T) {
+	// The paper's 4-degree numbers: 84 CPU-hours + 2.229 GB out.
+	if err := run(cost.Amazon2008(), 84, 1.985, 2.229, 0.003); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command daxgen emits Montage workflows as DAX XML documents, the
+// format the paper's authors generated with Montage's mDAG component and
+// parsed into their simulator.
+//
+// Usage:
+//
+//	daxgen -preset 1deg > montage-1deg.xml
+//	daxgen -degrees 6 -seed 7 -o montage-6deg.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dax"
+	"repro/internal/montage"
+)
+
+func main() {
+	preset := flag.String("preset", "", "preset workflow: 1deg, 2deg or 4deg")
+	degrees := flag.Float64("degrees", 0, "custom mosaic size in degrees (alternative to -preset)")
+	seed := flag.Int64("seed", 1, "jitter seed for custom workflows")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	if err := run(*preset, *degrees, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "daxgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, degrees float64, seed int64, out string) error {
+	var spec montage.Spec
+	switch {
+	case preset != "" && degrees != 0:
+		return fmt.Errorf("use either -preset or -degrees, not both")
+	case preset == "1deg":
+		spec = montage.OneDegree()
+	case preset == "2deg":
+		spec = montage.TwoDegree()
+	case preset == "4deg":
+		spec = montage.FourDegree()
+	case preset != "":
+		return fmt.Errorf("unknown preset %q (want 1deg, 2deg or 4deg)", preset)
+	case degrees > 0:
+		spec = montage.FromDegrees(degrees, seed)
+	default:
+		return fmt.Errorf("pass -preset or -degrees")
+	}
+
+	wf, err := montage.Generate(spec)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dax.Write(w, wf); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "daxgen: %s: %d tasks, %d files, %.1f CPU-hours\n",
+		wf.Name, wf.NumTasks(), wf.NumFiles(), wf.TotalRuntime().Hours())
+	return nil
+}

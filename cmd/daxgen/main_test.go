@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dax"
+)
+
+func TestRunWritesParseableDAX(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.xml")
+	if err := run("1deg", 0, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wf, err := dax.Read(f)
+	if err != nil {
+		t.Fatalf("emitted DAX does not parse: %v", err)
+	}
+	if wf.NumTasks() != 203 {
+		t.Errorf("parsed %d tasks, want 203", wf.NumTasks())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `type="mProject"`) {
+		t.Error("DAX missing mProject jobs")
+	}
+}
+
+func TestRunCustomDegrees(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.xml")
+	if err := run("", 3, 9, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	wf, err := dax.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.NumTasks() <= 203 {
+		t.Errorf("3-degree workflow has %d tasks, want > 203", wf.NumTasks())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, 1, ""); err == nil {
+		t.Error("no selection accepted")
+	}
+	if err := run("9deg", 0, 1, ""); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run("1deg", 2, 1, ""); err == nil {
+		t.Error("both preset and degrees accepted")
+	}
+	if err := run("1deg", 0, 1, "/nonexistent-dir/wf.xml"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Command montagesim runs the paper-reproduction experiments and prints
+// their tables.
+//
+// Usage:
+//
+//	montagesim -exp list
+//	montagesim -exp fig4
+//	montagesim -exp all
+//	montagesim -exp fig7 -format csv
+//	montagesim -run 2deg -mode cleanup -procs 16 -billing provisioned
+//
+// The -exp flag selects a canned experiment (one per paper table or
+// figure); the -run flag instead simulates a single custom configuration
+// and prints its metrics and cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/datamgmt"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+type tableSet struct {
+	name   string
+	desc   string
+	tables func() ([]*report.Table, error)
+}
+
+func experimentsIndex() []tableSet {
+	return []tableSet{
+		{"ccr-table", "§6.3 CCR table", func() ([]*report.Table, error) {
+			r, err := experiments.CCRTable()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"fig4", "Q1 provisioning sweep, 1-degree", provisioningTables(experiments.Fig4)},
+		{"fig5", "Q1 provisioning sweep, 2-degree", provisioningTables(experiments.Fig5)},
+		{"fig6", "Q1 provisioning sweep, 4-degree", provisioningTables(experiments.Fig6)},
+		{"fig7", "Q2a data-management comparison, 1-degree", dmTables(experiments.Fig7)},
+		{"fig8", "Q2a data-management comparison, 2-degree", dmTables(experiments.Fig8)},
+		{"fig9", "Q2a data-management comparison, 4-degree", dmTables(experiments.Fig9)},
+		{"fig10", "CPU vs data-management cost summary", func() ([]*report.Table, error) {
+			r, err := experiments.Fig10()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"fig11", "CCR sensitivity sweep", func() ([]*report.Table, error) {
+			r, err := experiments.Fig11()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"q2b", "archive break-even analysis", func() ([]*report.Table, error) {
+			r, err := experiments.Q2b()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"q3", "whole-sky campaign costing", func() ([]*report.Table, error) {
+			r, err := experiments.Q3WholeSky()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"store", "store-vs-recompute horizons", func() ([]*report.Table, error) {
+			r, err := experiments.Q3Store()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-granularity", "per-hour vs per-second billing", func() ([]*report.Table, error) {
+			r, err := experiments.AblationGranularity()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-plan", "provisioned vs on-demand charging", func() ([]*report.Table, error) {
+			r, err := experiments.AblationPlanComparison()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-startup", "VM startup cost (§8 extension)", func() ([]*report.Table, error) {
+			r, err := experiments.AblationVMStartup()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-outage", "storage outage impact (§8 extension)", func() ([]*report.Table, error) {
+			r, err := experiments.AblationOutage()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-scheduler", "list-scheduler policy comparison", func() ([]*report.Table, error) {
+			r, err := experiments.AblationScheduler()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-clustering", "horizontal task clustering", func() ([]*report.Table, error) {
+			r, err := experiments.AblationClustering()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"ablation-reliability", "task failure rate impact (§8 extension)", func() ([]*report.Table, error) {
+			r, err := experiments.AblationReliability()
+			return []*report.Table{r.Table()}, err
+		}},
+		{"overload", "cloud bursting under a request overload", func() ([]*report.Table, error) {
+			r, err := experiments.Overload()
+			return []*report.Table{r.Table()}, err
+		}},
+	}
+}
+
+func provisioningTables(fn func() (experiments.ProvisioningFigure, error)) func() ([]*report.Table, error) {
+	return func() ([]*report.Table, error) {
+		f, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{f.CostTable(), f.TimeTable()}, nil
+	}
+}
+
+func dmTables(fn func() (experiments.DataManagementFigure, error)) func() ([]*report.Table, error) {
+	return func() ([]*report.Table, error) {
+		f, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{f.StorageTable(), f.TransferTable(), f.CostTable()}, nil
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (see -exp list), or 'all'")
+	format := flag.String("format", "text", "output format: text or csv")
+	run := flag.String("run", "", "custom run: workflow preset 1deg, 2deg or 4deg")
+	mode := flag.String("mode", "regular", "custom run: remote-io, regular or cleanup")
+	procs := flag.Int("procs", 0, "custom run: provisioned processors (0 = full parallelism)")
+	billing := flag.String("billing", "on-demand", "custom run: provisioned or on-demand")
+	flag.Parse()
+
+	if err := realMain(*exp, *format, *run, *mode, *procs, *billing); err != nil {
+		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(exp, format, run, mode string, procs int, billing string) error {
+	switch {
+	case exp != "" && run != "":
+		return fmt.Errorf("use either -exp or -run, not both")
+	case exp != "":
+		return runExperiment(exp, format, os.Stdout)
+	case run != "":
+		return runCustom(run, mode, procs, billing, format, os.Stdout)
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -exp or -run")
+	}
+}
+
+func runExperiment(name, format string, w io.Writer) error {
+	index := experimentsIndex()
+	if name == "list" {
+		tbl := report.New("Available experiments", "name", "description")
+		for _, e := range index {
+			tbl.MustAdd(e.name, e.desc)
+		}
+		return tbl.WriteText(w)
+	}
+	var selected []tableSet
+	if name == "all" {
+		selected = index
+	} else {
+		for _, e := range index {
+			if e.name == name {
+				selected = []tableSet{e}
+				break
+			}
+		}
+		if selected == nil {
+			return fmt.Errorf("unknown experiment %q (try -exp list)", name)
+		}
+	}
+	for _, e := range selected {
+		tables, err := e.tables()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		for _, t := range tables {
+			var werr error
+			switch format {
+			case "text":
+				werr = t.WriteText(w)
+				fmt.Fprintln(w)
+			case "csv":
+				werr = t.WriteCSV(w)
+			case "markdown", "md":
+				werr = t.WriteMarkdown(w)
+				fmt.Fprintln(w)
+			default:
+				return fmt.Errorf("unknown format %q (want text, csv or markdown)", format)
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+	}
+	return nil
+}
+
+func runCustom(preset, modeStr string, procs int, billingStr, format string, w io.Writer) error {
+	var spec montage.Spec
+	switch strings.ToLower(preset) {
+	case "1deg":
+		spec = montage.OneDegree()
+	case "2deg":
+		spec = montage.TwoDegree()
+	case "4deg":
+		spec = montage.FourDegree()
+	default:
+		return fmt.Errorf("unknown preset %q (want 1deg, 2deg or 4deg)", preset)
+	}
+	m, err := datamgmt.ParseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	plan := core.DefaultPlan()
+	plan.Mode = m
+	plan.Processors = procs
+	switch billingStr {
+	case "provisioned":
+		plan.Billing = core.Provisioned
+	case "on-demand", "ondemand":
+		plan.Billing = core.OnDemand
+	default:
+		return fmt.Errorf("unknown billing %q (want provisioned or on-demand)", billingStr)
+	}
+	wf, err := montage.Generate(spec)
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(wf, plan)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Metrics exec.Metrics
+			Cost    cost.Breakdown
+			Total   units.Money
+		}{res.Metrics, res.Cost, res.Cost.Total()})
+	}
+	tbl := report.New(fmt.Sprintf("%s, %s mode, %s billing", spec.Name, m, plan.Billing),
+		"quantity", "value")
+	mtr := res.Metrics
+	tbl.MustAdd("tasks", fmt.Sprint(mtr.TasksRun))
+	tbl.MustAdd("processors", fmt.Sprint(mtr.Processors))
+	tbl.MustAdd("execution time", mtr.ExecTime.String())
+	tbl.MustAdd("makespan", mtr.Makespan.String())
+	tbl.MustAdd("data in", mtr.BytesIn.String())
+	tbl.MustAdd("data out", mtr.BytesOut.String())
+	tbl.MustAdd("storage GB-hours", report.F(mtr.GBHoursStorage(), 4))
+	tbl.MustAdd("peak storage", mtr.PeakStorage.String())
+	tbl.MustAdd("utilization", report.F(mtr.Utilization, 3))
+	tbl.MustAdd("CPU cost", res.Cost.CPU.String())
+	tbl.MustAdd("storage cost", res.Cost.Storage.String())
+	tbl.MustAdd("transfer cost", res.Cost.Transfer().String())
+	tbl.MustAdd("total cost", res.Cost.Total().String())
+	return tbl.WriteText(w)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentList(t *testing.T) {
+	var b strings.Builder
+	if err := runExperiment("list", "text", &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig4", "fig10", "q2b", "ablation-outage"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentText(t *testing.T) {
+	var b strings.Builder
+	if err := runExperiment("ccr-table", "text", &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "montage-4deg") {
+		t.Errorf("missing workflow row:\n%s", b.String())
+	}
+}
+
+func TestRunExperimentCSV(t *testing.T) {
+	var b strings.Builder
+	if err := runExperiment("ccr-table", "csv", &b); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(b.String(), "\n", 2)[0]
+	if first != "workflow,tasks,ccr,paper" {
+		t.Errorf("CSV header = %q", first)
+	}
+}
+
+func TestRunExperimentErrors(t *testing.T) {
+	var b strings.Builder
+	if err := runExperiment("no-such-figure", "text", &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := runExperiment("ccr-table", "yaml", &b); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRunCustom(t *testing.T) {
+	var b strings.Builder
+	if err := runCustom("1deg", "cleanup", 8, "provisioned", "text", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"montage-1deg", "cleanup", "provisioned", "total cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("custom run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustomJSON(t *testing.T) {
+	var b strings.Builder
+	if err := runCustom("1deg", "regular", 4, "on-demand", "json", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"Mode": "regular"`, `"Total"`, `"CPUSeconds"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustomErrors(t *testing.T) {
+	var b strings.Builder
+	if err := runCustom("9deg", "regular", 0, "on-demand", "text", &b); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := runCustom("1deg", "sideways", 0, "on-demand", "text", &b); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := runCustom("1deg", "regular", 0, "prepaid", "text", &b); err == nil {
+		t.Error("unknown billing accepted")
+	}
+}
+
+func TestRealMainArgs(t *testing.T) {
+	if err := realMain("fig4", "text", "1deg", "regular", 0, "on-demand"); err == nil {
+		t.Error("-exp together with -run accepted")
+	}
+	if err := realMain("", "text", "", "regular", 0, "on-demand"); err == nil {
+		t.Error("no action accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command skyplan answers the paper's Question 3 interactively: what
+// does mosaicking the whole sky cost at a given tile size, and how long
+// is a generated mosaic worth storing instead of recomputing?
+//
+// Usage:
+//
+//	skyplan                 # the paper's 4-degree tiling (3,900 mosaics)
+//	skyplan -degrees 6      # the 6-degree alternative (1,734 mosaics)
+//	skyplan -degrees 2 -mosaics 15000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/montage"
+	"repro/internal/report"
+)
+
+func main() {
+	degrees := flag.Float64("degrees", 4, "mosaic tile size in degrees")
+	mosaics := flag.Int("mosaics", 0, "number of mosaics (0 = the paper's whole-sky count for 4 or 6 degrees)")
+	flag.Parse()
+
+	if err := run(*degrees, *mosaics); err != nil {
+		fmt.Fprintf(os.Stderr, "skyplan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(degrees float64, mosaics int) error {
+	var spec montage.Spec
+	switch degrees {
+	case 1:
+		spec = montage.OneDegree()
+	case 2:
+		spec = montage.TwoDegree()
+	case 4:
+		spec = montage.FourDegree()
+	default:
+		spec = montage.FromDegrees(degrees, 1)
+	}
+	if mosaics == 0 {
+		switch degrees {
+		case 4:
+			mosaics = archive.WholeSky4DegMosaics
+		case 6:
+			mosaics = archive.WholeSky6DegMosaics
+		default:
+			return fmt.Errorf("no whole-sky count for %.3g-degree tiles; pass -mosaics", degrees)
+		}
+	}
+
+	wf, err := montage.Generate(spec)
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(wf, core.DefaultPlan())
+	if err != nil {
+		return err
+	}
+	camp, err := archive.ComputeSkyCampaign(res.Cost, mosaics)
+	if err != nil {
+		return err
+	}
+	horizon, err := archive.ComputeStorageHorizon(cost.Amazon2008(), wf.OutputBytes(), res.Cost.CPU)
+	if err != nil {
+		return err
+	}
+
+	tbl := report.New(fmt.Sprintf("Sky campaign with %.3g-degree mosaics (%s)", degrees, spec.Name),
+		"quantity", "value")
+	tbl.MustAdd("mosaics", fmt.Sprint(camp.Mosaics))
+	tbl.MustAdd("cost per mosaic", camp.CostPerMosaic.String())
+	tbl.MustAdd("cost per mosaic (inputs archived)", camp.CostPerMosaicArchived.String())
+	tbl.MustAdd("campaign total", camp.TotalCost.String())
+	tbl.MustAdd("campaign total (inputs archived)", camp.TotalCostArchived.String())
+	tbl.MustAdd("mosaic size", horizon.ProductBytes.String())
+	tbl.MustAdd("storage per mosaic per month", horizon.MonthlyCost.String())
+	tbl.MustAdd("worth storing for", fmt.Sprintf("%.1f months", horizon.Months))
+	return tbl.WriteText(os.Stdout)
+}

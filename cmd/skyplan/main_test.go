@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunPaperTilings(t *testing.T) {
+	// The 4-degree whole-sky default must run end to end.
+	if err := run(4, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomCount(t *testing.T) {
+	if err := run(2, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// No canonical whole-sky count for 3-degree tiles.
+	if err := run(3, 0); err == nil {
+		t.Error("missing mosaic count accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Command wfinfo inspects a workflow: given a DAX XML file (or a preset
+// name), it prints the structural statistics the paper reports for its
+// workloads -- task counts by type, level widths, data volumes, CCR --
+// and the concrete-plan summary (stage-in/out and cleanup job counts).
+//
+// Usage:
+//
+//	wfinfo -preset 2deg
+//	daxgen -preset 4deg | wfinfo
+//	wfinfo -dax montage-1deg.xml -mode cleanup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/dax"
+	"repro/internal/montage"
+	"repro/internal/planner"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	preset := flag.String("preset", "", "preset workflow: 1deg, 2deg or 4deg")
+	daxPath := flag.String("dax", "", "DAX XML file to inspect (default stdin when no preset)")
+	modeStr := flag.String("mode", "cleanup", "planning mode: remote-io, regular or cleanup")
+	flag.Parse()
+
+	if err := run(*preset, *daxPath, *modeStr, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "wfinfo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func load(preset, daxPath string) (*dag.Workflow, error) {
+	switch {
+	case preset != "" && daxPath != "":
+		return nil, fmt.Errorf("use either -preset or -dax, not both")
+	case preset == "1deg":
+		return montage.Generate(montage.OneDegree())
+	case preset == "2deg":
+		return montage.Generate(montage.TwoDegree())
+	case preset == "4deg":
+		return montage.Generate(montage.FourDegree())
+	case preset != "":
+		return nil, fmt.Errorf("unknown preset %q (want 1deg, 2deg or 4deg)", preset)
+	case daxPath != "":
+		f, err := os.Open(daxPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dax.Read(f)
+	default:
+		return dax.Read(os.Stdin)
+	}
+}
+
+func run(preset, daxPath, modeStr string, w io.Writer) error {
+	wf, err := load(preset, daxPath)
+	if err != nil {
+		return err
+	}
+	mode, err := datamgmt.ParseMode(modeStr)
+	if err != nil {
+		return err
+	}
+
+	summary := report.New(fmt.Sprintf("Workflow %s", wf.Name), "quantity", "value")
+	summary.MustAdd("tasks", fmt.Sprint(wf.NumTasks()))
+	summary.MustAdd("files", fmt.Sprint(wf.NumFiles()))
+	summary.MustAdd("levels", fmt.Sprint(wf.MaxLevel()))
+	summary.MustAdd("max parallelism", fmt.Sprint(wf.MaxParallelism()))
+	summary.MustAdd("total CPU time", wf.TotalRuntime().String())
+	summary.MustAdd("critical path", wf.CriticalPath().String())
+	summary.MustAdd("total file bytes", wf.TotalFileBytes().String())
+	summary.MustAdd("external inputs", fmt.Sprintf("%d (%v)", len(wf.ExternalInputs()), wf.InputBytes()))
+	summary.MustAdd("outputs", fmt.Sprintf("%d (%v)", len(wf.OutputFiles()), wf.OutputBytes()))
+	summary.MustAdd("CCR @ 10 Mbps", report.F(wf.CCR(units.Mbps(10)), 4))
+	if err := summary.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	byType := map[string]int{}
+	byTypeCPU := map[string]units.Duration{}
+	for _, t := range wf.Tasks() {
+		byType[t.Type]++
+		byTypeCPU[t.Type] += t.Runtime
+	}
+	var types []string
+	for typ := range byType {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	typeTable := report.New("Tasks by type", "type", "count", "cpu-time", "cpu-share")
+	total := wf.TotalRuntime().Seconds()
+	for _, typ := range types {
+		typeTable.MustAdd(typ, fmt.Sprint(byType[typ]), byTypeCPU[typ].String(),
+			fmt.Sprintf("%.1f%%", 100*byTypeCPU[typ].Seconds()/total))
+	}
+	if err := typeTable.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	levelTable := report.New("Level structure", "level", "width", "types")
+	for lv := 1; lv <= wf.MaxLevel(); lv++ {
+		tasks := wf.TasksAtLevel(lv)
+		typeSet := map[string]bool{}
+		for _, t := range tasks {
+			typeSet[t.Type] = true
+		}
+		var names []string
+		for typ := range typeSet {
+			names = append(names, typ)
+		}
+		sort.Strings(names)
+		levelTable.MustAdd(fmt.Sprint(lv), fmt.Sprint(len(tasks)), fmt.Sprint(names))
+	}
+	if err := levelTable.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	plan, err := planner.Build(wf, planner.Options{Mode: mode})
+	if err != nil {
+		return err
+	}
+	counts := plan.CountByKind()
+	planTable := report.New(fmt.Sprintf("Concrete plan (%v mode)", mode), "jobs", "count", "bytes")
+	planTable.MustAdd("stage-in", fmt.Sprint(counts[planner.StageIn]), plan.TransferBytes(planner.StageIn).String())
+	planTable.MustAdd("compute", fmt.Sprint(counts[planner.Compute]), "-")
+	planTable.MustAdd("cleanup", fmt.Sprint(counts[planner.CleanupJob]), "-")
+	planTable.MustAdd("stage-out", fmt.Sprint(counts[planner.StageOut]), plan.TransferBytes(planner.StageOut).String())
+	return planTable.WriteText(w)
+}

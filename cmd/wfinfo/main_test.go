@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dax"
+	"repro/internal/montage"
+)
+
+func TestRunPreset(t *testing.T) {
+	var b strings.Builder
+	if err := run("1deg", "", "cleanup", &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"montage-1deg", "mProject", "mAdd", "Level structure",
+		"Concrete plan (cleanup mode)", "stage-in", "cleanup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDAXFile(t *testing.T) {
+	w, err := montage.Generate(montage.TwoDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wf.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dax.Write(f, w); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var b strings.Builder
+	if err := run("", path, "regular", &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "montage-2deg") {
+		t.Error("output missing workflow name")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run("1deg", "also.xml", "regular", &b); err == nil {
+		t.Error("both preset and dax accepted")
+	}
+	if err := run("9deg", "", "regular", &b); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run("1deg", "", "sideways", &b); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run("", "/nonexistent.xml", "regular", &b); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Advisor: turn a provisioning sweep into a decision.  The paper reads
+// Fig. 6 by eye and recommends 16 processors for the 4-degree workflow;
+// this example reproduces that call programmatically, then explores
+// deadline- and budget-constrained choices and the multi-provider
+// speculation from the paper's conclusions.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	wf, err := repro.Generate(repro.FourDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := repro.ProvisioningSweep(wf, repro.GeometricProcessors(), repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := advisor.FromSweep(points)
+
+	fmt.Println("Pareto frontier (cost vs turnaround):")
+	for _, o := range advisor.ParetoFrontier(opts) {
+		fmt.Printf("  %4d procs  %8s  %10s\n", o.Processors, o.Cost, o.Time)
+	}
+
+	rec, err := advisor.Recommend(opts, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithin 10%% of the cheapest: %d processors (%s, %s)\n",
+		rec.Processors, rec.Cost, rec.Time)
+	fmt.Println("(the paper's own reading of Fig. 6: 16 processors)")
+
+	deadline := units.Duration(8 * units.SecondsPerHour)
+	byDeadline, err := advisor.CheapestWithin(opts, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cheapest under an 8-hour deadline: %d processors (%s)\n",
+		byDeadline.Processors, byDeadline.Cost)
+
+	budget := repro.Money(12)
+	byBudget, err := advisor.FastestUnder(opts, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fastest under a $12 budget: %d processors (%s)\n",
+		byBudget.Processors, byBudget.Time)
+
+	// Multi-provider future: same run, three fee schedules.
+	cheapCompute := repro.Amazon2008()
+	cheapCompute.CPUPerHour = 0.05
+	cheapCompute.TransferOutPerGB = 0.30
+	cheapStorage := repro.Amazon2008()
+	cheapStorage.StoragePerGBMonth = 0.03
+	cheapStorage.CPUPerHour = 0.14
+	providers := []advisor.Provider{
+		{Name: "amazon-2008", Pricing: repro.Amazon2008()},
+		{Name: "compute-discounter", Pricing: cheapCompute},
+		{Name: "storage-discounter", Pricing: cheapStorage},
+	}
+	res, err := repro.Run(wf, repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := advisor.RankProviders(providers, res.Metrics, core.OnDemand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe same 4-degree request priced by provider:")
+	for _, pc := range ranked {
+		fmt.Printf("  %-20s %s\n", pc.Provider.Name, pc.Cost.Total())
+	}
+}

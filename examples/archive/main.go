@@ -1,0 +1,43 @@
+// Archive economics: the paper's Question 2b.  Montage's input survey
+// (2MASS) is 12 TB; holding it in S3 costs $1,800 every month but saves
+// the transfer-in charge on every mosaic request.  This example measures
+// a 2-degree request both ways and computes the break-even request rate.
+//
+//	go run ./examples/archive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	wf, err := repro.Generate(repro.TwoDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One 2-degree mosaic request, inputs staged from the project's own
+	// archive (regular data management, CPU billed per use).
+	res, err := repro.Run(wf, repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	be, err := repro.ComputeBreakEven(repro.Amazon2008(), repro.TwoMASSArchiveBytes, res.Cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("keeping 2MASS (%v) in the cloud:\n", repro.TwoMASSArchiveBytes)
+	fmt.Printf("  monthly storage       %v\n", be.MonthlyStorageCost)
+	fmt.Printf("  one-time upload       %v\n", be.OneTimeUploadCost)
+	fmt.Printf("per 2-degree mosaic request:\n")
+	fmt.Printf("  inputs staged in      %v\n", be.CostPerRequestStaged)
+	fmt.Printf("  inputs already there  %v\n", be.CostPerRequestArchived)
+	fmt.Printf("  savings               %v\n", be.SavingsPerRequest)
+	fmt.Printf("break-even: %.0f requests/month\n", be.RequestsPerMonth)
+	fmt.Println("\nbelow that rate it is cheaper to stage data per request; a")
+	fmt.Println("middle path is pre-staging just the popular regions of the sky.")
+}

@@ -1,0 +1,55 @@
+// Data management: the paper's Question 2a.  When the application relies
+// on the cloud for all computing and pays CPU per use, the data-handling
+// strategy drives the remaining cost.  This example compares the three
+// models of §3 -- remote I/O, regular, and dynamic cleanup -- on the
+// 1-degree workflow, reproducing the panels of Fig. 7.
+//
+//	go run ./examples/datamanagement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	wf, err := repro.Generate(repro.OneDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := repro.CompareModes(wf, repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	modes := []repro.Mode{repro.RemoteIO, repro.Regular, repro.Cleanup}
+
+	fmt.Println("storage used (space-time):")
+	for _, m := range modes {
+		r := results[m]
+		fmt.Printf("  %-10s %8.4f GB-hours (peak %v)\n",
+			m, r.Metrics.GBHoursStorage(), r.Metrics.PeakStorage)
+	}
+
+	fmt.Println("data transferred:")
+	for _, m := range modes {
+		r := results[m]
+		fmt.Printf("  %-10s in %v, out %v\n", m, r.Metrics.BytesIn, r.Metrics.BytesOut)
+	}
+
+	fmt.Println("costs (CPU is mode-invariant):")
+	for _, m := range modes {
+		c := results[m].Cost
+		fmt.Printf("  %-10s cpu %v + dm %v = %v\n", m, c.CPU, c.DataManagement(), c.Total())
+	}
+
+	cheapest := modes[0]
+	for _, m := range modes[1:] {
+		if results[m].Cost.Total() < results[cheapest].Cost.Total() {
+			cheapest = m
+		}
+	}
+	fmt.Printf("cheapest mode: %v (the paper's conclusion: cleanup)\n", cheapest)
+}

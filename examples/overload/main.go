@@ -1,0 +1,68 @@
+// Overload: the paper's first usage scenario -- "handle sporadic
+// overloads of mosaic requests".  A Montage service owns a small local
+// cluster; when a burst of requests would blow the turnaround target,
+// the request manager provisions cloud resources per request and pays
+// the simulator-measured price.  This example compares a month of
+// operation with and without cloud bursting.
+//
+//	go run ./examples/overload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/montage"
+	"repro/internal/service"
+	"repro/internal/units"
+)
+
+func main() {
+	// The service accepts 1- and 2-degree mosaic requests.  Its local
+	// cluster has 8 processors; cloud bursts get a 32-processor pool.
+	cloudPlan := core.DefaultPlan()
+	cloudPlan.Billing = core.Provisioned
+	cloudPlan.Processors = 32
+
+	var classes []service.Class
+	for _, spec := range []repro.Spec{montage.OneDegree(), montage.TwoDegree()} {
+		c, err := service.MeasureClass(spec, 8, cloudPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		classes = append(classes, c)
+		fmt.Printf("class %-14s local %-9v cloud %-9v for %v\n",
+			c.Name, c.LocalTime, c.CloudTime, c.CloudCost)
+	}
+
+	// A month of requests: one every ~2 hours on average, with a 3-day
+	// overload at 8x rate (a popular supernova, say).
+	day := units.Duration(24 * units.SecondsPerHour)
+	arrivals := service.Arrivals{
+		Seed: 42, N: 600, MeanGap: 2 * units.Duration(units.SecondsPerHour), Classes: 2,
+		BurstStart: 10 * day, BurstEnd: 13 * day, BurstRate: 8,
+	}
+	reqs, err := arrivals.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sla := units.Duration(4 * units.SecondsPerHour)
+	for _, cloudOn := range []bool{false, true} {
+		_, stats, err := service.Simulate(classes, reqs, service.Config{SLA: sla, CloudEnabled: cloudOn})
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "local only "
+		if cloudOn {
+			label = "cloud burst"
+		}
+		fmt.Printf("\n%s: %d requests, %d local / %d cloud\n",
+			label, stats.Requests, stats.LocalRuns, stats.CloudRuns)
+		fmt.Printf("  turnaround mean %v, max %v; SLA(%v) violations %d\n",
+			stats.MeanTurnaround, stats.MaxTurnaround, sla, stats.SLAViolations)
+		fmt.Printf("  cloud spend %v\n", stats.CloudSpend)
+	}
+}

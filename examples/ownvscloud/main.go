@@ -1,0 +1,48 @@
+// Own vs cloud: the funding-model question of the paper's introduction.
+// Should the Montage project buy a cluster or rent from Amazon?  This
+// example measures the per-request cloud cost with the simulator, prices
+// a 2008-era commodity cluster, and sweeps the request rate to find the
+// crossover.
+//
+//	go run ./examples/ownvscloud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/econ"
+)
+
+func main() {
+	wf, err := repro.Generate(repro.OneDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Run(wf, repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one 1-degree mosaic on the cloud: %v (%.1f CPU-hours)\n",
+		res.Cost.Total(), res.Metrics.CPUSeconds/3600)
+
+	cluster := econ.Commodity2008(10)
+	fmt.Printf("10-processor cluster: %v/month all-in\n", cluster.MonthlyCost())
+
+	fmt.Printf("\n%10s  %12s  %12s  %s\n", "req/month", "cloud", "cluster", "verdict")
+	for _, rate := range []float64{50, 200, 500, 1000, 1400, 2000} {
+		cmp, err := econ.Compare(cluster, res.Cost, res.Metrics.CPUSeconds, rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0f  %12s  %12s  %s\n",
+			rate, cmp.CloudMonthly, cmp.ClusterMonthly, cmp.Verdict)
+	}
+
+	cmp, _ := econ.Compare(cluster, res.Cost, res.Metrics.CPUSeconds, 0)
+	fmt.Printf("\nbreak-even at %.0f requests/month; cluster capacity %.0f requests/month\n",
+		cmp.BreakEvenRequests, cmp.CapacityPerMonth)
+	fmt.Println("at 2008 prices the cloud wins until the cluster is nearly")
+	fmt.Println("saturated -- the economy-of-scale argument of the paper's intro.")
+}

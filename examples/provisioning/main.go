@@ -1,0 +1,60 @@
+// Provisioning: the paper's Question 1.  An application occasionally
+// farms mosaic requests out to the cloud and must pick a pool size: few
+// processors are cheap but slow, many are fast but expensive because the
+// whole pool is billed for the whole run.  This example sweeps pool
+// sizes for each of the three Montage workflows and prints the
+// cost/performance frontier of Figs. 4-6.
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, spec := range []repro.Spec{repro.OneDegree(), repro.TwoDegree(), repro.FourDegree()} {
+		wf, err := repro.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points, err := repro.ProvisioningSweep(wf, repro.GeometricProcessors(), repro.DefaultPlan())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s (%d tasks)\n", spec.Name, wf.NumTasks())
+		fmt.Printf("%6s  %10s  %10s\n", "procs", "total cost", "exec time")
+		for _, p := range points {
+			fmt.Printf("%6d  %10s  %10s\n",
+				p.Processors, p.Result.Cost.Total(), p.Result.Metrics.ExecTime)
+		}
+		// The paper's compromise reading of Fig. 6: a mid-sized pool buys
+		// most of the speedup for little extra money.
+		best := pickCompromise(points)
+		fmt.Printf("compromise: %d processors -> %s in %s\n",
+			best.Processors, best.Result.Cost.Total(), best.Result.Metrics.ExecTime)
+	}
+}
+
+// pickCompromise returns the smallest pool within 15% of the minimum
+// cost that is at least 4x faster than the single-processor run.
+func pickCompromise(points []repro.SweepPoint) repro.SweepPoint {
+	minCost := points[0].Result.Cost.Total()
+	for _, p := range points {
+		if c := p.Result.Cost.Total(); c < minCost {
+			minCost = c
+		}
+	}
+	base := points[0].Result.Metrics.ExecTime
+	for _, p := range points {
+		fastEnough := p.Result.Metrics.ExecTime <= base/4
+		cheapEnough := p.Result.Cost.Total() <= minCost*1.15
+		if fastEnough && cheapEnough {
+			return p
+		}
+	}
+	return points[len(points)-1]
+}

@@ -1,0 +1,41 @@
+// Quickstart: build the paper's 1-degree Montage workflow, run it on the
+// simulated cloud under the default plan, and print what the mosaic
+// costs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The 203-task workflow for a 1-degree-square mosaic of M17,
+	// calibrated to the paper's published aggregates.
+	wf, err := repro.Generate(repro.OneDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow %s: %d tasks, %d files, %.1f CPU-hours, CCR %.3f\n",
+		wf.Name, wf.NumTasks(), wf.NumFiles(),
+		wf.TotalRuntime().Hours(), wf.CCR(repro.Mbps(10)))
+
+	// Run it with the paper's baseline plan: regular data management,
+	// enough processors for full parallelism, on-demand billing, 10 Mbps
+	// to the cloud, 2008 Amazon rates.
+	res, err := repro.Run(wf, repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("executed in %v (makespan %v) on %d processors\n",
+		m.ExecTime, m.Makespan, m.Processors)
+	fmt.Printf("moved %v in, %v out; storage integral %.4f GB-hours\n",
+		m.BytesIn, m.BytesOut, m.GBHoursStorage())
+	fmt.Printf("cost: CPU %v + storage %v + transfer %v = %v\n",
+		res.Cost.CPU, res.Cost.Storage, res.Cost.Transfer(), res.Cost.Total())
+}

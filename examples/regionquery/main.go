@@ -1,0 +1,53 @@
+// Region query: the full service path of the paper's Figure 2.  A user
+// asks for a mosaic of a named sky region (M17, the region the paper's
+// own workflows target); the service queries the 2MASS-like archive for
+// the covering plates, generates the Montage workflow, simulates it on
+// the cloud and prices the request.
+//
+//	go run ./examples/regionquery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/skycat"
+)
+
+func main() {
+	catalog := skycat.New2MASS()
+	fmt.Printf("archive: %d plates/band, %v total (paper: 12 TB)\n",
+		catalog.PlateCount(), catalog.TotalBytes())
+
+	// M17 (the Omega Nebula): RA 275.2, Dec -16.2.
+	regions := []struct {
+		name    string
+		ra, dec float64
+		size    float64
+		band    skycat.Band
+	}{
+		{"m17", 275.2, -16.2, 1, skycat.K},
+		{"m17-wide", 275.2, -16.2, 2, skycat.K},
+		{"polaris", 37.9, 89.3, 1, skycat.J},
+	}
+	for _, r := range regions {
+		spec, plates, err := catalog.SpecForRegion(r.name, r.ra, r.dec, r.size, r.band, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wf, err := repro.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.Run(wf, repro.DefaultPlan())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %.3g deg in %v at (%.1f, %.1f)\n", r.name, r.size, r.band, r.ra, r.dec)
+		fmt.Printf("  %d plates -> %d tasks, %.1f CPU-hours\n",
+			len(plates), wf.NumTasks(), wf.TotalRuntime().Hours())
+		fmt.Printf("  mosaic %v in %v for %v\n",
+			wf.OutputBytes(), res.Metrics.Makespan, res.Cost.Total())
+	}
+}

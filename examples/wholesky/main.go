@@ -1,0 +1,53 @@
+// Whole sky: the paper's Question 3.  What would it cost to mosaic the
+// entire sky on the cloud, and once a mosaic exists, for how long is
+// storing it cheaper than recomputing it on demand?
+//
+//	go run ./examples/wholesky
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Price one 4-degree mosaic, then scale to the 3,900-plate tiling.
+	wf, err := repro.Generate(repro.FourDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Run(wf, repro.DefaultPlan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sky, err := repro.ComputeSkyCampaign(res.Cost, repro.WholeSky4DegMosaics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mosaic of the entire sky, 4-degree tiles:\n")
+	fmt.Printf("  %d mosaics x %v = %v\n", sky.Mosaics, sky.CostPerMosaic, sky.TotalCost)
+	fmt.Printf("  with inputs archived in the cloud: %v\n", sky.TotalCostArchived)
+
+	// Store-vs-recompute horizons for all three mosaic sizes.
+	fmt.Println("\nstore a popular mosaic or recompute it on demand?")
+	for _, spec := range []repro.Spec{repro.OneDegree(), repro.TwoDegree(), repro.FourDegree()} {
+		w, err := repro.Generate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := repro.Run(w, repro.DefaultPlan())
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := repro.ComputeStorageHorizon(repro.Amazon2008(), w.OutputBytes(), r.Cost.CPU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: %v mosaic, %v to recompute -> store for %.1f months\n",
+			spec.Name, h.ProductBytes, h.RecomputeCost, h.Months)
+	}
+	fmt.Println("\nif a request recurs within ~2 years, storing wins: popular")
+	fmt.Println("regions (Orion, say) belong in the cloud.")
+}

@@ -1,0 +1,164 @@
+// Package archive answers the paper's data-archival economics questions:
+//
+//   - Question 2b: when does keeping a large input archive (the 12 TB
+//     2MASS survey) in cloud storage pay for itself, versus staging
+//     inputs in for every request?
+//   - Question 3: what does the mosaic of the entire sky cost, and for
+//     how long is it cheaper to store a generated mosaic than to
+//     recompute it on demand?
+package archive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/units"
+)
+
+// TwoMASSArchiveBytes is the size of the full 2MASS survey (images of
+// the entire sky in three bands), per §6 of the paper.
+const TwoMASSArchiveBytes = units.Bytes(12 * units.TB)
+
+// Whole-sky tiling options from Question 3.
+const (
+	// WholeSky4DegMosaics is the number of 4-degree-square plates that
+	// tile the sky (with overlap) in three bands.
+	WholeSky4DegMosaics = 3900
+	// WholeSky6DegMosaics is the 6-degree-square alternative.
+	WholeSky6DegMosaics = 1734
+)
+
+// BreakEven is the outcome of the Question-2b analysis.
+type BreakEven struct {
+	// MonthlyStorageCost of keeping the archive resident ($1,800/month
+	// for 2MASS at 2008 rates).
+	MonthlyStorageCost units.Money
+	// OneTimeUploadCost of moving the archive into the cloud ($1,200).
+	OneTimeUploadCost units.Money
+	// CostPerRequestStaged is a request's cost when inputs are staged in
+	// from outside the cloud.
+	CostPerRequestStaged units.Money
+	// CostPerRequestArchived is a request's cost when inputs are already
+	// in cloud storage (no transfer-in charge).
+	CostPerRequestArchived units.Money
+	// SavingsPerRequest is the difference.
+	SavingsPerRequest units.Money
+	// RequestsPerMonth is the request rate at which archive storage pays
+	// for itself (+Inf when there are no savings).
+	RequestsPerMonth float64
+}
+
+// String summarizes the analysis.
+func (b BreakEven) String() string {
+	return fmt.Sprintf("archive %v/month (+%v upload), request %v staged vs %v archived -> break-even %.0f requests/month",
+		b.MonthlyStorageCost, b.OneTimeUploadCost,
+		b.CostPerRequestStaged, b.CostPerRequestArchived, b.RequestsPerMonth)
+}
+
+// ComputeBreakEven carries out the Question-2b arithmetic.
+//
+// archiveSize is the resident dataset; requestCost is the full cost of
+// one request when inputs are staged from outside (its TransferIn
+// component is the saving an in-cloud archive realizes, exactly the
+// paper's $2.22 vs $2.12 comparison for the 2-degree mosaic).
+func ComputeBreakEven(p cost.Pricing, archiveSize units.Bytes, requestCost cost.Breakdown) (BreakEven, error) {
+	if err := p.Validate(); err != nil {
+		return BreakEven{}, err
+	}
+	if archiveSize <= 0 {
+		return BreakEven{}, fmt.Errorf("archive: non-positive archive size %d", archiveSize)
+	}
+	be := BreakEven{
+		MonthlyStorageCost:     p.MonthlyStorage(archiveSize),
+		OneTimeUploadCost:      p.TransferInCost(archiveSize),
+		CostPerRequestStaged:   requestCost.Total(),
+		CostPerRequestArchived: requestCost.Total() - requestCost.TransferIn,
+		SavingsPerRequest:      requestCost.TransferIn,
+	}
+	if be.SavingsPerRequest > 0 {
+		be.RequestsPerMonth = float64(be.MonthlyStorageCost / be.SavingsPerRequest)
+	} else {
+		be.RequestsPerMonth = inf()
+	}
+	return be, nil
+}
+
+// StorageHorizon is the Question-3 store-vs-recompute analysis for one
+// generated data product.
+type StorageHorizon struct {
+	ProductBytes  units.Bytes
+	RecomputeCost units.Money // what regenerating the product costs (the paper uses its CPU cost)
+	MonthlyCost   units.Money // storing the product for one month
+	Months        float64     // how long storage stays cheaper than recomputation
+}
+
+// String summarizes the horizon.
+func (h StorageHorizon) String() string {
+	return fmt.Sprintf("%v product, %v to recompute, %v/month to store -> worth storing %.2f months",
+		h.ProductBytes, h.RecomputeCost, h.MonthlyCost, h.Months)
+}
+
+// ComputeStorageHorizon returns how many months a product of the given
+// size can be stored for its recomputation cost.  The paper's examples:
+// the 173.46 MB 1-degree mosaic with a $0.56 CPU cost stores for 21.52
+// months.
+func ComputeStorageHorizon(p cost.Pricing, productSize units.Bytes, recomputeCost units.Money) (StorageHorizon, error) {
+	if err := p.Validate(); err != nil {
+		return StorageHorizon{}, err
+	}
+	if productSize <= 0 {
+		return StorageHorizon{}, fmt.Errorf("archive: non-positive product size %d", productSize)
+	}
+	if recomputeCost < 0 {
+		return StorageHorizon{}, fmt.Errorf("archive: negative recompute cost %v", recomputeCost)
+	}
+	monthly := p.MonthlyStorage(productSize)
+	h := StorageHorizon{
+		ProductBytes:  productSize,
+		RecomputeCost: recomputeCost,
+		MonthlyCost:   monthly,
+	}
+	if monthly > 0 {
+		h.Months = float64(recomputeCost / monthly)
+	} else {
+		h.Months = inf()
+	}
+	return h, nil
+}
+
+// SkyCampaign is the Question-3 whole-sky costing.
+type SkyCampaign struct {
+	Mosaics               int
+	CostPerMosaic         units.Money
+	TotalCost             units.Money
+	CostPerMosaicArchived units.Money // inputs already in the cloud
+	TotalCostArchived     units.Money
+}
+
+// String summarizes the campaign.
+func (c SkyCampaign) String() string {
+	return fmt.Sprintf("%d mosaics x %v = %v (archived inputs: %v)",
+		c.Mosaics, c.CostPerMosaic, c.TotalCost, c.TotalCostArchived)
+}
+
+// ComputeSkyCampaign prices generating n mosaics from the per-request
+// breakdown, both with inputs staged per request and with inputs already
+// archived in the cloud (the paper's 3,900 x $8.88 = $34,632 versus
+// 3,900 x $8.75).
+func ComputeSkyCampaign(requestCost cost.Breakdown, n int) (SkyCampaign, error) {
+	if n <= 0 {
+		return SkyCampaign{}, fmt.Errorf("archive: non-positive mosaic count %d", n)
+	}
+	per := requestCost.Total()
+	perArch := per - requestCost.TransferIn
+	return SkyCampaign{
+		Mosaics:               n,
+		CostPerMosaic:         per,
+		TotalCost:             per * units.Money(n),
+		CostPerMosaicArchived: perArch,
+		TotalCostArchived:     perArch * units.Money(n),
+	}, nil
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,142 @@
+package archive
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/units"
+)
+
+func almostF(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestArchiveConstants(t *testing.T) {
+	if TwoMASSArchiveBytes != units.Bytes(12*units.TB) {
+		t.Errorf("2MASS archive = %d bytes, want 12 TB", TwoMASSArchiveBytes)
+	}
+	if WholeSky4DegMosaics != 3900 || WholeSky6DegMosaics != 1734 {
+		t.Error("whole-sky tiling constants do not match the paper")
+	}
+}
+
+func TestBreakEvenPaperArithmetic(t *testing.T) {
+	// Reconstruct the paper's own numbers: a 2-degree request costing
+	// $2.22 staged with a $0.10 transfer-in component, against the 12 TB
+	// archive: $1,800 / $0.10 = 18,000 requests/month.
+	p := cost.Amazon2008()
+	req := cost.Breakdown{CPU: 2.03, Storage: 0.0007, TransferIn: 0.10, TransferOut: 0.0893}
+	be, err := ComputeBreakEven(p, TwoMASSArchiveBytes, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostF(float64(be.MonthlyStorageCost), 1800, 1e-9) {
+		t.Errorf("monthly storage = %v, want $1800", be.MonthlyStorageCost)
+	}
+	if !almostF(float64(be.OneTimeUploadCost), 1200, 1e-9) {
+		t.Errorf("upload = %v, want $1200", be.OneTimeUploadCost)
+	}
+	if !almostF(be.RequestsPerMonth, 18000, 1) {
+		t.Errorf("break-even = %v requests/month, want 18000", be.RequestsPerMonth)
+	}
+	if !almostF(float64(be.CostPerRequestArchived), 2.12, 1e-9) {
+		t.Errorf("archived request = %v, want $2.12", be.CostPerRequestArchived)
+	}
+	if !strings.Contains(be.String(), "requests/month") {
+		t.Error("String() missing summary")
+	}
+}
+
+func TestBreakEvenNoSavings(t *testing.T) {
+	p := cost.Amazon2008()
+	req := cost.Breakdown{CPU: 1} // no transfer-in component
+	be, err := ComputeBreakEven(p, TwoMASSArchiveBytes, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(be.RequestsPerMonth, 1) {
+		t.Errorf("break-even = %v, want +Inf", be.RequestsPerMonth)
+	}
+}
+
+func TestBreakEvenValidation(t *testing.T) {
+	p := cost.Amazon2008()
+	if _, err := ComputeBreakEven(p, 0, cost.Breakdown{}); err == nil {
+		t.Error("zero archive size accepted")
+	}
+	bad := p
+	bad.CPUPerHour = -1
+	if _, err := ComputeBreakEven(bad, 1, cost.Breakdown{}); err == nil {
+		t.Error("invalid pricing accepted")
+	}
+}
+
+func TestStorageHorizonPaperAnchors(t *testing.T) {
+	// §6 Q3: 173.46 MB/$0.56 -> 21.52 months; 557.9 MB/$2.03 -> 24.25;
+	// 2.229 GB/$8.40 -> 25.12.
+	p := cost.Amazon2008()
+	cases := []struct {
+		size   units.Bytes
+		cpu    units.Money
+		months float64
+	}{
+		{units.Bytes(173.46 * units.MB), 0.56, 21.52},
+		{units.Bytes(557.9 * units.MB), 2.03, 24.25},
+		{units.Bytes(2.229 * units.GB), 8.40, 25.12},
+	}
+	for _, tc := range cases {
+		h, err := ComputeStorageHorizon(p, tc.size, tc.cpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostF(h.Months, tc.months, 0.02) {
+			t.Errorf("horizon(%v, %v) = %.2f months, want %.2f", tc.size, tc.cpu, h.Months, tc.months)
+		}
+		if h.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestStorageHorizonEdgeCases(t *testing.T) {
+	p := cost.Amazon2008()
+	if _, err := ComputeStorageHorizon(p, 0, 1); err == nil {
+		t.Error("zero product size accepted")
+	}
+	if _, err := ComputeStorageHorizon(p, 100, -1); err == nil {
+		t.Error("negative recompute cost accepted")
+	}
+	free := p
+	free.StoragePerGBMonth = 0
+	h, err := ComputeStorageHorizon(free, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(h.Months, 1) {
+		t.Errorf("free storage horizon = %v, want +Inf", h.Months)
+	}
+}
+
+func TestSkyCampaignPaperArithmetic(t *testing.T) {
+	// §6 Q3: 3,900 x $8.88 = $34,632 staged; $8.75 archived.
+	req := cost.Breakdown{CPU: 8.40, Storage: 0.0, TransferIn: 0.13, TransferOut: 0.35}
+	c, err := ComputeSkyCampaign(req, WholeSky4DegMosaics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostF(float64(c.TotalCost), 34632, 0.5) {
+		t.Errorf("total = %v, want ~$34,632", c.TotalCost)
+	}
+	if !almostF(float64(c.CostPerMosaicArchived), 8.75, 1e-9) {
+		t.Errorf("archived per-mosaic = %v, want $8.75", c.CostPerMosaicArchived)
+	}
+	if !almostF(float64(c.TotalCostArchived), 34125, 0.5) {
+		t.Errorf("archived total = %v, want ~$34,125", c.TotalCostArchived)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := ComputeSkyCampaign(req, 0); err == nil {
+		t.Error("zero mosaic count accepted")
+	}
+}

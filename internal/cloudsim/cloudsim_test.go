@@ -1,0 +1,269 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestStorageByteSeconds(t *testing.T) {
+	s := NewStorage(true)
+	if err := s.Put(0, "a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(10, "b", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(20, "a"); err != nil {
+		t.Fatal(err)
+	}
+	// [0,10): 100 B; [10,20): 150 B; [20,30): 50 B.
+	got := s.ByteSeconds(30)
+	want := 100.0*10 + 150*10 + 50*10
+	if got != want {
+		t.Errorf("ByteSeconds(30) = %v, want %v", got, want)
+	}
+	if s.Peak() != 150 {
+		t.Errorf("Peak = %d, want 150", s.Peak())
+	}
+	if s.Current() != 50 {
+		t.Errorf("Current = %d, want 50", s.Current())
+	}
+	if s.Count() != 1 || !s.Has("b") || s.Has("a") {
+		t.Error("file inventory wrong after delete")
+	}
+	curve := s.Curve()
+	if len(curve) != 4 { // origin + three changes
+		t.Errorf("curve has %d points, want 4", len(curve))
+	}
+}
+
+func TestStorageErrors(t *testing.T) {
+	s := NewStorage(false)
+	if err := s.Put(0, "a", -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := s.Put(0, "a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, "a", 10); err == nil {
+		t.Error("duplicate put accepted")
+	}
+	if err := s.Delete(2, "ghost"); err == nil {
+		t.Error("delete of absent file accepted")
+	}
+	if s.Curve() != nil {
+		t.Error("curve recorded despite recordCurve=false")
+	}
+}
+
+func TestStorageTimeMonotonicity(t *testing.T) {
+	s := NewStorage(false)
+	s.Put(10, "a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("time going backwards did not panic")
+		}
+	}()
+	s.Put(5, "b", 1)
+}
+
+// Property: byte-seconds equals the step-function integral recomputed
+// from the recorded curve, for any event sequence.
+func TestPropStorageIntegralMatchesCurve(t *testing.T) {
+	f := func(ops []struct {
+		Dt   uint8
+		Size uint16
+	}) bool {
+		s := NewStorage(true)
+		now := units.Duration(0)
+		n := 0
+		for _, op := range ops {
+			now += units.Duration(op.Dt)
+			name := string(rune('a' + n%26))
+			if s.Has(name) {
+				if err := s.Delete(now, name); err != nil {
+					return false
+				}
+			} else {
+				if err := s.Put(now, name, units.Bytes(op.Size)); err != nil {
+					return false
+				}
+			}
+			n++
+		}
+		end := now + 100
+		got := s.ByteSeconds(end)
+
+		// Recompute from the curve.
+		curve := s.Curve()
+		var want float64
+		for i := 1; i < len(curve); i++ {
+			want += float64(curve[i-1].Bytes) * (curve[i].Time - curve[i-1].Time).Seconds()
+		}
+		want += float64(curve[len(curve)-1].Bytes) * (end - curve[len(curve)-1].Time).Seconds()
+		return math.Abs(got-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkSerializesFIFO(t *testing.T) {
+	l, err := NewLink(units.Bandwidth(10)) // 10 B/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, e1, err := l.Reserve(0, 100, In) // 10 s transfer
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 0 || e1 != 10 {
+		t.Errorf("first transfer [%v,%v], want [0,10]", s1, e1)
+	}
+	// Requested at t=5 while busy: starts at 10.
+	s2, e2, err := l.Reserve(5, 50, Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != 10 || e2 != 15 {
+		t.Errorf("second transfer [%v,%v], want [10,15]", s2, e2)
+	}
+	// Requested after the link is free again: starts immediately.
+	s3, e3, err := l.Reserve(100, 10, In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != 100 || e3 != 101 {
+		t.Errorf("third transfer [%v,%v], want [100,101]", s3, e3)
+	}
+	if l.BytesIn() != 110 || l.BytesOut() != 50 {
+		t.Errorf("bytes in/out = %d/%d, want 110/50", l.BytesIn(), l.BytesOut())
+	}
+	if l.Transfers() != 3 {
+		t.Errorf("Transfers = %d, want 3", l.Transfers())
+	}
+	if l.BusyTime() != 16 {
+		t.Errorf("BusyTime = %v, want 16", l.BusyTime())
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	if _, err := NewLink(0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	l, _ := NewLink(units.Mbps(10))
+	if _, _, err := l.Reserve(0, -5, In); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, _, err := l.Reserve(0, 5, Direction(9)); err == nil {
+		t.Error("bogus direction accepted")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if In.String() != "in" || Out.String() != "out" {
+		t.Errorf("Direction strings = %q/%q", In.String(), Out.String())
+	}
+}
+
+// Property: link busy time equals total bytes divided by bandwidth.
+func TestPropLinkBusyTime(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		l, _ := NewLink(units.Bandwidth(1000))
+		var total float64
+		for i, sz := range sizes {
+			dir := In
+			if i%2 == 1 {
+				dir = Out
+			}
+			if _, _, err := l.Reserve(0, units.Bytes(sz), dir); err != nil {
+				return false
+			}
+			total += float64(sz)
+		}
+		want := total / 1000
+		return math.Abs(l.BusyTime().Seconds()-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterAccounting(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Acquire(0) {
+		t.Fatal("first acquire failed")
+	}
+	if !c.Acquire(0) {
+		t.Fatal("second acquire failed")
+	}
+	if c.Acquire(0) {
+		t.Fatal("third acquire on a 2-proc cluster succeeded")
+	}
+	if c.Busy() != 2 || c.Free() != 0 {
+		t.Errorf("busy/free = %d/%d, want 2/0", c.Busy(), c.Free())
+	}
+	if err := c.Release(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(20); err != nil {
+		t.Fatal(err)
+	}
+	// 2 procs busy on [0,10), 1 on [10,20): 2*10 + 1*10 = 30 proc-s.
+	if got := c.BusyProcSeconds(20); got != 30 {
+		t.Errorf("BusyProcSeconds = %v, want 30", got)
+	}
+	// Utilization over [0,20] with 2 procs: 30/40.
+	if got := c.Utilization(20); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Utilization = %v, want 0.75", got)
+	}
+	if c.PeakBusy() != 2 {
+		t.Errorf("PeakBusy = %d, want 2", c.PeakBusy())
+	}
+	if c.Acquires() != 2 {
+		t.Errorf("Acquires = %d, want 2", c.Acquires())
+	}
+	if err := c.Release(20); err == nil {
+		t.Error("release with nothing busy accepted")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Error("zero-processor cluster accepted")
+	}
+	c, _ := NewCluster(1)
+	if got := c.Utilization(0); got != 0 {
+		t.Errorf("Utilization(0) = %v, want 0", got)
+	}
+}
+
+// Property: utilization is always within [0, 1].
+func TestPropClusterUtilizationBounds(t *testing.T) {
+	f := func(events []bool, procs uint8) bool {
+		n := int(procs%8) + 1
+		c, _ := NewCluster(n)
+		now := units.Duration(0)
+		for _, acquire := range events {
+			now += 1
+			if acquire {
+				c.Acquire(now)
+			} else if c.Busy() > 0 {
+				if err := c.Release(now); err != nil {
+					return false
+				}
+			}
+		}
+		u := c.Utilization(now + 1)
+		return u >= 0 && u <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

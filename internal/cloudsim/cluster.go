@@ -1,0 +1,95 @@
+package cloudsim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Cluster is the provisioned compute resource: a fixed pool of identical
+// processors (the paper simulates "a single compute resource ... with the
+// number of processors greater than the maximum parallelism" for the
+// on-demand experiments, and 1..128 processors for the provisioned ones).
+//
+// Besides slot management it integrates busy-processor-seconds, which
+// gives CPU utilization and the on-demand CPU bill.
+type Cluster struct {
+	total int
+	busy  int
+
+	lastTime        units.Duration
+	busyProcSeconds float64
+	peakBusy        int
+	acquires        int
+}
+
+// NewCluster returns a cluster with n processors (n >= 1).
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cloudsim: cluster needs at least 1 processor, got %d", n)
+	}
+	return &Cluster{total: n}, nil
+}
+
+func (c *Cluster) advance(now units.Duration) {
+	if now < c.lastTime {
+		panic(fmt.Sprintf("cloudsim: cluster time went backwards: %v < %v", now, c.lastTime))
+	}
+	c.busyProcSeconds += float64(c.busy) * (now - c.lastTime).Seconds()
+	c.lastTime = now
+}
+
+// Acquire takes one free processor, reporting false when none is free.
+func (c *Cluster) Acquire(now units.Duration) bool {
+	if c.busy >= c.total {
+		return false
+	}
+	c.advance(now)
+	c.busy++
+	c.acquires++
+	if c.busy > c.peakBusy {
+		c.peakBusy = c.busy
+	}
+	return true
+}
+
+// Release returns one processor to the pool.
+func (c *Cluster) Release(now units.Duration) error {
+	if c.busy == 0 {
+		return fmt.Errorf("cloudsim: release with no processor busy")
+	}
+	c.advance(now)
+	c.busy--
+	return nil
+}
+
+// Total returns the processor count.
+func (c *Cluster) Total() int { return c.total }
+
+// Busy returns the processors currently in use.
+func (c *Cluster) Busy() int { return c.busy }
+
+// Free returns the processors currently idle.
+func (c *Cluster) Free() int { return c.total - c.busy }
+
+// PeakBusy returns the maximum concurrently busy processors observed.
+func (c *Cluster) PeakBusy() int { return c.peakBusy }
+
+// Acquires returns how many successful Acquire calls were made.
+func (c *Cluster) Acquires() int { return c.acquires }
+
+// BusyProcSeconds returns the integral of busy processors over time up
+// to now: the CPU-seconds actually consumed.
+func (c *Cluster) BusyProcSeconds(now units.Duration) float64 {
+	c.advance(now)
+	return c.busyProcSeconds
+}
+
+// Utilization returns BusyProcSeconds divided by total processor-seconds
+// over the window [0, now]; 0 when now is 0.
+func (c *Cluster) Utilization(now units.Duration) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return c.BusyProcSeconds(now) / (float64(c.total) * now.Seconds())
+}

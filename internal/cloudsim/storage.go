@@ -1,0 +1,117 @@
+// Package cloudsim models the cloud substrate of the paper's simulator:
+// a compute resource with a fixed number of processors, an S3-like shared
+// storage system with time-weighted usage accounting, and a fixed-
+// bandwidth link between the user and the cloud.
+//
+// The paper's custom GridSim modification was exactly this storage
+// accounting: "creating a curve that shows the amount of storage used at
+// the resource with the passage of time and then calculating the area
+// under the curve."  Storage reproduces that curve and its integral.
+package cloudsim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// UsagePoint is one step of the storage usage curve.
+type UsagePoint struct {
+	Time  units.Duration
+	Bytes units.Bytes
+}
+
+// Storage is a shared storage resource with infinite capacity and exact
+// byte-seconds accounting.  It is not safe for concurrent use; the
+// simulation kernel is single-threaded by design.
+type Storage struct {
+	files       map[string]units.Bytes
+	current     units.Bytes
+	peak        units.Bytes
+	lastTime    units.Duration
+	byteSeconds float64
+	recordCurve bool
+	curve       []UsagePoint
+}
+
+// NewStorage returns an empty storage system.  When recordCurve is true,
+// every change is appended to a usage curve retrievable via Curve (used
+// by tests and the report tooling; large simulations can leave it off).
+func NewStorage(recordCurve bool) *Storage {
+	s := &Storage{files: make(map[string]units.Bytes), recordCurve: recordCurve}
+	if recordCurve {
+		s.curve = append(s.curve, UsagePoint{0, 0})
+	}
+	return s
+}
+
+// advance accumulates the area under the usage curve up to now.
+func (s *Storage) advance(now units.Duration) {
+	if now < s.lastTime {
+		panic(fmt.Sprintf("cloudsim: storage time went backwards: %v < %v", now, s.lastTime))
+	}
+	s.byteSeconds += float64(s.current) * (now - s.lastTime).Seconds()
+	s.lastTime = now
+}
+
+// Put stores a file.  Storing a name that is already present is an error:
+// the execution engines never legitimately double-store.
+func (s *Storage) Put(now units.Duration, name string, size units.Bytes) error {
+	if size < 0 {
+		return fmt.Errorf("cloudsim: negative size %d for %q", size, name)
+	}
+	if _, dup := s.files[name]; dup {
+		return fmt.Errorf("cloudsim: file %q already stored", name)
+	}
+	s.advance(now)
+	s.files[name] = size
+	s.current += size
+	if s.current > s.peak {
+		s.peak = s.current
+	}
+	if s.recordCurve {
+		s.curve = append(s.curve, UsagePoint{now, s.current})
+	}
+	return nil
+}
+
+// Delete removes a file; deleting an absent file is an error.
+func (s *Storage) Delete(now units.Duration, name string) error {
+	size, ok := s.files[name]
+	if !ok {
+		return fmt.Errorf("cloudsim: delete of absent file %q", name)
+	}
+	s.advance(now)
+	delete(s.files, name)
+	s.current -= size
+	if s.recordCurve {
+		s.curve = append(s.curve, UsagePoint{now, s.current})
+	}
+	return nil
+}
+
+// Has reports whether the named file is currently stored.
+func (s *Storage) Has(name string) bool {
+	_, ok := s.files[name]
+	return ok
+}
+
+// Current returns the bytes stored right now.
+func (s *Storage) Current() units.Bytes { return s.current }
+
+// Peak returns the high-water mark of stored bytes.
+func (s *Storage) Peak() units.Bytes { return s.peak }
+
+// Count returns the number of stored files.
+func (s *Storage) Count() int { return len(s.files) }
+
+// ByteSeconds returns the area under the usage curve from time zero up
+// to now (inclusive of the span since the last change).
+func (s *Storage) ByteSeconds(now units.Duration) float64 {
+	s.advance(now)
+	return s.byteSeconds
+}
+
+// Curve returns the recorded usage curve (nil unless recording was
+// requested at construction).
+func (s *Storage) Curve() []UsagePoint { return s.curve }

@@ -1,0 +1,108 @@
+// Package cluster implements horizontal task clustering, the Pegasus
+// optimization the Montage project used in production to cut scheduling
+// overhead: tasks of the same type at the same workflow level are merged
+// into bundles that run as one schedulable unit.
+//
+// Under the paper's per-second cost normalization clustering is cost-
+// neutral (total CPU time is conserved), but it reduces the simulator's
+// scheduling granularity and, under real hourly billing or per-task
+// dispatch overheads, changes the bill -- which is what the clustering
+// ablation measures.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+// Horizontal merges same-type tasks at the same level into groups of up
+// to factor tasks, returning a new finalized workflow.  factor == 1
+// returns a plain copy.  File identities, sizes, external inputs and
+// outputs are preserved; a bundle's runtime is the sum of its members'
+// (the members run sequentially inside the bundle).
+func Horizontal(wf *dag.Workflow, factor int) (*dag.Workflow, error) {
+	if !wf.Finalized() {
+		return nil, fmt.Errorf("cluster: workflow %q not finalized", wf.Name)
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("cluster: factor %d below 1", factor)
+	}
+	out := dag.New(fmt.Sprintf("%s-cluster%d", wf.Name, factor))
+	for _, f := range wf.Files() {
+		if _, err := out.AddFile(f.Name, f.Size, f.Output); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+
+	// Group tasks by (level, type) in task-ID order, then chunk.
+	type groupKey struct {
+		level int
+		typ   string
+	}
+	groups := make(map[groupKey][]*dag.Task)
+	var keys []groupKey
+	for _, t := range wf.Tasks() {
+		k := groupKey{t.Level(), t.Type}
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].typ < keys[j].typ
+	})
+
+	for _, k := range keys {
+		members := groups[k]
+		for start := 0; start < len(members); start += factor {
+			end := start + factor
+			if end > len(members) {
+				end = len(members)
+			}
+			bundle := members[start:end]
+			if len(bundle) == 1 {
+				t := bundle[0]
+				if _, err := out.AddTask(t.Name, t.Type, t.Runtime, t.Inputs, t.Outputs); err != nil {
+					return nil, fmt.Errorf("cluster: %w", err)
+				}
+				continue
+			}
+			var (
+				runtime units.Duration
+				inputs  []string
+				outputs []string
+				inSeen  = map[string]bool{}
+				outSeen = map[string]bool{}
+			)
+			for _, t := range bundle {
+				runtime += t.Runtime
+				for _, in := range t.Inputs {
+					if !inSeen[in] {
+						inSeen[in] = true
+						inputs = append(inputs, in)
+					}
+				}
+				for _, o := range t.Outputs {
+					if !outSeen[o] {
+						outSeen[o] = true
+						outputs = append(outputs, o)
+					}
+				}
+			}
+			name := fmt.Sprintf("cluster-%s-l%d-%04d", k.typ, k.level, start/factor)
+			if _, err := out.AddTask(name, k.typ, runtime, inputs, outputs); err != nil {
+				return nil, fmt.Errorf("cluster: %w", err)
+			}
+		}
+	}
+	if err := out.Finalize(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/datamgmt"
+	"repro/internal/exec"
+	"repro/internal/montage"
+)
+
+func oneDeg(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestHorizontalFactorOneIsCopy(t *testing.T) {
+	w := oneDeg(t)
+	c, err := Horizontal(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTasks() != w.NumTasks() || c.NumFiles() != w.NumFiles() {
+		t.Fatalf("factor-1 clustering changed shape: %d/%d tasks", c.NumTasks(), w.NumTasks())
+	}
+	if c.TotalRuntime() != w.TotalRuntime() {
+		t.Error("factor-1 clustering changed total runtime")
+	}
+}
+
+func TestHorizontalMergesFanStages(t *testing.T) {
+	w := oneDeg(t)
+	c, err := Horizontal(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 45 mProject -> 6 bundles, 108 mDiffFit -> 14, 45 mBackground -> 6,
+	// plus the 5 serial tasks unchanged: 6+14+6+5 = 31.
+	if got := c.NumTasks(); got != 31 {
+		t.Errorf("clustered task count = %d, want 31", got)
+	}
+	// Conserved aggregates (up to float summation order).
+	if d := c.TotalRuntime() - w.TotalRuntime(); d > 1e-6 || d < -1e-6 {
+		t.Errorf("total runtime changed: %v vs %v", c.TotalRuntime(), w.TotalRuntime())
+	}
+	if c.TotalFileBytes() != w.TotalFileBytes() {
+		t.Error("total file bytes changed")
+	}
+	if c.InputBytes() != w.InputBytes() || c.OutputBytes() != w.OutputBytes() {
+		t.Error("external volumes changed")
+	}
+	// Structure: still a valid Montage-shaped DAG with 8 levels.
+	if c.MaxLevel() != w.MaxLevel() {
+		t.Errorf("levels changed: %d vs %d", c.MaxLevel(), w.MaxLevel())
+	}
+	// Parallelism shrinks by ~factor.
+	if got := c.MaxParallelism(); got != 14 {
+		t.Errorf("clustered parallelism = %d, want 14", got)
+	}
+}
+
+func TestHorizontalValidation(t *testing.T) {
+	w := oneDeg(t)
+	if _, err := Horizontal(w, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := Horizontal(dag.New("x"), 2); err == nil {
+		t.Error("unfinalized workflow accepted")
+	}
+}
+
+func TestClusteredRunEquivalence(t *testing.T) {
+	// Running the clustered workflow must preserve the paper's cost
+	// inputs: same CPU seconds, same transfers (regular mode).
+	w := oneDeg(t)
+	c, err := Horizontal(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := exec.Run(w, exec.Config{Mode: datamgmt.Regular, Processors: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := exec.Run(c, exec.Config{Mode: datamgmt.Regular, Processors: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := clustered.CPUSeconds - base.CPUSeconds; d > 1e-6 || d < -1e-6 {
+		t.Errorf("CPU seconds changed: %v vs %v", clustered.CPUSeconds, base.CPUSeconds)
+	}
+	if clustered.BytesIn != base.BytesIn || clustered.BytesOut != base.BytesOut {
+		t.Error("transfer volumes changed")
+	}
+	// Coarser units cannot finish sooner on the same pool.
+	if clustered.ExecTime < base.ExecTime-1e-9 {
+		t.Errorf("clustered run faster than unclustered: %v vs %v",
+			clustered.ExecTime, base.ExecTime)
+	}
+}
+
+// Property: clustering conserves runtime, bytes and validity on random
+// layered workflows, for any factor.
+func TestPropClusterConservation(t *testing.T) {
+	f := func(seed int64, factorRaw uint8) bool {
+		w := dagtest.RandomLayered(seed)
+		factor := int(factorRaw)%6 + 1
+		c, err := Horizontal(w, factor)
+		if err != nil {
+			return false
+		}
+		if d := c.TotalRuntime() - w.TotalRuntime(); d > 1e-6 || d < -1e-6 {
+			return false
+		}
+		if c.TotalFileBytes() != w.TotalFileBytes() {
+			return false
+		}
+		if c.InputBytes() != w.InputBytes() || c.OutputBytes() != w.OutputBytes() {
+			return false
+		}
+		if c.NumTasks() > w.NumTasks() {
+			return false
+		}
+		// The clustered workflow still executes to completion.
+		m, err := exec.Run(c, exec.Config{Mode: datamgmt.Cleanup, Processors: 2})
+		if err != nil {
+			return false
+		}
+		return m.TasksRun == c.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

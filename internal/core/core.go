@@ -1,0 +1,265 @@
+// Package core is the top of the library: it combines the workload
+// generator, the cloud simulator and the fee schedule into the
+// experiment API the paper's study is built from.
+//
+// A Plan says how a mosaic request runs (data-management mode, processor
+// pool, link bandwidth) and how it is billed (provisioned pool vs.
+// on-demand CPU, under a Pricing).  Run executes one workflow under one
+// plan; the sweep helpers reproduce the paper's parameter scans:
+//
+//	ProvisioningSweep  Question 1  (Figs. 4-6)
+//	CompareModes       Question 2a (Figs. 7-10)
+//	CCRSweep           Question 2a (Fig. 11)
+//
+// The archive-economics questions (2b and 3) build on these results in
+// package archive.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/exec"
+	"repro/internal/units"
+)
+
+// Billing selects how CPU time is charged.
+type Billing int
+
+const (
+	// Provisioned charges the whole processor pool for the whole
+	// provisioning window (the paper's Question 1).
+	Provisioned Billing = iota
+	// OnDemand charges only the CPU seconds tasks actually used (the
+	// paper's Question 2).
+	OnDemand
+)
+
+// String names the billing model.
+func (b Billing) String() string {
+	if b == OnDemand {
+		return "on-demand"
+	}
+	return "provisioned"
+}
+
+// Plan is a complete execution-and-billing plan for a request.
+type Plan struct {
+	// Mode is the data-management model (remote I/O, regular, cleanup).
+	Mode datamgmt.Mode
+	// Processors provisioned; 0 means enough for full parallelism.
+	Processors int
+	// Billing is the CPU charging model.
+	Billing Billing
+	// Bandwidth of the user<->cloud link; 0 means the paper's 10 Mbps.
+	Bandwidth units.Bandwidth
+	// Pricing is the fee schedule; the zero value means Amazon2008.
+	Pricing cost.Pricing
+	// RecordCurve retains the storage usage curve in the result.
+	RecordCurve bool
+	// VMStartup delays the run by a virtual-machine boot window that the
+	// provisioned pool pays for (a §8 extension; zero reproduces the
+	// paper).
+	VMStartup units.Duration
+	// Outages are storage-unavailability windows (a §8 extension).
+	Outages []exec.Outage
+	// Policy orders the ready queue when processors are scarce; the zero
+	// value (FIFO) matches the paper's setup.
+	Policy exec.Policy
+	// FailureProb retries tasks with this per-attempt probability,
+	// billing the burned CPU (a §8 extension; zero reproduces the
+	// paper).  FailureSeed makes the sampling deterministic.
+	FailureProb float64
+	FailureSeed int64
+}
+
+// DefaultPlan returns the paper's baseline setup: regular data
+// management, full parallelism, on-demand billing, 10 Mbps, Amazon 2008
+// rates.
+func DefaultPlan() Plan {
+	return Plan{
+		Mode:      datamgmt.Regular,
+		Billing:   OnDemand,
+		Bandwidth: units.Mbps(10),
+		Pricing:   cost.Amazon2008(),
+	}
+}
+
+// normalized fills zero-value defaults.
+func (p Plan) normalized() Plan {
+	if p.Bandwidth == 0 {
+		p.Bandwidth = units.Mbps(10)
+	}
+	if p.Pricing == (cost.Pricing{}) {
+		p.Pricing = cost.Amazon2008()
+	}
+	return p
+}
+
+// Validate rejects inconsistent plans.
+func (p Plan) Validate() error {
+	if p.Processors < 0 {
+		return fmt.Errorf("core: negative processor count %d", p.Processors)
+	}
+	if p.Bandwidth < 0 {
+		return fmt.Errorf("core: negative bandwidth %v", p.Bandwidth)
+	}
+	switch p.Billing {
+	case Provisioned, OnDemand:
+	default:
+		return fmt.Errorf("core: unknown billing model %d", p.Billing)
+	}
+	switch p.Mode {
+	case datamgmt.RemoteIO, datamgmt.Regular, datamgmt.Cleanup:
+	default:
+		return fmt.Errorf("core: unknown data-management mode %d", p.Mode)
+	}
+	return p.normalized().Pricing.Validate()
+}
+
+// Result pairs the measured metrics of a run with its billed cost.
+type Result struct {
+	Plan    Plan
+	Metrics exec.Metrics
+	Cost    cost.Breakdown
+}
+
+// Run executes wf under the plan and prices the outcome.
+func Run(wf *dag.Workflow, plan Plan) (Result, error) {
+	if err := plan.Validate(); err != nil {
+		return Result{}, err
+	}
+	p := plan.normalized()
+	m, err := exec.Run(wf, exec.Config{
+		Mode:        p.Mode,
+		Processors:  p.Processors,
+		Bandwidth:   p.Bandwidth,
+		RecordCurve: p.RecordCurve,
+		VMStartup:   p.VMStartup,
+		Outages:     p.Outages,
+		Policy:      p.Policy,
+		FailureProb: p.FailureProb,
+		FailureSeed: p.FailureSeed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var b cost.Breakdown
+	switch p.Billing {
+	case Provisioned:
+		b = p.Pricing.Provisioned(m)
+	case OnDemand:
+		b = p.Pricing.OnDemand(m)
+	}
+	return Result{Plan: p, Metrics: m, Cost: b}, nil
+}
+
+// SweepPoint is one row of a provisioning sweep: the run at one pool
+// size, plus the storage cost the same run would have had with dynamic
+// cleanup (Figs. 4-6 plot both storage series).
+type SweepPoint struct {
+	Processors         int
+	Result             Result
+	StorageCostCleanup units.Money
+}
+
+// ProvisioningSweep reproduces Question 1: run wf on each pool size with
+// provisioned billing, reporting cost components and execution time.
+// The plan's Mode is forced to Regular (the sweep reports cleanup
+// storage alongside, as the paper's figures do).
+func ProvisioningSweep(wf *dag.Workflow, processors []int, plan Plan) ([]SweepPoint, error) {
+	if len(processors) == 0 {
+		return nil, fmt.Errorf("core: empty processor list")
+	}
+	points := make([]SweepPoint, 0, len(processors))
+	for _, n := range processors {
+		if n <= 0 {
+			return nil, fmt.Errorf("core: invalid processor count %d in sweep", n)
+		}
+		p := plan.normalized()
+		p.Mode = datamgmt.Regular
+		p.Processors = n
+		p.Billing = Provisioned
+		res, err := Run(wf, p)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at %d processors: %w", n, err)
+		}
+		pc := p
+		pc.Mode = datamgmt.Cleanup
+		resC, err := Run(wf, pc)
+		if err != nil {
+			return nil, fmt.Errorf("core: cleanup run at %d processors: %w", n, err)
+		}
+		points = append(points, SweepPoint{
+			Processors:         n,
+			Result:             res,
+			StorageCostCleanup: resC.Cost.Storage,
+		})
+	}
+	return points, nil
+}
+
+// GeometricProcessors returns the paper's pool sizes: 1,2,4,...,128.
+func GeometricProcessors() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
+
+// CompareModes reproduces Question 2a: run wf once per data-management
+// mode with on-demand billing and full parallelism.
+func CompareModes(wf *dag.Workflow, plan Plan) (map[datamgmt.Mode]Result, error) {
+	out := make(map[datamgmt.Mode]Result, 3)
+	for _, mode := range datamgmt.Modes() {
+		p := plan.normalized()
+		p.Mode = mode
+		p.Billing = OnDemand
+		p.Processors = 0
+		res, err := Run(wf, p)
+		if err != nil {
+			return nil, fmt.Errorf("core: mode %v: %w", mode, err)
+		}
+		out[mode] = res
+	}
+	return out, nil
+}
+
+// CCRPoint is one row of a CCR sensitivity sweep.
+type CCRPoint struct {
+	CCR                float64
+	Result             Result
+	StorageCostCleanup units.Money
+}
+
+// CCRSweep reproduces Fig. 11: rescale wf's file sizes to each target
+// CCR (at the plan's bandwidth) and run under the plan.  The paper uses
+// the 1-degree workflow on 8 provisioned processors.
+func CCRSweep(wf *dag.Workflow, ccrs []float64, plan Plan) ([]CCRPoint, error) {
+	if len(ccrs) == 0 {
+		return nil, fmt.Errorf("core: empty CCR list")
+	}
+	p := plan.normalized()
+	points := make([]CCRPoint, 0, len(ccrs))
+	for _, ccr := range ccrs {
+		scaled, err := wf.RescaleCCR(ccr, p.Bandwidth)
+		if err != nil {
+			return nil, fmt.Errorf("core: ccr %v: %w", ccr, err)
+		}
+		pr := p
+		pr.Mode = datamgmt.Regular
+		res, err := Run(scaled, pr)
+		if err != nil {
+			return nil, fmt.Errorf("core: ccr %v: %w", ccr, err)
+		}
+		pc := p
+		pc.Mode = datamgmt.Cleanup
+		resC, err := Run(scaled, pc)
+		if err != nil {
+			return nil, fmt.Errorf("core: ccr %v cleanup: %w", ccr, err)
+		}
+		points = append(points, CCRPoint{
+			CCR:                ccr,
+			Result:             res,
+			StorageCostCleanup: resC.Cost.Storage,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+)
+
+func TestDefaultPlanValid(t *testing.T) {
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Fatalf("DefaultPlan invalid: %v", err)
+	}
+	if DefaultPlan().Pricing != cost.Amazon2008() {
+		t.Error("default pricing is not Amazon 2008")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"negative procs", Plan{Processors: -1}},
+		{"negative bandwidth", Plan{Bandwidth: -5}},
+		{"bad billing", Plan{Billing: Billing(7)}},
+		{"bad mode", Plan{Mode: datamgmt.Mode(7)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); err == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+	if Provisioned.String() != "provisioned" || OnDemand.String() != "on-demand" {
+		t.Error("billing names wrong")
+	}
+}
+
+func TestRunOneDegreeOnDemandAnchor(t *testing.T) {
+	// Fig. 10 anchor: the 1-degree CPU cost is $0.56 on demand.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Cost.CPU)-0.56) > 1e-6 {
+		t.Errorf("CPU cost = %v, want $0.56", res.Cost.CPU)
+	}
+	// Total = CPU + DM; DM small but positive.
+	if res.Cost.DataManagement() <= 0 {
+		t.Error("data-management cost should be positive")
+	}
+	if res.Cost.Total() <= res.Cost.CPU {
+		t.Error("total should exceed CPU cost")
+	}
+}
+
+func TestRunProvisionedOneProcAnchor(t *testing.T) {
+	// Fig. 4 anchor: 1 processor costs ~$0.60 total, ~5.5 h.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultPlan()
+	plan.Billing = Provisioned
+	plan.Processors = 1
+	res, err := Run(w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(res.Cost.Total())
+	if total < 0.55 || total > 0.70 {
+		t.Errorf("1-proc total = $%.4f, want ~$0.60", total)
+	}
+	if h := res.Metrics.ExecTime.Hours(); h < 5.0 || h > 6.2 {
+		t.Errorf("1-proc time = %.2f h, want ~5.5 h", h)
+	}
+}
+
+func TestProvisioningSweepShape(t *testing.T) {
+	// Fig. 4's qualitative shape: total cost increases with processors,
+	// execution time decreases, transfer costs are flat, and cleanup
+	// storage is cheaper than regular storage.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := ProvisioningSweep(w, GeometricProcessors(), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("got %d points, want 8", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		prev, cur := points[i-1], points[i]
+		if cur.Result.Cost.CPU < prev.Result.Cost.CPU {
+			t.Errorf("CPU cost decreased from %d to %d procs", prev.Processors, cur.Processors)
+		}
+		if cur.Result.Metrics.ExecTime > prev.Result.Metrics.ExecTime {
+			t.Errorf("exec time increased from %d to %d procs", prev.Processors, cur.Processors)
+		}
+		if cur.Result.Cost.Transfer() != prev.Result.Cost.Transfer() {
+			t.Errorf("transfer cost not flat across the sweep")
+		}
+		// Storage cost declines with more processors (shorter residency).
+		if cur.Result.Cost.Storage > prev.Result.Cost.Storage+1e-12 {
+			t.Errorf("storage cost increased from %d to %d procs", prev.Processors, cur.Processors)
+		}
+	}
+	for _, pt := range points {
+		if pt.StorageCostCleanup > pt.Result.Cost.Storage+1e-15 {
+			t.Errorf("%d procs: cleanup storage %v exceeds regular %v",
+				pt.Processors, pt.StorageCostCleanup, pt.Result.Cost.Storage)
+		}
+	}
+	// Total cost at 128 procs must exceed the 1-proc total by a lot
+	// (paper: $0.60 vs almost $4).
+	first, last := points[0], points[len(points)-1]
+	if ratio := float64(last.Result.Cost.Total() / first.Result.Cost.Total()); ratio < 3 {
+		t.Errorf("128-proc/1-proc cost ratio = %.2f, want >= 3 (paper ~6.5)", ratio)
+	}
+}
+
+func TestProvisioningSweepValidation(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProvisioningSweep(w, nil, DefaultPlan()); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := ProvisioningSweep(w, []int{0}, DefaultPlan()); err == nil {
+		t.Error("zero processor count accepted")
+	}
+}
+
+func TestCompareModesCostOrdering(t *testing.T) {
+	// Fig. 7 bottom: remote I/O has the highest total cost, cleanup the
+	// least of the three.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompareModes(w, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem := res[datamgmt.RemoteIO].Cost
+	reg := res[datamgmt.Regular].Cost
+	cln := res[datamgmt.Cleanup].Cost
+	if !(rem.Total() > reg.Total()) {
+		t.Errorf("remote total %v not > regular %v", rem.Total(), reg.Total())
+	}
+	if !(cln.Total() < reg.Total()) {
+		t.Errorf("cleanup total %v not < regular %v", cln.Total(), reg.Total())
+	}
+	// CPU invariant across modes (Fig. 10).
+	if rem.CPU != reg.CPU || reg.CPU != cln.CPU {
+		t.Error("CPU cost varies across modes")
+	}
+}
+
+func TestCCRSweepShape(t *testing.T) {
+	// Fig. 11: all cost components and the execution time increase with
+	// CCR.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultPlan()
+	plan.Processors = 8
+	plan.Billing = Provisioned
+	ccrs := []float64{0.053, 0.106, 0.212, 0.424}
+	points, err := CCRSweep(w, ccrs, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		prev, cur := points[i-1], points[i]
+		if cur.Result.Cost.Storage <= prev.Result.Cost.Storage {
+			t.Errorf("storage cost not increasing at CCR %v", cur.CCR)
+		}
+		if cur.Result.Cost.Transfer() <= prev.Result.Cost.Transfer() {
+			t.Errorf("transfer cost not increasing at CCR %v", cur.CCR)
+		}
+		if cur.Result.Metrics.ExecTime < prev.Result.Metrics.ExecTime {
+			t.Errorf("exec time decreased at CCR %v", cur.CCR)
+		}
+		if cur.Result.Cost.Total() <= prev.Result.Cost.Total() {
+			t.Errorf("total cost not increasing at CCR %v", cur.CCR)
+		}
+		if cur.StorageCostCleanup <= prev.StorageCostCleanup {
+			t.Errorf("cleanup storage cost not increasing at CCR %v", cur.CCR)
+		}
+	}
+	if _, err := CCRSweep(w, nil, plan); err == nil {
+		t.Error("empty CCR list accepted")
+	}
+	if _, err := CCRSweep(w, []float64{-1}, plan); err == nil {
+		t.Error("negative CCR accepted")
+	}
+}
+
+func TestProvisionedBeatsOnDemandAnchor4Deg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4-degree run is slow")
+	}
+	// §6: 4-degree on 128 provisioned processors costs $13.92 vs $8.89
+	// when charged only for used resources.
+	w, err := montage.Generate(montage.FourDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultPlan()
+	plan.Billing = Provisioned
+	plan.Processors = 128
+	prov, err := Run(w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := Run(w, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, ot := float64(prov.Cost.Total()), float64(od.Cost.Total())
+	if !(pt > ot) {
+		t.Errorf("provisioned %v not > on-demand %v", pt, ot)
+	}
+	// Paper: $13.92 vs $8.89 (ratio 1.57); accept a broad band.
+	if pt < 11 || pt > 18 {
+		t.Errorf("provisioned 128-proc total = $%.2f, want ~$14", pt)
+	}
+	if ot < 8 || ot > 10.5 {
+		t.Errorf("on-demand total = $%.2f, want ~$8.9", ot)
+	}
+}

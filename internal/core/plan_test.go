@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datamgmt"
+	"repro/internal/exec"
+	"repro/internal/montage"
+)
+
+func TestRunRejectsBadExtensions(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultPlan()
+	bad.VMStartup = -1
+	if _, err := Run(w, bad); err == nil {
+		t.Error("negative VM startup accepted")
+	}
+	bad = DefaultPlan()
+	bad.Outages = []exec.Outage{{Start: 10, End: 5}}
+	if _, err := Run(w, bad); err == nil {
+		t.Error("inverted outage accepted")
+	}
+	bad = DefaultPlan()
+	bad.FailureProb = 1.5
+	if _, err := Run(w, bad); err == nil {
+		t.Error("failure probability above 1 accepted")
+	}
+}
+
+func TestRunWithAllExtensionsTogether(t *testing.T) {
+	// The §8 extensions compose: boot delay + an outage + failures +
+	// LPT scheduling in one plan.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultPlan()
+	plan.Billing = Provisioned
+	plan.Processors = 16
+	plan.VMStartup = 120
+	plan.Outages = []exec.Outage{{Start: 600, End: 900}}
+	plan.FailureProb = 0.05
+	plan.FailureSeed = 9
+	plan.Policy = exec.LongestFirst
+	plan.Mode = datamgmt.Cleanup
+	res, err := Run(w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TasksRun != w.NumTasks() {
+		t.Errorf("tasks = %d, want %d", res.Metrics.TasksRun, w.NumTasks())
+	}
+	base, err := Run(w, func() Plan {
+		p := DefaultPlan()
+		p.Billing = Provisioned
+		p.Processors = 16
+		p.Mode = datamgmt.Cleanup
+		return p
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boot + outage + retries all push time and cost up.
+	if res.Metrics.ExecTime <= base.Metrics.ExecTime {
+		t.Error("extensions did not lengthen the run")
+	}
+	if res.Cost.Total() <= base.Cost.Total() {
+		t.Error("extensions did not raise the cost")
+	}
+	if res.Metrics.Retries == 0 {
+		t.Error("no retries at 5% failure rate")
+	}
+}

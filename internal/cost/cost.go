@@ -1,0 +1,156 @@
+// Package cost turns measured run metrics into dollar costs under a
+// cloud fee schedule.  The rates and normalization follow §3 of the
+// paper exactly:
+//
+//	$0.15 per GB-month  storage
+//	$0.10 per GB        transfer into the cloud
+//	$0.16 per GB        transfer out of the cloud
+//	$0.10 per CPU-hour  compute
+//
+// "Even though ... some of the quantities span over hours and months, in
+// our experiments we normalized the costs on a per second basis."  That
+// per-second/per-byte normalization is the default Granularity; the
+// PerHour granularity (what Amazon actually billed: whole instance-hours)
+// is provided for the ablation benchmarks.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exec"
+	"repro/internal/units"
+)
+
+// Granularity selects how CPU time is rounded for billing.
+type Granularity int
+
+const (
+	// PerSecond bills CPU at per-second granularity (the paper's
+	// normalization).
+	PerSecond Granularity = iota
+	// PerHour bills each processor in whole hours, rounded up, as the
+	// real 2008 EC2 did.
+	PerHour
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	if g == PerHour {
+		return "per-hour"
+	}
+	return "per-second"
+}
+
+// Pricing is a cloud fee schedule.
+type Pricing struct {
+	StoragePerGBMonth units.Money
+	TransferInPerGB   units.Money
+	TransferOutPerGB  units.Money
+	CPUPerHour        units.Money
+	Granularity       Granularity
+}
+
+// Amazon2008 returns the fee schedule the paper used.
+func Amazon2008() Pricing {
+	return Pricing{
+		StoragePerGBMonth: 0.15,
+		TransferInPerGB:   0.10,
+		TransferOutPerGB:  0.16,
+		CPUPerHour:        0.10,
+	}
+}
+
+// Validate rejects negative rates.
+func (p Pricing) Validate() error {
+	if p.StoragePerGBMonth < 0 || p.TransferInPerGB < 0 || p.TransferOutPerGB < 0 || p.CPUPerHour < 0 {
+		return fmt.Errorf("cost: negative rate in %+v", p)
+	}
+	return nil
+}
+
+// Breakdown is one run's cost split the way the paper's figures split it.
+type Breakdown struct {
+	CPU         units.Money
+	Storage     units.Money
+	TransferIn  units.Money
+	TransferOut units.Money
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() units.Money {
+	return b.CPU + b.Storage + b.TransferIn + b.TransferOut
+}
+
+// Transfer returns the combined transfer cost.
+func (b Breakdown) Transfer() units.Money { return b.TransferIn + b.TransferOut }
+
+// DataManagement returns storage plus transfer: the "DM" aggregate of
+// Fig. 10.
+func (b Breakdown) DataManagement() units.Money { return b.Storage + b.Transfer() }
+
+// String renders the breakdown compactly.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("cpu=%v storage=%v in=%v out=%v total=%v",
+		b.CPU, b.Storage, b.TransferIn, b.TransferOut, b.Total())
+}
+
+// StorageCost prices a byte-seconds integral.
+func (p Pricing) StorageCost(byteSeconds float64) units.Money {
+	return units.Money(units.GBMonths(byteSeconds)) * p.StoragePerGBMonth
+}
+
+// MonthlyStorage prices holding the given volume for one month, e.g. the
+// paper's 12 TB 2MASS archive at $1,800/month.
+func (p Pricing) MonthlyStorage(b units.Bytes) units.Money {
+	return units.Money(b.GB()) * p.StoragePerGBMonth
+}
+
+// TransferInCost prices data moved into the cloud.
+func (p Pricing) TransferInCost(b units.Bytes) units.Money {
+	return units.Money(b.GB()) * p.TransferInPerGB
+}
+
+// TransferOutCost prices data moved out of the cloud.
+func (p Pricing) TransferOutCost(b units.Bytes) units.Money {
+	return units.Money(b.GB()) * p.TransferOutPerGB
+}
+
+// CPUCost prices cpuSeconds of compute at per-second granularity.
+func (p Pricing) CPUCost(cpuSeconds float64) units.Money {
+	return units.Money(cpuSeconds/units.SecondsPerHour) * p.CPUPerHour
+}
+
+// ProvisionedCPUCost prices holding procs processors for the given
+// window, honoring the billing granularity.
+func (p Pricing) ProvisionedCPUCost(procs int, window units.Duration) units.Money {
+	hours := window.Hours()
+	if p.Granularity == PerHour {
+		hours = math.Ceil(hours)
+	}
+	return units.Money(float64(procs)*hours) * p.CPUPerHour
+}
+
+// Provisioned prices a run under the paper's Question-1 plan: the
+// processor pool is charged for the whole provisioning window (input
+// staging plus execution), whether busy or idle.
+func (p Pricing) Provisioned(m exec.Metrics) Breakdown {
+	return Breakdown{
+		CPU:         p.ProvisionedCPUCost(m.Processors, m.ExecTime),
+		Storage:     p.StorageCost(m.StorageByteSeconds),
+		TransferIn:  p.TransferInCost(m.BytesIn),
+		TransferOut: p.TransferOutCost(m.BytesOut),
+	}
+}
+
+// OnDemand prices a run under the paper's Question-2 plan: CPU is charged
+// only for the seconds tasks actually computed ("the processor time is
+// used only as much as needed").
+func (p Pricing) OnDemand(m exec.Metrics) Breakdown {
+	return Breakdown{
+		CPU:         p.CPUCost(m.CPUSeconds),
+		Storage:     p.StorageCost(m.StorageByteSeconds),
+		TransferIn:  p.TransferInCost(m.BytesIn),
+		TransferOut: p.TransferOutCost(m.BytesOut),
+	}
+}

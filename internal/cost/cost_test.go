@@ -1,0 +1,187 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/units"
+)
+
+func almost(a, b units.Money) bool {
+	return math.Abs(float64(a-b)) <= 1e-9*math.Max(1, math.Abs(float64(b)))
+}
+
+func TestAmazon2008Rates(t *testing.T) {
+	p := Amazon2008()
+	if p.StoragePerGBMonth != 0.15 || p.TransferInPerGB != 0.10 ||
+		p.TransferOutPerGB != 0.16 || p.CPUPerHour != 0.10 {
+		t.Fatalf("rates do not match the paper: %+v", p)
+	}
+	if p.Granularity != PerSecond {
+		t.Error("default granularity should be per-second")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	p := Amazon2008()
+	p.CPUPerHour = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestMonthlyStorageArchiveAnchor(t *testing.T) {
+	// §6 Q2b: the 12 TB 2MASS archive costs 12,000 x $0.15 = $1,800/month.
+	p := Amazon2008()
+	got := p.MonthlyStorage(units.Bytes(12 * units.TB))
+	if !almost(got, 1800) {
+		t.Errorf("12 TB monthly storage = %v, want $1800", got)
+	}
+}
+
+func TestCPUCostAnchors(t *testing.T) {
+	// Fig. 10: 5.6 / 20.3 / 84 CPU-hours cost $0.56 / $2.03 / $8.40.
+	p := Amazon2008()
+	for _, tc := range []struct {
+		hours float64
+		want  units.Money
+	}{{5.6, 0.56}, {20.3, 2.03}, {84, 8.40}} {
+		got := p.CPUCost(tc.hours * units.SecondsPerHour)
+		if !almost(got, tc.want) {
+			t.Errorf("CPUCost(%v h) = %v, want %v", tc.hours, got, tc.want)
+		}
+	}
+}
+
+func TestTransferCosts(t *testing.T) {
+	p := Amazon2008()
+	// §6 Q2b: uploading the 12 TB archive costs $1,200 at $0.1/GB.
+	if got := p.TransferInCost(units.Bytes(12 * units.TB)); !almost(got, 1200) {
+		t.Errorf("12 TB transfer in = %v, want $1200", got)
+	}
+	// 2.229 GB mosaic out at $0.16/GB = $0.35664.
+	if got := p.TransferOutCost(units.Bytes(2.229 * units.GB)); !almost(got, 0.35664) {
+		t.Errorf("mosaic transfer out = %v, want $0.35664", got)
+	}
+}
+
+func TestStorageCost(t *testing.T) {
+	p := Amazon2008()
+	// 1 GB for one 30-day month = $0.15.
+	bs := units.GB * units.SecondsPerMonth
+	if got := p.StorageCost(bs); !almost(got, 0.15) {
+		t.Errorf("1 GB-month = %v, want $0.15", got)
+	}
+}
+
+func TestProvisionedCPUGranularity(t *testing.T) {
+	p := Amazon2008()
+	window := units.Duration(1.5 * units.SecondsPerHour)
+	// Per-second: 8 procs x 1.5 h x $0.1 = $1.20.
+	if got := p.ProvisionedCPUCost(8, window); !almost(got, 1.2) {
+		t.Errorf("per-second provisioned = %v, want $1.20", got)
+	}
+	// Per-hour rounds 1.5 h up to 2 h: 8 x 2 x $0.1 = $1.60.
+	p.Granularity = PerHour
+	if got := p.ProvisionedCPUCost(8, window); !almost(got, 1.6) {
+		t.Errorf("per-hour provisioned = %v, want $1.60", got)
+	}
+	if PerHour.String() != "per-hour" || PerSecond.String() != "per-second" {
+		t.Error("granularity names wrong")
+	}
+}
+
+func TestBreakdownAggregates(t *testing.T) {
+	b := Breakdown{CPU: 1, Storage: 0.5, TransferIn: 0.25, TransferOut: 0.125}
+	if !almost(b.Total(), 1.875) {
+		t.Errorf("Total = %v, want 1.875", b.Total())
+	}
+	if !almost(b.Transfer(), 0.375) {
+		t.Errorf("Transfer = %v, want 0.375", b.Transfer())
+	}
+	if !almost(b.DataManagement(), 0.875) {
+		t.Errorf("DataManagement = %v, want 0.875", b.DataManagement())
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func metricsFixture() exec.Metrics {
+	return exec.Metrics{
+		Processors:         16,
+		ExecTime:           units.Duration(2 * units.SecondsPerHour),
+		BytesIn:            units.Bytes(1 * units.GB),
+		BytesOut:           units.Bytes(2 * units.GB),
+		StorageByteSeconds: units.GB * units.SecondsPerMonth, // 1 GB-month
+		CPUSeconds:         10 * units.SecondsPerHour,
+	}
+}
+
+func TestProvisionedVsOnDemand(t *testing.T) {
+	p := Amazon2008()
+	m := metricsFixture()
+	prov := p.Provisioned(m)
+	// CPU: 16 procs x 2 h x $0.1 = $3.20.
+	if !almost(prov.CPU, 3.2) {
+		t.Errorf("provisioned CPU = %v, want $3.20", prov.CPU)
+	}
+	od := p.OnDemand(m)
+	// CPU: 10 CPU-h x $0.1 = $1.00.
+	if !almost(od.CPU, 1.0) {
+		t.Errorf("on-demand CPU = %v, want $1.00", od.CPU)
+	}
+	// Non-CPU components identical under both plans.
+	if od.Storage != prov.Storage || od.TransferIn != prov.TransferIn || od.TransferOut != prov.TransferOut {
+		t.Error("non-CPU components differ between plans")
+	}
+	if !almost(prov.Storage, 0.15) {
+		t.Errorf("storage = %v, want $0.15", prov.Storage)
+	}
+	if !almost(prov.TransferIn, 0.10) {
+		t.Errorf("transfer in = %v, want $0.10", prov.TransferIn)
+	}
+	if !almost(prov.TransferOut, 0.32) {
+		t.Errorf("transfer out = %v, want $0.32", prov.TransferOut)
+	}
+}
+
+// Property: on-demand CPU cost never exceeds the provisioned cost for
+// the same run (utilization <= 1), at per-second granularity.
+func TestPropOnDemandLEProvisioned(t *testing.T) {
+	p := Amazon2008()
+	f := func(procs uint8, execMin uint16, busyFrac uint8) bool {
+		n := int(procs%128) + 1
+		window := units.Duration(execMin) * 60
+		frac := float64(busyFrac%101) / 100
+		m := exec.Metrics{
+			Processors: n,
+			ExecTime:   window,
+			CPUSeconds: frac * float64(n) * window.Seconds(),
+		}
+		return p.OnDemand(m).CPU <= p.Provisioned(m).CPU+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-hour granularity never bills less than per-second.
+func TestPropHourlyAtLeastPerSecond(t *testing.T) {
+	ps := Amazon2008()
+	ph := Amazon2008()
+	ph.Granularity = PerHour
+	f := func(procs uint8, secs uint32) bool {
+		n := int(procs%64) + 1
+		w := units.Duration(secs % 1000000)
+		return ph.ProvisionedCPUCost(n, w) >= ps.ProvisionedCPUCost(n, w)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

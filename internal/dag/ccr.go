@@ -1,0 +1,43 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// CCR returns the workflow's communication-to-computation ratio as
+// defined in the paper:
+//
+//	CCR = ( sum of file sizes / B ) / ( sum of task runtimes )
+//
+// where B is a reference bandwidth in bytes per second.  The paper uses
+// B = 10 Mbps and reports 0.053 / 0.053 / 0.045 for the 1/2/4-degree
+// Montage workflows.
+func (w *Workflow) CCR(b units.Bandwidth) float64 {
+	runtime := w.TotalRuntime().Seconds()
+	if runtime <= 0 || b <= 0 {
+		return 0
+	}
+	return float64(w.TotalFileBytes()) / b.BytesPerSecond() / runtime
+}
+
+// RescaleCCR returns a deep copy of the workflow whose file sizes have
+// been multiplied by desired/current so that the copy's CCR equals the
+// desired value at bandwidth b.  This is exactly the paper's procedure
+// for the Fig. 11 sensitivity sweep.
+func (w *Workflow) RescaleCCR(desired float64, b units.Bandwidth) (*Workflow, error) {
+	if desired <= 0 {
+		return nil, fmt.Errorf("dag: non-positive target CCR %v", desired)
+	}
+	cur := w.CCR(b)
+	if cur <= 0 {
+		return nil, fmt.Errorf("dag: workflow %q has non-positive CCR", w.Name)
+	}
+	c := w.Clone()
+	if err := c.ScaleFileSizes(desired / cur); err != nil {
+		return nil, err
+	}
+	c.Name = fmt.Sprintf("%s-ccr%.3g", w.Name, desired)
+	return c, nil
+}

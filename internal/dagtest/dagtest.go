@@ -1,0 +1,82 @@
+// Package dagtest generates random layered workflows for property-based
+// tests.  The family matches Montage's shape -- levels of independent
+// tasks consuming files from earlier levels -- so invariants exercised
+// here transfer to the real workload.
+package dagtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+// RandomLayered builds a random layered DAG from a seed.  Level 1 reads
+// external inputs; each later task consumes 1-3 files from the previous
+// level; terminal files become workflow outputs.  The result is
+// finalized and panics on generator bugs (callers treat it as trusted
+// input).
+func RandomLayered(seed int64) *dag.Workflow {
+	rng := rand.New(rand.NewSource(seed))
+	w := dag.New(fmt.Sprintf("rand-%d", seed))
+	levels := 2 + rng.Intn(4)
+	var prev []string
+
+	nIn := 1 + rng.Intn(5)
+	for i := 0; i < nIn; i++ {
+		name := fmt.Sprintf("in-%d", i)
+		mustAddFile(w, name, units.Bytes(1+rng.Intn(100000)), false)
+		prev = append(prev, name)
+	}
+
+	taskN := 0
+	for lv := 1; lv <= levels; lv++ {
+		width := 1 + rng.Intn(5)
+		last := lv == levels
+		var outs []string
+		for i := 0; i < width; i++ {
+			// Deal the previous level's files round-robin so every file
+			// is consumed at least once (real workflows have no unused
+			// inputs), then add random extras.
+			inputSet := map[string]bool{}
+			for j := i; j < len(prev); j += width {
+				inputSet[prev[j]] = true
+			}
+			for extras := rng.Intn(3); extras > 0; extras-- {
+				inputSet[prev[rng.Intn(len(prev))]] = true
+			}
+			inputs := make([]string, 0, len(inputSet))
+			for _, name := range prev { // deterministic order
+				if inputSet[name] {
+					inputs = append(inputs, name)
+				}
+			}
+			out := fmt.Sprintf("f-%d-%d", lv, i)
+			mustAddFile(w, out, units.Bytes(1+rng.Intn(100000)), last)
+			if _, err := w.AddTask(fmt.Sprintf("t-%d", taskN), "r",
+				units.Duration(1+rng.Intn(300)), inputs, []string{out}); err != nil {
+				panic(err)
+			}
+			outs = append(outs, out)
+			taskN++
+		}
+		prev = outs
+	}
+	// Produced-but-unconsumed files must be outputs or Finalize rejects.
+	for _, f := range w.Files() {
+		if !f.External() && len(f.Consumers()) == 0 {
+			f.Output = true
+		}
+	}
+	if err := w.Finalize(); err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func mustAddFile(w *dag.Workflow, name string, size units.Bytes, output bool) {
+	if _, err := w.AddFile(name, size, output); err != nil {
+		panic(err)
+	}
+}

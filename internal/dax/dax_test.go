@@ -1,0 +1,127 @@
+package dax
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+func sample(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w := dag.New("sample")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := w.AddFile("raw.fits", units.Bytes(6e6), false)
+	must(err)
+	_, err = w.AddFile("proj.fits", units.Bytes(11e6), false)
+	must(err)
+	_, err = w.AddFile("mosaic.fits", units.Bytes(173.46e6), true)
+	must(err)
+	_, err = w.AddTask("mProject-0", "mProject", 271.5, []string{"raw.fits"}, []string{"proj.fits"})
+	must(err)
+	_, err = w.AddTask("mAdd-0", "mAdd", 542.25, []string{"proj.fits"}, []string{"mosaic.fits"})
+	must(err)
+	must(w.Finalize())
+	return w
+}
+
+func TestRoundTrip(t *testing.T) {
+	w := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != w.Name {
+		t.Errorf("name = %q, want %q", got.Name, w.Name)
+	}
+	if got.NumTasks() != w.NumTasks() || got.NumFiles() != w.NumFiles() {
+		t.Fatalf("shape mismatch: %d/%d tasks, %d/%d files",
+			got.NumTasks(), w.NumTasks(), got.NumFiles(), w.NumFiles())
+	}
+	if got.TotalRuntime() != w.TotalRuntime() {
+		t.Errorf("TotalRuntime = %v, want %v", got.TotalRuntime(), w.TotalRuntime())
+	}
+	if got.TotalFileBytes() != w.TotalFileBytes() {
+		t.Errorf("TotalFileBytes = %v, want %v", got.TotalFileBytes(), w.TotalFileBytes())
+	}
+	if got.File("mosaic.fits") == nil || !got.File("mosaic.fits").Output {
+		t.Error("output flag lost in round trip")
+	}
+	if got.Task(1).Type != "mAdd" {
+		t.Errorf("task type = %q, want mAdd", got.Task(1).Type)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	w := sample(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, w); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two Write calls produced different documents")
+	}
+	if !strings.Contains(a.String(), `<adag name="sample">`) {
+		t.Errorf("missing adag element in:\n%s", a.String())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, doc string
+	}{
+		{"garbage", "not xml at all"},
+		{"missing name", `<adag><file name="f" size="1"/></adag>`},
+		{"bad link", `<adag name="x"><file name="f" size="1" output="true"/>` +
+			`<job id="1" name="t" type="r" runtime="1"><uses file="f" link="sideways"/></job></adag>`},
+		{"unknown file", `<adag name="x">` +
+			`<job id="1" name="t" type="r" runtime="1"><uses file="ghost" link="input"/></job></adag>`},
+		{"cycle", `<adag name="x"><file name="a" size="1"/><file name="b" size="1" output="true"/>` +
+			`<job id="1" name="t1" type="r" runtime="1"><uses file="b" link="input"/><uses file="a" link="output"/></job>` +
+			`<job id="2" name="t2" type="r" runtime="1"><uses file="a" link="input"/><uses file="b" link="output"/></job></adag>`},
+		{"empty", `<adag name="x"></adag>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.doc)); err == nil {
+				t.Errorf("Read(%s) succeeded, want error", tc.name)
+			}
+		})
+	}
+}
+
+func TestReadMinimalValid(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+<adag name="mini">
+  <file name="in" size="100"/>
+  <file name="out" size="200" output="true"/>
+  <job id="ID0" name="only" type="r" runtime="5">
+    <uses file="in" link="input"/>
+    <uses file="out" link="output"/>
+  </job>
+</adag>`
+	w, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if w.NumTasks() != 1 || w.NumFiles() != 2 {
+		t.Fatalf("got %d tasks %d files", w.NumTasks(), w.NumFiles())
+	}
+	if w.Task(0).Runtime != 5 {
+		t.Errorf("runtime = %v, want 5", w.Task(0).Runtime)
+	}
+}

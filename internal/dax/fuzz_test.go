@@ -1,0 +1,40 @@
+package dax
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzRead asserts the parser never panics and either errors cleanly or
+// returns a finalized workflow, whatever bytes arrive.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`<adag name="x"><file name="a" size="1"/><file name="b" size="2" output="true"/>` +
+		`<job id="1" name="t" type="r" runtime="1"><uses file="a" link="input"/><uses file="b" link="output"/></job></adag>`))
+	f.Add([]byte(`<adag name=""></adag>`))
+	f.Add([]byte(`not xml`))
+	if golden, err := os.ReadFile(filepath.Join("testdata", "montage-1deg.golden.xml")); err == nil {
+		f.Add(golden)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wf, err := Read(bytes.NewReader(data))
+		if err == nil {
+			if wf == nil || !wf.Finalized() {
+				t.Fatal("Read returned nil error with unusable workflow")
+			}
+			// A successful parse must round-trip.
+			var buf bytes.Buffer
+			if err := Write(&buf, wf); err != nil {
+				t.Fatalf("Write after successful Read: %v", err)
+			}
+			again, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("re-Read after Write: %v", err)
+			}
+			if again.NumTasks() != wf.NumTasks() || again.NumFiles() != wf.NumFiles() {
+				t.Fatal("round trip changed workflow shape")
+			}
+		}
+	})
+}

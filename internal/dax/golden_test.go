@@ -1,0 +1,52 @@
+package dax
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/montage"
+)
+
+// TestGoldenOneDegree pins both the workload generator's determinism and
+// the DAX wire format: the serialized 1-degree workflow must match the
+// checked-in golden file byte for byte.  Regenerate with
+//
+//	go run ./cmd/daxgen -preset 1deg -o internal/dax/testdata/montage-1deg.golden.xml
+//
+// if either the generator or the format changes intentionally.
+func TestGoldenOneDegree(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "montage-1deg.golden.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("serialized workflow differs from golden file (%d vs %d bytes); "+
+			"if intentional, regenerate with daxgen", buf.Len(), len(want))
+	}
+}
+
+// TestGoldenParses keeps the golden file itself valid.
+func TestGoldenParses(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "montage-1deg.golden.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != 203 || w.NumFiles() != 249 {
+		t.Errorf("golden workflow has %d tasks, %d files; want 203, 249", w.NumTasks(), w.NumFiles())
+	}
+}

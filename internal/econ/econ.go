@@ -1,0 +1,141 @@
+// Package econ answers the question the paper's introduction frames but
+// defers: when should a project buy its own cluster rather than rent
+// from the cloud?  ("Cloud-based outsourcing of computing may be
+// attractive to science applications because it can potentially lower
+// the costs of purchasing, operating, maintaining, and periodically
+// upgrading a local computing infrastructure.")
+//
+// The model is deliberately first-order: a cluster costs capital
+// (amortized linearly) plus monthly operations, serves requests up to
+// its CPU capacity, and is compared against the per-request cloud price
+// measured by the simulator.
+package econ
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/units"
+)
+
+// Cluster describes an owned machine pool.
+type Cluster struct {
+	Processors        int
+	CapExPerProc      units.Money // purchase price per processor
+	AmortizationYears float64     // straight-line depreciation horizon
+	OpExPerProcMonth  units.Money // power, cooling, admin per processor-month
+}
+
+// Validate rejects degenerate clusters.
+func (c Cluster) Validate() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("econ: cluster needs at least 1 processor, got %d", c.Processors)
+	case c.CapExPerProc < 0 || c.OpExPerProcMonth < 0:
+		return fmt.Errorf("econ: negative cluster cost")
+	case c.AmortizationYears <= 0:
+		return fmt.Errorf("econ: non-positive amortization horizon %v", c.AmortizationYears)
+	}
+	return nil
+}
+
+// MonthlyCost returns the cluster's all-in monthly cost.
+func (c Cluster) MonthlyCost() units.Money {
+	capex := units.Money(float64(c.CapExPerProc) / (c.AmortizationYears * 12))
+	return units.Money(c.Processors) * (capex + c.OpExPerProcMonth)
+}
+
+// CapacityPerMonth returns how many requests the cluster can serve in a
+// 30-day month, given the CPU seconds one request consumes.
+func (c Cluster) CapacityPerMonth(cpuSecondsPerRequest float64) (float64, error) {
+	if cpuSecondsPerRequest <= 0 {
+		return 0, fmt.Errorf("econ: non-positive request CPU time %v", cpuSecondsPerRequest)
+	}
+	return float64(c.Processors) * units.SecondsPerMonth / cpuSecondsPerRequest, nil
+}
+
+// Commodity2008 returns a plausible 2008-era cluster cost model: $2,000
+// per processor amortized over 3 years plus $30/processor-month of
+// operations.
+func Commodity2008(processors int) Cluster {
+	return Cluster{
+		Processors:        processors,
+		CapExPerProc:      2000,
+		AmortizationYears: 3,
+		OpExPerProcMonth:  30,
+	}
+}
+
+// Verdict says which option a comparison favors.
+type Verdict int
+
+const (
+	// CloudWins means renting is cheaper at the given request rate.
+	CloudWins Verdict = iota
+	// ClusterWins means owning is cheaper.
+	ClusterWins
+	// ClusterInsufficient means the cluster cannot sustain the load at
+	// all, so the cloud (or a bigger cluster) is required regardless.
+	ClusterInsufficient
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case ClusterWins:
+		return "cluster-wins"
+	case ClusterInsufficient:
+		return "cluster-insufficient"
+	default:
+		return "cloud-wins"
+	}
+}
+
+// Comparison is the outcome of Compare.
+type Comparison struct {
+	ClusterMonthly    units.Money
+	CloudPerRequest   units.Money
+	CloudMonthly      units.Money // at the evaluated request rate
+	CapacityPerMonth  float64     // max requests/month the cluster sustains
+	BreakEvenRequests float64     // rate at which owning starts to win (+Inf if never)
+	Verdict           Verdict
+}
+
+// Compare evaluates owning the given cluster against paying the measured
+// per-request cloud cost, at a monthly request rate.  cpuSecondsPerRequest
+// is the compute one request consumes (it bounds the cluster's
+// throughput; the cloud is assumed elastic).
+func Compare(c Cluster, cloudPerRequest cost.Breakdown, cpuSecondsPerRequest, requestsPerMonth float64) (Comparison, error) {
+	if err := c.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if requestsPerMonth < 0 {
+		return Comparison{}, fmt.Errorf("econ: negative request rate %v", requestsPerMonth)
+	}
+	capacity, err := c.CapacityPerMonth(cpuSecondsPerRequest)
+	if err != nil {
+		return Comparison{}, err
+	}
+	per := cloudPerRequest.Total()
+	cmp := Comparison{
+		ClusterMonthly:   c.MonthlyCost(),
+		CloudPerRequest:  per,
+		CloudMonthly:     per * units.Money(requestsPerMonth),
+		CapacityPerMonth: capacity,
+	}
+	if per > 0 {
+		cmp.BreakEvenRequests = float64(cmp.ClusterMonthly / per)
+	} else {
+		cmp.BreakEvenRequests = math.Inf(1)
+	}
+	switch {
+	case requestsPerMonth > capacity:
+		cmp.Verdict = ClusterInsufficient
+	case cmp.CloudMonthly < cmp.ClusterMonthly:
+		cmp.Verdict = CloudWins
+	default:
+		cmp.Verdict = ClusterWins
+	}
+	return cmp, nil
+}

@@ -1,0 +1,171 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/units"
+)
+
+func TestClusterMonthlyCost(t *testing.T) {
+	c := Cluster{Processors: 10, CapExPerProc: 3600, AmortizationYears: 3, OpExPerProcMonth: 50}
+	// Capex: 3600/36 = $100/proc-month; +$50 opex = $150 x 10 = $1500.
+	if got := c.MonthlyCost(); got != 1500 {
+		t.Errorf("MonthlyCost = %v, want $1500", got)
+	}
+}
+
+func TestCommodity2008(t *testing.T) {
+	c := Commodity2008(16)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2000/36 + 30 = 85.56/proc-month x 16 = $1368.9.
+	got := float64(c.MonthlyCost())
+	if math.Abs(got-1368.9) > 0.1 {
+		t.Errorf("MonthlyCost = %v, want ~$1368.9", got)
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	c := Commodity2008(10)
+	// 1-degree mosaic: 5.6 CPU-hours = 20,160 s.
+	cap, err := c.CapacityPerMonth(5.6 * units.SecondsPerHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 procs x 720 h / 5.6 h = 1285.7 requests/month.
+	if math.Abs(cap-1285.7) > 0.1 {
+		t.Errorf("capacity = %v, want ~1285.7", cap)
+	}
+	if _, err := c.CapacityPerMonth(0); err == nil {
+		t.Error("zero request CPU accepted")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	cases := []Cluster{
+		{Processors: 0, CapExPerProc: 1, AmortizationYears: 1},
+		{Processors: 1, CapExPerProc: -1, AmortizationYears: 1},
+		{Processors: 1, CapExPerProc: 1, AmortizationYears: 0},
+		{Processors: 1, CapExPerProc: 1, AmortizationYears: 1, OpExPerProcMonth: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid cluster accepted", i)
+		}
+	}
+}
+
+// oneDegRequest approximates the measured 1-degree request: $0.60 total.
+func oneDegRequest() cost.Breakdown {
+	return cost.Breakdown{CPU: 0.56, Storage: 0.0001, TransferIn: 0.0136, TransferOut: 0.0278}
+}
+
+func TestCompareLowRateFavorsCloud(t *testing.T) {
+	c := Commodity2008(10)
+	cmp, err := Compare(c, oneDegRequest(), 5.6*units.SecondsPerHour, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 requests x $0.60 = $60/month vs ~$856 cluster.
+	if cmp.Verdict != CloudWins {
+		t.Errorf("verdict = %v, want cloud-wins", cmp.Verdict)
+	}
+	if cmp.CloudMonthly >= cmp.ClusterMonthly {
+		t.Error("cloud not cheaper at low rate")
+	}
+}
+
+func TestCompareSaturatedFavorsCluster(t *testing.T) {
+	c := Commodity2008(10)
+	// 1,200 requests/month is near capacity (1,285) and costs the cloud
+	// 1200 x $0.60 = $722... still below $1,369!  The 2008 economics
+	// genuinely favored the cloud for Montage-like loads; push the rate
+	// above break-even via a pricier request.
+	expensive := cost.Breakdown{CPU: 2.0}
+	cmp, err := Compare(c, expensive, 5.6*units.SecondsPerHour, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != ClusterWins {
+		t.Errorf("verdict = %v, want cluster-wins", cmp.Verdict)
+	}
+	// Break-even = $855.6 (10-proc cluster) / $2.00 = ~428 requests/month.
+	if math.Abs(cmp.BreakEvenRequests-427.8) > 1 {
+		t.Errorf("break-even = %v, want ~428", cmp.BreakEvenRequests)
+	}
+}
+
+func TestCompareOverCapacity(t *testing.T) {
+	c := Commodity2008(2)
+	cmp, err := Compare(c, oneDegRequest(), 5.6*units.SecondsPerHour, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != ClusterInsufficient {
+		t.Errorf("verdict = %v, want cluster-insufficient", cmp.Verdict)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	c := Commodity2008(2)
+	if _, err := Compare(Cluster{}, oneDegRequest(), 1, 1); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+	if _, err := Compare(c, oneDegRequest(), 1, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Compare(c, oneDegRequest(), 0, 1); err == nil {
+		t.Error("zero CPU per request accepted")
+	}
+}
+
+func TestFreeCloudBreakEvenInfinite(t *testing.T) {
+	cmp, err := Compare(Commodity2008(1), cost.Breakdown{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(cmp.BreakEvenRequests, 1) {
+		t.Errorf("break-even = %v, want +Inf", cmp.BreakEvenRequests)
+	}
+	if cmp.Verdict != CloudWins {
+		t.Errorf("free cloud should win, got %v", cmp.Verdict)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if CloudWins.String() != "cloud-wins" || ClusterWins.String() != "cluster-wins" ||
+		ClusterInsufficient.String() != "cluster-insufficient" {
+		t.Error("verdict names wrong")
+	}
+}
+
+// Property: the verdict is consistent with the monthly totals whenever
+// the cluster has capacity.
+func TestPropVerdictConsistent(t *testing.T) {
+	f := func(procsRaw uint8, rateRaw uint16, cpuHoursRaw uint8) bool {
+		procs := int(procsRaw%64) + 1
+		rate := float64(rateRaw % 5000)
+		cpuSec := (float64(cpuHoursRaw%20) + 0.5) * units.SecondsPerHour
+		c := Commodity2008(procs)
+		cmp, err := Compare(c, oneDegRequest(), cpuSec, rate)
+		if err != nil {
+			return false
+		}
+		switch cmp.Verdict {
+		case ClusterInsufficient:
+			return rate > cmp.CapacityPerMonth
+		case CloudWins:
+			return cmp.CloudMonthly < cmp.ClusterMonthly
+		case ClusterWins:
+			return cmp.CloudMonthly >= cmp.ClusterMonthly && rate <= cmp.CapacityPerMonth
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

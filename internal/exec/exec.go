@@ -1,0 +1,683 @@
+// Package exec executes a workflow on the simulated cloud and measures
+// everything the paper's figures are built from: execution time, bytes
+// transferred in and out, and the storage usage integral.
+//
+// Execution follows the paper's setup (§3, §5):
+//
+//   - A single compute resource with a configurable number of processors
+//     and an associated storage system of infinite capacity.
+//   - A fixed-bandwidth link (10 Mbps in the paper) between the user and
+//     the cloud storage; transfers are serialized on it.
+//   - In the Regular and Cleanup models, all external inputs are staged
+//     in first, then tasks execute (processors are provisioned for this
+//     whole window), and the net outputs are staged out at the end, after
+//     which all files are deleted from the resource.
+//   - In the Remote I/O model there is no resident data: each task stages
+//     its inputs in from the user, computes, stages all of its outputs
+//     back out, and deletes everything it touched.  Files used by several
+//     tasks are transferred multiple times, and intermediate products are
+//     transferred out as well -- exactly the behaviours the paper calls
+//     out when comparing the models.
+//
+// A processor is held only while a task computes; the provisioned-mode
+// CPU bill (processors x provisioned window) is derived by package cost
+// from the metrics reported here.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cloudsim"
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config parameterizes one simulated run.
+type Config struct {
+	// Mode selects the data-management model.
+	Mode datamgmt.Mode
+	// Processors is the size of the provisioned pool; 0 means "enough
+	// for the workflow's maximum parallelism", the paper's on-demand
+	// setup.
+	Processors int
+	// Bandwidth of the user<->cloud link; 0 defaults to 10 Mbps.
+	Bandwidth units.Bandwidth
+	// RecordCurve retains the full storage usage curve in the metrics.
+	RecordCurve bool
+	// RecordSchedule retains the per-task Gantt trace in the metrics.
+	RecordSchedule bool
+
+	// VMStartup models the cost the paper's §8 excludes from the main
+	// study: "launching and configuring a virtual machine".  The whole
+	// run is delayed by this much, and the provisioned pool is charged
+	// for it (VMs bill from launch).  Zero, the paper's assumption, by
+	// default.
+	VMStartup units.Duration
+
+	// Outages are the storage-unavailability windows of §8's reliability
+	// discussion ("when the system goes down, as it did twice in the
+	// first 7 months of 2008").  While an outage is open no new task may
+	// start and no transfer may begin; work already in flight finishes.
+	// Windows must be disjoint and sorted by start time.
+	Outages []Outage
+
+	// Policy orders the ready queue when processors are scarce.  The
+	// default (FIFO by task ID) matches the paper's GridSim setup; the
+	// alternatives exist for the scheduler ablation.
+	Policy Policy
+
+	// FailureProb is the per-attempt probability that a task fails and
+	// must be retried (a §8 reliability extension; the failed attempt's
+	// CPU time is still billed).  Must be in [0, 1); zero, the paper's
+	// assumption, disables failures.
+	FailureProb float64
+	// FailureSeed drives the deterministic failure sampling.
+	FailureSeed int64
+}
+
+// Policy selects the ready-queue order of the list scheduler.
+type Policy int
+
+const (
+	// FIFO runs ready tasks in task-ID order (submission order).
+	FIFO Policy = iota
+	// LongestFirst runs the longest ready task first (LPT list
+	// scheduling, the classic makespan heuristic).
+	LongestFirst
+	// ShortestFirst runs the shortest ready task first.
+	ShortestFirst
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LongestFirst:
+		return "longest-first"
+	case ShortestFirst:
+		return "shortest-first"
+	default:
+		return "fifo"
+	}
+}
+
+// ParsePolicy parses a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "fifo":
+		return FIFO, nil
+	case "longest-first", "lpt":
+		return LongestFirst, nil
+	case "shortest-first", "spt":
+		return ShortestFirst, nil
+	default:
+		return 0, fmt.Errorf("exec: unknown policy %q (want fifo, longest-first or shortest-first)", s)
+	}
+}
+
+// MarshalText encodes the policy name.
+func (p Policy) MarshalText() ([]byte, error) {
+	if p < FIFO || p > ShortestFirst {
+		return nil, fmt.Errorf("exec: cannot marshal unknown policy %d", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText decodes a policy name.
+func (p *Policy) UnmarshalText(text []byte) error {
+	parsed, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
+// Outage is a half-open window [Start, End) during which the storage
+// service is unreachable.
+type Outage struct {
+	Start units.Duration
+	End   units.Duration
+}
+
+// validateOutages checks ordering and disjointness.
+func validateOutages(outages []Outage) error {
+	for i, o := range outages {
+		if o.End <= o.Start || o.Start < 0 {
+			return fmt.Errorf("exec: invalid outage window [%v,%v)", o.Start, o.End)
+		}
+		if i > 0 && o.Start < outages[i-1].End {
+			return fmt.Errorf("exec: outage windows overlap or are unsorted at index %d", i)
+		}
+	}
+	return nil
+}
+
+// nextAvailable returns the earliest time >= now outside every outage.
+func nextAvailable(outages []Outage, now units.Duration) units.Duration {
+	for _, o := range outages {
+		if now < o.Start {
+			return now
+		}
+		if now < o.End {
+			return o.End
+		}
+	}
+	return now
+}
+
+// DefaultBandwidth is the paper's user-to-storage link speed.
+var DefaultBandwidth = units.Mbps(10)
+
+// Metrics is everything measured during one run.
+type Metrics struct {
+	Workflow   string
+	Mode       datamgmt.Mode
+	Processors int
+
+	// ExecTime is the window during which the provisioned processors are
+	// held: input staging plus task execution.  This is the "execution
+	// time" plotted in Figs. 4-6.
+	ExecTime units.Duration
+	// Makespan additionally includes the final stage-out of the outputs
+	// to the user.
+	Makespan units.Duration
+
+	// BytesIn and BytesOut are the data volumes moved over the link,
+	// split by direction because Amazon charges them differently.
+	BytesIn  units.Bytes
+	BytesOut units.Bytes
+
+	// StorageByteSeconds is the area under the storage usage curve.
+	StorageByteSeconds float64
+	// PeakStorage is the high-water mark of resident bytes.
+	PeakStorage units.Bytes
+
+	// CPUSeconds is the total compute time consumed, including failed
+	// attempts: the on-demand CPU bill.
+	CPUSeconds float64
+	// Utilization is CPUSeconds over Processors x ExecTime.
+	Utilization float64
+
+	TasksRun int
+	// Retries counts failed task attempts that were re-run.
+	Retries int
+	// Curve is the storage usage curve (only when Config.RecordCurve).
+	Curve []cloudsim.UsagePoint
+	// Schedule is the per-task Gantt trace in completion order (only
+	// when Config.RecordSchedule).
+	Schedule []TaskSpan
+}
+
+// TaskSpan is one task's compute window.
+type TaskSpan struct {
+	Task   dag.TaskID
+	Name   string
+	Type   string
+	Start  units.Duration
+	Finish units.Duration
+}
+
+// GBHoursStorage returns the storage integral in GB-hours, the unit of
+// Figs. 7-9.
+func (m Metrics) GBHoursStorage() float64 { return units.GBHours(m.StorageByteSeconds) }
+
+// Run simulates wf under cfg and returns the measured metrics.
+func Run(wf *dag.Workflow, cfg Config) (Metrics, error) {
+	if !wf.Finalized() {
+		return Metrics{}, fmt.Errorf("exec: workflow %q not finalized", wf.Name)
+	}
+	switch cfg.Mode {
+	case datamgmt.RemoteIO, datamgmt.Regular, datamgmt.Cleanup:
+	default:
+		return Metrics{}, fmt.Errorf("exec: unknown mode %v", cfg.Mode)
+	}
+	if cfg.Processors < 0 {
+		return Metrics{}, fmt.Errorf("exec: negative processor count %d", cfg.Processors)
+	}
+	if cfg.VMStartup < 0 {
+		return Metrics{}, fmt.Errorf("exec: negative VM startup %v", cfg.VMStartup)
+	}
+	if err := validateOutages(cfg.Outages); err != nil {
+		return Metrics{}, err
+	}
+	if cfg.Policy < FIFO || cfg.Policy > ShortestFirst {
+		return Metrics{}, fmt.Errorf("exec: unknown scheduling policy %d", cfg.Policy)
+	}
+	if cfg.FailureProb < 0 || cfg.FailureProb >= 1 {
+		return Metrics{}, fmt.Errorf("exec: failure probability %v outside [0,1)", cfg.FailureProb)
+	}
+	procs := cfg.Processors
+	if procs == 0 {
+		procs = wf.MaxParallelism()
+	}
+	bw := cfg.Bandwidth
+	if bw == 0 {
+		bw = DefaultBandwidth
+	}
+	link, err := cloudsim.NewLink(bw)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cluster, err := cloudsim.NewCluster(procs)
+	if err != nil {
+		return Metrics{}, err
+	}
+	r := &runner{
+		wf:      wf,
+		cfg:     cfg,
+		eng:     &sim.Engine{},
+		storage: cloudsim.NewStorage(cfg.RecordCurve),
+		link:    link,
+		cluster: cluster,
+	}
+	if cfg.Mode == datamgmt.Cleanup {
+		if r.analyzer, err = datamgmt.NewAnalyzer(wf); err != nil {
+			return Metrics{}, err
+		}
+	}
+	if cfg.FailureProb > 0 {
+		r.failRNG = rand.New(rand.NewSource(cfg.FailureSeed))
+	}
+	return r.run()
+}
+
+type taskPhase int
+
+const (
+	phaseWaiting taskPhase = iota // dependencies outstanding
+	phaseStaging                  // remote I/O: inputs in flight
+	phaseReady                    // waiting for a processor
+	phaseRunning                  // computing
+	phaseDone                     // completed (remote I/O: outputs may still be in flight)
+)
+
+type runner struct {
+	wf  *dag.Workflow
+	cfg Config
+
+	eng      *sim.Engine
+	storage  *cloudsim.Storage
+	link     *cloudsim.Link
+	cluster  *cloudsim.Cluster
+	analyzer *datamgmt.Analyzer
+
+	phase            []taskPhase
+	depsLeft         []int
+	ready            []dag.TaskID // compute-ready, kept sorted by ID
+	doneTasks        int
+	stagedOut        int // remote I/O: tasks whose outputs reached the user
+	execEnd          units.Duration
+	makespan         units.Duration
+	dispatchDeferred bool
+	schedule         []TaskSpan
+	failRNG          *rand.Rand
+	retries          int
+	err              error
+}
+
+func (r *runner) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.eng.Stop()
+}
+
+// avail returns the earliest time >= now at which the storage service is
+// reachable.
+func (r *runner) avail(now units.Duration) units.Duration {
+	return nextAvailable(r.cfg.Outages, now)
+}
+
+// reserveAvail books a serialized link transfer whose start respects
+// both the link FIFO and the outage windows.
+func (r *runner) reserveAvail(now units.Duration, size units.Bytes, dir cloudsim.Direction) (units.Duration, units.Duration, error) {
+	s := now
+	if fa := r.link.FreeAt(); fa > s {
+		s = fa
+	}
+	return r.link.Reserve(r.avail(s), size, dir)
+}
+
+func (r *runner) run() (Metrics, error) {
+	n := r.wf.NumTasks()
+	r.phase = make([]taskPhase, n)
+	r.depsLeft = make([]int, n)
+	for _, t := range r.wf.Tasks() {
+		r.depsLeft[t.ID] = len(t.Parents())
+	}
+
+	// Everything waits for the virtual machines to boot; the provisioned
+	// pool is billed from launch, so the delay lands inside ExecTime.
+	r.eng.Schedule(r.cfg.VMStartup, func(units.Duration) {
+		switch r.cfg.Mode {
+		case datamgmt.Regular, datamgmt.Cleanup:
+			r.startResident()
+		case datamgmt.RemoteIO:
+			r.startRemoteIO()
+		}
+	})
+
+	r.eng.Run()
+	if r.err != nil {
+		return Metrics{}, r.err
+	}
+	if r.doneTasks != n {
+		return Metrics{}, fmt.Errorf("exec: deadlock: %d of %d tasks completed", r.doneTasks, n)
+	}
+
+	m := Metrics{
+		Workflow:           r.wf.Name,
+		Mode:               r.cfg.Mode,
+		Processors:         r.cluster.Total(),
+		ExecTime:           r.execEnd,
+		Makespan:           r.makespan,
+		BytesIn:            r.link.BytesIn(),
+		BytesOut:           r.link.BytesOut(),
+		StorageByteSeconds: r.storage.ByteSeconds(r.makespan),
+		PeakStorage:        r.storage.Peak(),
+		CPUSeconds:         r.cluster.BusyProcSeconds(r.makespan),
+		TasksRun:           r.doneTasks,
+		Retries:            r.retries,
+		Curve:              r.storage.Curve(),
+		Schedule:           r.schedule,
+	}
+	if m.ExecTime > 0 && m.Processors > 0 {
+		m.Utilization = m.CPUSeconds / (float64(m.Processors) * m.ExecTime.Seconds())
+	}
+	// Without failures, the consumed CPU must equal the workflow's total
+	// runtime exactly; a mismatch means a double-booked processor.
+	if r.failRNG == nil {
+		want := r.wf.TotalRuntime().Seconds()
+		if diff := m.CPUSeconds - want; diff > 1e-6*want+1e-6 || diff < -(1e-6*want+1e-6) {
+			return Metrics{}, fmt.Errorf("exec: CPU accounting mismatch: cluster %v vs workflow %v", m.CPUSeconds, want)
+		}
+		// Report the exact value so costs reproduce the paper's figures
+		// without float drift.
+		m.CPUSeconds = want
+		if m.ExecTime > 0 && m.Processors > 0 {
+			m.Utilization = want / (float64(m.Processors) * m.ExecTime.Seconds())
+		}
+	}
+	return m, nil
+}
+
+// ---- Regular / Cleanup ----
+
+func (r *runner) startResident() {
+	// Phase 1: stage in every external input, serialized on the link in
+	// name order.  Each file becomes resident on arrival.
+	start := r.avail(r.eng.Now())
+	stageInEnd := start
+	for _, f := range r.wf.ExternalInputs() {
+		f := f
+		_, end, err := r.reserveAvail(start, f.Size, cloudsim.In)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.eng.Schedule(end, func(now units.Duration) {
+			if err := r.storage.Put(now, f.Name, f.Size); err != nil {
+				r.fail(err)
+			}
+		})
+		if end > stageInEnd {
+			stageInEnd = end
+		}
+	}
+	// Phase 2 begins when all inputs are resident.
+	r.eng.Schedule(stageInEnd, func(now units.Duration) {
+		for _, t := range r.wf.Tasks() {
+			if r.depsLeft[t.ID] == 0 {
+				r.enqueueReady(t.ID)
+			}
+		}
+		r.dispatch(now)
+	})
+}
+
+func (r *runner) finishResident(now units.Duration) {
+	r.execEnd = now
+	// Phase 3: stage out the declared outputs in name order, then delete
+	// everything still resident ("after that ... all the files are
+	// deleted from the storage resource").
+	var lastEnd units.Duration = now
+	for _, f := range r.wf.OutputFiles() {
+		_, end, err := r.reserveAvail(now, f.Size, cloudsim.Out)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		if end > lastEnd {
+			lastEnd = end
+		}
+	}
+	r.eng.Schedule(lastEnd, func(t units.Duration) {
+		for _, f := range r.wf.Files() {
+			if r.storage.Has(f.Name) {
+				if err := r.storage.Delete(t, f.Name); err != nil {
+					r.fail(err)
+					return
+				}
+			}
+		}
+		r.makespan = t
+	})
+}
+
+// ---- Remote I/O ----
+
+// remoteKey namespaces a file per task: in remote I/O two concurrent
+// tasks each hold their own staged copy of a shared input.
+func remoteKey(id dag.TaskID, file string) string {
+	return fmt.Sprintf("t%d/%s", id, file)
+}
+
+func (r *runner) startRemoteIO() {
+	for _, t := range r.wf.Tasks() {
+		if r.depsLeft[t.ID] == 0 {
+			r.beginStaging(t.ID)
+		}
+	}
+}
+
+// beginStaging starts the input transfers of a remote-I/O task.  The
+// task fetches its files over its own connection, one after another, at
+// full bandwidth; concurrent tasks do not contend (each remote-I/O task
+// is an independent stream in the paper's model).
+func (r *runner) beginStaging(id dag.TaskID) {
+	t := r.wf.Task(id)
+	r.phase[id] = phaseStaging
+	cur := r.eng.Now()
+	inputs := append([]string(nil), t.Inputs...)
+	sort.Strings(inputs)
+	for _, name := range inputs {
+		f := r.wf.File(name)
+		key := remoteKey(id, name)
+		cur = r.avail(cur)
+		_, end, err := r.link.Record(cur, f.Size, cloudsim.In)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		size := f.Size
+		r.eng.Schedule(end, func(at units.Duration) {
+			if err := r.storage.Put(at, key, size); err != nil {
+				r.fail(err)
+			}
+		})
+		cur = end
+	}
+	r.eng.Schedule(cur, func(at units.Duration) {
+		r.phase[id] = phaseReady
+		r.enqueueReady(id)
+		r.dispatch(at)
+	})
+}
+
+// finishRemoteTask stages out every output of a completed remote-I/O
+// task, then deletes the task's staged inputs and outputs.
+func (r *runner) finishRemoteTask(id dag.TaskID, now units.Duration) {
+	t := r.wf.Task(id)
+	// Outputs become resident at completion...
+	for _, name := range t.Outputs {
+		f := r.wf.File(name)
+		if err := r.storage.Put(now, remoteKey(id, name), f.Size); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	// ...are transferred to the user over the task's own stream...
+	outputs := append([]string(nil), t.Outputs...)
+	sort.Strings(outputs)
+	cur := now
+	for _, name := range outputs {
+		f := r.wf.File(name)
+		cur = r.avail(cur)
+		_, end, err := r.link.Record(cur, f.Size, cloudsim.Out)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		cur = end
+	}
+	// ...and then inputs and outputs are deleted from the resource.
+	r.eng.Schedule(cur, func(at units.Duration) {
+		for _, name := range t.Inputs {
+			if err := r.storage.Delete(at, remoteKey(id, name)); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		for _, name := range t.Outputs {
+			if err := r.storage.Delete(at, remoteKey(id, name)); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		r.stagedOut++
+		r.makespan = at
+		// Children depend on the data reaching the user.
+		for _, c := range t.Children() {
+			r.depsLeft[c]--
+			if r.depsLeft[c] == 0 {
+				r.beginStaging(c)
+			}
+		}
+		if r.stagedOut == r.wf.NumTasks() {
+			r.execEnd = at
+		}
+	})
+}
+
+// ---- shared scheduling ----
+
+// readyBefore orders the ready queue per the scheduling policy, with
+// task ID as the deterministic tie-breaker.
+func (r *runner) readyBefore(a, b dag.TaskID) bool {
+	ra, rb := r.wf.Task(a).Runtime, r.wf.Task(b).Runtime
+	switch r.cfg.Policy {
+	case LongestFirst:
+		if ra != rb {
+			return ra > rb
+		}
+	case ShortestFirst:
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	return a < b
+}
+
+func (r *runner) enqueueReady(id dag.TaskID) {
+	r.phase[id] = phaseReady
+	i := sort.Search(len(r.ready), func(i int) bool { return !r.readyBefore(r.ready[i], id) })
+	r.ready = append(r.ready, 0)
+	copy(r.ready[i+1:], r.ready[i:])
+	r.ready[i] = id
+}
+
+// dispatch greedily assigns ready tasks (lowest ID first) to free
+// processors.  During a storage outage no task may start (it could not
+// read its inputs); dispatching resumes when the window closes.
+func (r *runner) dispatch(now units.Duration) {
+	if a := r.avail(now); a > now {
+		if !r.dispatchDeferred {
+			r.dispatchDeferred = true
+			r.eng.Schedule(a, func(at units.Duration) {
+				r.dispatchDeferred = false
+				r.dispatch(at)
+			})
+		}
+		return
+	}
+	for len(r.ready) > 0 && r.cluster.Acquire(now) {
+		id := r.ready[0]
+		r.ready = r.ready[1:]
+		r.phase[id] = phaseRunning
+		t := r.wf.Task(id)
+		if r.cfg.RecordSchedule {
+			r.schedule = append(r.schedule, TaskSpan{
+				Task: id, Name: t.Name, Type: t.Type,
+				Start: now, Finish: now + t.Runtime,
+			})
+		}
+		r.eng.Schedule(now+t.Runtime, func(at units.Duration) {
+			r.completeTask(id, at)
+		})
+	}
+}
+
+func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
+	if err := r.cluster.Release(now); err != nil {
+		r.fail(err)
+		return
+	}
+	// Reliability extension: the attempt may fail, in which case the
+	// task goes back to the ready queue and the burned CPU time stays on
+	// the bill.
+	if r.failRNG != nil && r.failRNG.Float64() < r.cfg.FailureProb {
+		r.retries++
+		r.enqueueReady(id)
+		r.dispatch(now)
+		return
+	}
+	r.phase[id] = phaseDone
+	r.doneTasks++
+	t := r.wf.Task(id)
+
+	switch r.cfg.Mode {
+	case datamgmt.Regular, datamgmt.Cleanup:
+		for _, name := range t.Outputs {
+			f := r.wf.File(name)
+			if err := r.storage.Put(now, name, f.Size); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		if r.analyzer != nil {
+			for _, dead := range r.analyzer.TaskDone(id) {
+				if err := r.storage.Delete(now, dead); err != nil {
+					r.fail(err)
+					return
+				}
+			}
+		}
+		for _, c := range t.Children() {
+			r.depsLeft[c]--
+			if r.depsLeft[c] == 0 {
+				r.enqueueReady(c)
+			}
+		}
+		if r.doneTasks == r.wf.NumTasks() {
+			r.finishResident(now)
+			return
+		}
+	case datamgmt.RemoteIO:
+		r.finishRemoteTask(id, now)
+	}
+	r.dispatch(now)
+}

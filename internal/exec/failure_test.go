@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+)
+
+func TestFailureValidation(t *testing.T) {
+	w := tiny(t)
+	if _, err := Run(w, Config{Mode: datamgmt.Regular, FailureProb: -0.1}); err == nil {
+		t.Error("negative failure probability accepted")
+	}
+	if _, err := Run(w, Config{Mode: datamgmt.Regular, FailureProb: 1}); err == nil {
+		t.Error("certain failure accepted (would never terminate)")
+	}
+}
+
+func TestFailuresRetryAndBill(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 8,
+		FailureProb: 0.2, FailureSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Retries == 0 {
+		t.Fatal("20% failure rate produced no retries over 203 tasks")
+	}
+	// Every task still completes exactly once.
+	if faulty.TasksRun != w.NumTasks() {
+		t.Errorf("TasksRun = %d, want %d", faulty.TasksRun, w.NumTasks())
+	}
+	// Burned attempts inflate the CPU bill and the makespan.
+	if faulty.CPUSeconds <= base.CPUSeconds {
+		t.Errorf("CPU with failures %v not above baseline %v", faulty.CPUSeconds, base.CPUSeconds)
+	}
+	if faulty.ExecTime < base.ExecTime {
+		t.Errorf("exec time with failures %v below baseline %v", faulty.ExecTime, base.ExecTime)
+	}
+	// Transfers are unaffected: retries recompute, they do not re-stage.
+	if faulty.BytesIn != base.BytesIn || faulty.BytesOut != base.BytesOut {
+		t.Error("failures changed transfer volumes")
+	}
+	// ~20% failure rate means CPU inflation around 1/(1-0.2) = 1.25x.
+	ratio := faulty.CPUSeconds / base.CPUSeconds
+	if ratio < 1.1 || ratio > 1.45 {
+		t.Errorf("CPU inflation = %.3fx, want ~1.25x", ratio)
+	}
+}
+
+func TestFailuresDeterministic(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: datamgmt.Cleanup, Processors: 8, FailureProb: 0.1, FailureSeed: 3}
+	a, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Retries != b.Retries || a.ExecTime != b.ExecTime || a.CPUSeconds != b.CPUSeconds {
+		t.Error("identical seeds produced different failure outcomes")
+	}
+	cfg.FailureSeed = 4
+	c, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Retries == a.Retries && c.ExecTime == a.ExecTime {
+		t.Error("different seeds produced identical failure outcomes")
+	}
+}
+
+// Property: for any failure probability in [0, 0.5], the run completes,
+// the CPU bill is at least the failure-free bill, and utilization stays
+// bounded.
+func TestPropFailuresTerminate(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.TotalRuntime().Seconds()
+	f := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw%51) / 100 // 0.00 .. 0.50
+		m, err := Run(w, Config{
+			Mode: datamgmt.Regular, Processors: 16,
+			FailureProb: p, FailureSeed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		return m.TasksRun == w.NumTasks() &&
+			m.CPUSeconds >= want-1e-6 &&
+			m.Utilization <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

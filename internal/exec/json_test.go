@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+)
+
+// TestMetricsJSONRoundTrip ensures measured results persist and reload
+// faithfully -- the path a user takes to archive experiment outputs.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(w, Config{Mode: datamgmt.Cleanup, Processors: 8, RecordSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mode serializes as its readable name, not an integer.
+	if !strings.Contains(string(data), `"Mode":"cleanup"`) {
+		t.Errorf("JSON missing readable mode: %s", string(data)[:120])
+	}
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode != m.Mode || back.Processors != m.Processors ||
+		back.BytesIn != m.BytesIn || back.CPUSeconds != m.CPUSeconds {
+		t.Error("round trip changed metrics")
+	}
+	if len(back.Schedule) != len(m.Schedule) {
+		t.Errorf("round trip lost schedule: %d vs %d spans", len(back.Schedule), len(m.Schedule))
+	}
+}
+
+func TestModeTextMarshal(t *testing.T) {
+	for _, mode := range datamgmt.Modes() {
+		data, err := mode.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back datamgmt.Mode
+		if err := back.UnmarshalText(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != mode {
+			t.Errorf("round trip %v -> %s -> %v", mode, data, back)
+		}
+	}
+	if _, err := datamgmt.Mode(9).MarshalText(); err == nil {
+		t.Error("unknown mode marshaled")
+	}
+	var m datamgmt.Mode
+	if err := m.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("bogus mode unmarshaled")
+	}
+}
+
+func TestPolicyTextMarshal(t *testing.T) {
+	for _, pol := range []Policy{FIFO, LongestFirst, ShortestFirst} {
+		data, err := pol.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Policy
+		if err := back.UnmarshalText(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != pol {
+			t.Errorf("round trip %v -> %s -> %v", pol, data, back)
+		}
+	}
+	if _, err := ParsePolicy("lpt"); err != nil {
+		t.Error("lpt alias rejected")
+	}
+	if _, err := ParsePolicy("spt"); err != nil {
+		t.Error("spt alias rejected")
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("bogus policy parsed")
+	}
+	if _, err := Policy(9).MarshalText(); err == nil {
+		t.Error("unknown policy marshaled")
+	}
+	var p Policy
+	if err := p.UnmarshalText([]byte("zzz")); err == nil {
+		t.Error("bogus policy unmarshaled")
+	}
+}

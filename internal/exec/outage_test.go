@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+	"repro/internal/units"
+)
+
+func TestVMStartupShiftsRun(t *testing.T) {
+	w := tiny(t)
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW, VMStartup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := delayed.ExecTime, base.ExecTime+100; got != want {
+		t.Errorf("ExecTime = %v, want %v", got, want)
+	}
+	if got, want := delayed.Makespan, base.Makespan+100; got != want {
+		t.Errorf("Makespan = %v, want %v", got, want)
+	}
+	// Byte volumes unchanged.
+	if delayed.BytesIn != base.BytesIn || delayed.BytesOut != base.BytesOut {
+		t.Error("startup changed transfer volumes")
+	}
+	if _, err := Run(w, Config{Mode: datamgmt.Regular, VMStartup: -1}); err == nil {
+		t.Error("negative startup accepted")
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	w := tiny(t)
+	cases := []struct {
+		name    string
+		outages []Outage
+	}{
+		{"inverted", []Outage{{Start: 10, End: 5}}},
+		{"negative", []Outage{{Start: -1, End: 5}}},
+		{"overlap", []Outage{{Start: 0, End: 10}, {Start: 5, End: 20}}},
+		{"unsorted", []Outage{{Start: 50, End: 60}, {Start: 0, End: 10}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(w, Config{Mode: datamgmt.Regular, Outages: tc.outages}); err == nil {
+				t.Error("invalid outage schedule accepted")
+			}
+		})
+	}
+}
+
+func TestOutageDelaysDispatch(t *testing.T) {
+	// Baseline (see TestRegularTinyExact): stage-in ends at 10, A runs
+	// [10,20], B runs [20,40], stage-out [40,60].
+	// An outage [15,35) lets A (already running) finish at 20, but B may
+	// not start until 35: B runs [35,55], stage-out [55,75].
+	w := tiny(t)
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Outages: []Outage{{Start: 15, End: 35}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != 55 {
+		t.Errorf("ExecTime = %v, want 55", m.ExecTime)
+	}
+	if m.Makespan != 75 {
+		t.Errorf("Makespan = %v, want 75", m.Makespan)
+	}
+}
+
+func TestOutageDelaysStageIn(t *testing.T) {
+	// An outage covering time zero delays the bulk stage-in itself.
+	w := tiny(t)
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Outages: []Outage{{Start: 0, End: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything shifts by 50: exec ends 40+50, makespan 60+50.
+	if m.ExecTime != 90 {
+		t.Errorf("ExecTime = %v, want 90", m.ExecTime)
+	}
+	if m.Makespan != 110 {
+		t.Errorf("Makespan = %v, want 110", m.Makespan)
+	}
+}
+
+func TestOutageRemoteIO(t *testing.T) {
+	// Remote I/O baseline: A stages [0,10], runs [10,20], out [20,25];
+	// B stages [25,30], runs [30,50], out [50,70].
+	// Outage [22,28): A's out transfer (started 20) finishes; deletion
+	// and B's staging shift to 28: B stages [28,33], runs [33,53],
+	// out [53,73].
+	w := tiny(t)
+	m, err := Run(w, Config{
+		Mode: datamgmt.RemoteIO, Processors: 1, Bandwidth: tinyBW,
+		Outages: []Outage{{Start: 22, End: 28}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != 73 {
+		t.Errorf("Makespan = %v, want 73", m.Makespan)
+	}
+}
+
+func TestOutageAfterRunIsFree(t *testing.T) {
+	w := tiny(t)
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Outages: []Outage{{Start: 10000, End: 20000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != base.Makespan {
+		t.Errorf("late outage changed makespan: %v vs %v", m.Makespan, base.Makespan)
+	}
+}
+
+// Property: outages never shorten a run and never change the data moved,
+// for any single window.
+func TestPropOutageMonotone(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(start uint16, length uint16) bool {
+		o := Outage{
+			Start: units.Duration(start),
+			End:   units.Duration(start) + units.Duration(length%10000) + 1,
+		}
+		m, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8, Outages: []Outage{o}})
+		if err != nil {
+			return false
+		}
+		return m.Makespan >= base.Makespan &&
+			m.BytesIn == base.BytesIn && m.BytesOut == base.BytesOut &&
+			m.TasksRun == base.TasksRun
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextAvailable(t *testing.T) {
+	outages := []Outage{{Start: 10, End: 20}, {Start: 30, End: 40}}
+	cases := []struct{ now, want units.Duration }{
+		{0, 0}, {9.9, 9.9}, {10, 20}, {15, 20}, {20, 20},
+		{25, 25}, {30, 40}, {39, 40}, {40, 40}, {100, 100},
+	}
+	for _, tc := range cases {
+		if got := nextAvailable(outages, tc.now); got != tc.want {
+			t.Errorf("nextAvailable(%v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	if got := nextAvailable(nil, 5); got != 5 {
+		t.Errorf("nextAvailable(nil, 5) = %v, want 5", got)
+	}
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+	"repro/internal/units"
+)
+
+// forkJoin builds a DAG with 4 independent tasks of runtimes 9,7,5,3
+// (in that ID order) feeding a join task, so dispatch order on 2
+// processors decides the makespan.
+func forkJoin(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w := dag.New("forkjoin")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := w.AddFile("in", 0, false)
+	must(err)
+	runtimes := []units.Duration{3, 9, 5, 7} // IDs 0..3
+	for i, rt := range runtimes {
+		name := string(rune('a' + i))
+		_, err := w.AddFile(name, 0, false)
+		must(err)
+		_, err = w.AddTask("t"+name, "r", rt, []string{"in"}, []string{name})
+		must(err)
+	}
+	_, err = w.AddFile("out", 0, true)
+	must(err)
+	_, err = w.AddTask("join", "r", 1, []string{"a", "b", "c", "d"}, []string{"out"})
+	must(err)
+	must(w.Finalize())
+	return w
+}
+
+func policyExec(t *testing.T, w *dag.Workflow, pol Policy) units.Duration {
+	t.Helper()
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 2,
+		Bandwidth: units.Bandwidth(1e12), // transfers negligible
+		Policy:    pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.ExecTime
+}
+
+func TestPolicyOrderingForkJoin(t *testing.T) {
+	w := forkJoin(t)
+	// FIFO by ID on 2 procs: start 3,9; at t=3 start 5; at t=8 start 7;
+	// finishes max(9, 8(5 done), 15) = 15; join at 16.
+	if got := policyExec(t, w, FIFO); got != 16 {
+		t.Errorf("FIFO exec = %v, want 16", got)
+	}
+	// LPT: start 9,7; t=7 -> 5; t=9 -> 3; finish max(9,12) = 12; join 13.
+	if got := policyExec(t, w, LongestFirst); got != 13 {
+		t.Errorf("LPT exec = %v, want 13", got)
+	}
+	// SPT: start 3,5; t=3 -> 7; t=5 -> 9; finish max(10,14) = 14; join 15.
+	if got := policyExec(t, w, ShortestFirst); got != 15 {
+		t.Errorf("SPT exec = %v, want 15", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if FIFO.String() != "fifo" || LongestFirst.String() != "longest-first" ||
+		ShortestFirst.String() != "shortest-first" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	w := forkJoin(t)
+	if _, err := Run(w, Config{Mode: datamgmt.Regular, Policy: Policy(9)}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestPolicyInvariantMetrics(t *testing.T) {
+	// Policies reorder compute but never change data movement, CPU
+	// consumption, or task counts.
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{LongestFirst, ShortestFirst} {
+		m, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8, Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.BytesIn != base.BytesIn || m.BytesOut != base.BytesOut {
+			t.Errorf("%v changed transfer volumes", pol)
+		}
+		if m.CPUSeconds != base.CPUSeconds {
+			t.Errorf("%v changed CPU seconds", pol)
+		}
+		if m.TasksRun != base.TasksRun {
+			t.Errorf("%v changed task count", pol)
+		}
+	}
+}

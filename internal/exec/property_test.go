@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dagtest"
+	"repro/internal/datamgmt"
+	"repro/internal/units"
+)
+
+// The executor's global invariants, checked over random layered DAGs in
+// every data-management mode and at several pool sizes.
+
+func propConfig(mode datamgmt.Mode, procs int) Config {
+	return Config{
+		Mode:        mode,
+		Processors:  procs,
+		Bandwidth:   units.Mbps(10),
+		RecordCurve: true,
+	}
+}
+
+func TestPropExecInvariants(t *testing.T) {
+	f := func(seed int64, procsRaw uint8, modeRaw uint8) bool {
+		w := dagtest.RandomLayered(seed)
+		mode := datamgmt.Modes()[int(modeRaw)%3]
+		procs := int(procsRaw)%4 + 1
+		m, err := Run(w, propConfig(mode, procs))
+		if err != nil {
+			return false
+		}
+		// Everything ran.
+		if m.TasksRun != w.NumTasks() {
+			return false
+		}
+		// Time ordering.
+		if m.ExecTime < 0 || m.Makespan < m.ExecTime {
+			return false
+		}
+		// CPU conservation.
+		if m.CPUSeconds != w.TotalRuntime().Seconds() {
+			return false
+		}
+		// Utilization bounded.
+		if m.Utilization < 0 || m.Utilization > 1+1e-9 {
+			return false
+		}
+		// At least the external inputs come in and the outputs go out.
+		if m.BytesIn < w.InputBytes() || m.BytesOut < w.OutputBytes() {
+			return false
+		}
+		// Storage drains completely: the curve ends at zero.
+		last := m.Curve[len(m.Curve)-1]
+		if last.Bytes != 0 {
+			return false
+		}
+		// The integral is non-negative and bounded by peak x makespan.
+		if m.StorageByteSeconds < 0 ||
+			m.StorageByteSeconds > float64(m.PeakStorage)*m.Makespan.Seconds()+1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: regular and cleanup modes always move identical volumes, and
+// cleanup's storage integral never exceeds regular's.
+func TestPropCleanupDominatesRegular(t *testing.T) {
+	f := func(seed int64, procsRaw uint8) bool {
+		w := dagtest.RandomLayered(seed)
+		procs := int(procsRaw)%4 + 1
+		reg, err := Run(w, propConfig(datamgmt.Regular, procs))
+		if err != nil {
+			return false
+		}
+		cln, err := Run(w, propConfig(datamgmt.Cleanup, procs))
+		if err != nil {
+			return false
+		}
+		if reg.BytesIn != cln.BytesIn || reg.BytesOut != cln.BytesOut {
+			return false
+		}
+		if cln.StorageByteSeconds > reg.StorageByteSeconds+1e-6 {
+			return false
+		}
+		// Cleanup never slows the run down (deletions are free).
+		return cln.ExecTime == reg.ExecTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: remote I/O moves at least as much data as regular in both
+// directions (re-transfers and intermediate stage-outs only add).
+func TestPropRemoteIOMovesMore(t *testing.T) {
+	f := func(seed int64) bool {
+		w := dagtest.RandomLayered(seed)
+		reg, err := Run(w, propConfig(datamgmt.Regular, 2))
+		if err != nil {
+			return false
+		}
+		rem, err := Run(w, propConfig(datamgmt.RemoteIO, 2))
+		if err != nil {
+			return false
+		}
+		return rem.BytesIn >= reg.BytesIn && rem.BytesOut >= reg.BytesOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the simulator is a function -- identical inputs give
+// identical metrics, across modes and pool sizes.
+func TestPropDeterministic(t *testing.T) {
+	f := func(seed int64, procsRaw, modeRaw uint8) bool {
+		w := dagtest.RandomLayered(seed)
+		cfg := propConfig(datamgmt.Modes()[int(modeRaw)%3], int(procsRaw)%8+1)
+		a, err := Run(w, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Run(w, cfg)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding processors never increases ExecTime on layered DAGs
+// (greedy list scheduling is monotone here because levels are
+// independent and FIFO order is fixed).
+func TestPropMoreProcsNeverSlower(t *testing.T) {
+	f := func(seed int64) bool {
+		w := dagtest.RandomLayered(seed)
+		prev := units.Duration(0)
+		for i, procs := range []int{1, 2, 4, 8} {
+			m, err := Run(w, propConfig(datamgmt.Regular, procs))
+			if err != nil {
+				return false
+			}
+			if i > 0 && m.ExecTime > prev+1e-9 {
+				return false
+			}
+			prev = m.ExecTime
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+)
+
+func TestScheduleTraceRecorded(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8, RecordSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Schedule) != w.NumTasks() {
+		t.Fatalf("trace has %d spans, want %d", len(m.Schedule), w.NumTasks())
+	}
+	seen := make(map[string]bool)
+	for _, span := range m.Schedule {
+		if span.Finish <= span.Start {
+			t.Fatalf("span %q has non-positive duration", span.Name)
+		}
+		if seen[span.Name] {
+			t.Fatalf("task %q scheduled twice", span.Name)
+		}
+		seen[span.Name] = true
+		// Spans end within the execution window.
+		if span.Finish > m.ExecTime {
+			t.Fatalf("span %q finishes at %v after exec end %v", span.Name, span.Finish, m.ExecTime)
+		}
+		// A span's length equals the task's runtime (up to float
+		// rounding of absolute times).
+		task := w.Task(span.Task)
+		if d := (span.Finish - span.Start) - task.Runtime; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("span %q length %v != runtime %v", span.Name, span.Finish-span.Start, task.Runtime)
+		}
+	}
+	// Dependency order: every task starts after its parents finish.
+	finish := make(map[string]float64)
+	for _, span := range m.Schedule {
+		finish[span.Name] = span.Finish.Seconds()
+	}
+	for _, span := range m.Schedule {
+		for _, p := range w.Task(span.Task).Parents() {
+			if span.Start.Seconds() < finish[w.Task(p).Name]-1e-9 {
+				t.Fatalf("task %q started before parent %q finished", span.Name, w.Task(p).Name)
+			}
+		}
+	}
+}
+
+func TestScheduleRespectsProcessorLimit(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const procs = 4
+	m, err := Run(w, Config{Mode: datamgmt.Regular, Processors: procs, RecordSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep the span endpoints and check concurrency never exceeds the
+	// pool.
+	type event struct {
+		at    float64
+		delta int
+	}
+	var events []event
+	for _, s := range m.Schedule {
+		events = append(events, event{s.Start.Seconds(), 1}, event{s.Finish.Seconds(), -1})
+	}
+	// Process finishes before starts at the same instant.
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			if events[j].at < events[i].at ||
+				(events[j].at == events[i].at && events[j].delta < events[i].delta) {
+				events[i], events[j] = events[j], events[i]
+			}
+		}
+	}
+	busy, peak := 0, 0
+	for _, e := range events {
+		busy += e.delta
+		if busy > peak {
+			peak = busy
+		}
+	}
+	if peak > procs {
+		t.Fatalf("schedule used %d concurrent processors, pool has %d", peak, procs)
+	}
+	if peak < procs {
+		t.Errorf("schedule never saturated the %d-proc pool (peak %d)", procs, peak)
+	}
+}
+
+func TestScheduleOffByDefault(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schedule != nil {
+		t.Error("schedule recorded without RecordSchedule")
+	}
+}

@@ -1,0 +1,496 @@
+// Package experiments is the reproduction harness: one constructor per
+// table and figure in the paper's evaluation (§6), each returning typed
+// rows plus renderable tables.  The bench harness (bench_test.go) and
+// the montagesim CLI are thin wrappers over this package.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	CCRTable      -- the §6.3 CCR table
+//	Fig4/5/6      -- Question 1 provisioning sweeps (1/2/4-degree)
+//	Fig7/8/9      -- Question 2a data-management comparison
+//	Fig10         -- CPU vs data-management cost summary
+//	Fig11         -- CCR sensitivity sweep
+//	Q2b           -- archive break-even analysis
+//	Q3WholeSky    -- whole-sky campaign costing
+//	Q3Store       -- store-vs-recompute horizons
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// generate builds a preset workflow, failing loudly on generator bugs.
+func generate(spec montage.Spec) (*dag.Workflow, error) {
+	w, err := montage.Generate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", spec.Name, err)
+	}
+	return w, nil
+}
+
+// ---- E1: the CCR table ----
+
+// CCRRow is one line of the §6.3 table.
+type CCRRow struct {
+	Workflow string
+	Tasks    int
+	CCR      float64
+	PaperCCR float64
+}
+
+// CCRTableResult reproduces the communication-to-computation table.
+type CCRTableResult struct {
+	Bandwidth units.Bandwidth
+	Rows      []CCRRow
+}
+
+// CCRTable computes the CCR of the three Montage workflows at the
+// paper's 10 Mbps reference bandwidth.
+func CCRTable() (CCRTableResult, error) {
+	paper := map[string]float64{
+		"montage-1deg": 0.053, "montage-2deg": 0.053, "montage-4deg": 0.045,
+	}
+	res := CCRTableResult{Bandwidth: units.Mbps(10)}
+	for _, spec := range montage.Presets() {
+		w, err := generate(spec)
+		if err != nil {
+			return CCRTableResult{}, err
+		}
+		res.Rows = append(res.Rows, CCRRow{
+			Workflow: spec.Name,
+			Tasks:    w.NumTasks(),
+			CCR:      w.CCR(res.Bandwidth),
+			PaperCCR: paper[spec.Name],
+		})
+	}
+	return res, nil
+}
+
+// Table renders the CCR table.
+func (r CCRTableResult) Table() *report.Table {
+	t := report.New(fmt.Sprintf("CCR table (B = %v) -- paper §6.3", r.Bandwidth),
+		"workflow", "tasks", "ccr", "paper")
+	for _, row := range r.Rows {
+		t.MustAdd(row.Workflow, fmt.Sprint(row.Tasks),
+			report.F(row.CCR, 3), report.F(row.PaperCCR, 3))
+	}
+	return t
+}
+
+// ---- E2-E4: Question 1 provisioning sweeps (Figs. 4-6) ----
+
+// ProvisioningFigure is a Question-1 sweep for one workflow.
+type ProvisioningFigure struct {
+	Figure string
+	Spec   montage.Spec
+	Points []core.SweepPoint
+}
+
+// Fig4 sweeps the 1-degree workflow over 1..128 provisioned processors.
+func Fig4() (ProvisioningFigure, error) { return provisioning("Fig4", montage.OneDegree()) }
+
+// Fig5 sweeps the 2-degree workflow.
+func Fig5() (ProvisioningFigure, error) { return provisioning("Fig5", montage.TwoDegree()) }
+
+// Fig6 sweeps the 4-degree workflow.
+func Fig6() (ProvisioningFigure, error) { return provisioning("Fig6", montage.FourDegree()) }
+
+func provisioning(figure string, spec montage.Spec) (ProvisioningFigure, error) {
+	w, err := generate(spec)
+	if err != nil {
+		return ProvisioningFigure{}, err
+	}
+	points, err := core.ProvisioningSweep(w, core.GeometricProcessors(), core.DefaultPlan())
+	if err != nil {
+		return ProvisioningFigure{}, err
+	}
+	return ProvisioningFigure{Figure: figure, Spec: spec, Points: points}, nil
+}
+
+// CostTable renders the figure's top panel: cost components vs. pool
+// size.
+func (f ProvisioningFigure) CostTable() *report.Table {
+	t := report.New(
+		fmt.Sprintf("%s (top): execution costs of %s vs. provisioned processors", f.Figure, f.Spec.Name),
+		"procs", "cpu$", "storage$", "storage$(cleanup)", "transfer$", "total$")
+	for _, p := range f.Points {
+		c := p.Result.Cost
+		t.MustAdd(
+			fmt.Sprint(p.Processors),
+			report.F(c.CPU.Dollars(), 4),
+			fmt.Sprintf("%.6f", c.Storage.Dollars()),
+			fmt.Sprintf("%.6f", p.StorageCostCleanup.Dollars()),
+			report.F(c.Transfer().Dollars(), 4),
+			report.F(c.Total().Dollars(), 4),
+		)
+	}
+	return t
+}
+
+// TimeTable renders the figure's bottom panel: execution time vs. pool
+// size.
+func (f ProvisioningFigure) TimeTable() *report.Table {
+	t := report.New(
+		fmt.Sprintf("%s (bottom): execution time of %s vs. provisioned processors", f.Figure, f.Spec.Name),
+		"procs", "exec-time", "hours", "utilization")
+	for _, p := range f.Points {
+		m := p.Result.Metrics
+		t.MustAdd(
+			fmt.Sprint(p.Processors),
+			m.ExecTime.String(),
+			report.F(m.ExecTime.Hours(), 3),
+			report.F(m.Utilization, 3),
+		)
+	}
+	return t
+}
+
+// ---- E5-E7: Question 2a data-management comparison (Figs. 7-9) ----
+
+// DataManagementFigure compares the three execution models for one
+// workflow under on-demand billing at full parallelism.
+type DataManagementFigure struct {
+	Figure  string
+	Spec    montage.Spec
+	Results map[datamgmt.Mode]core.Result
+}
+
+// Fig7 compares modes on the 1-degree workflow.
+func Fig7() (DataManagementFigure, error) { return dataManagement("Fig7", montage.OneDegree()) }
+
+// Fig8 compares modes on the 2-degree workflow.
+func Fig8() (DataManagementFigure, error) { return dataManagement("Fig8", montage.TwoDegree()) }
+
+// Fig9 compares modes on the 4-degree workflow.
+func Fig9() (DataManagementFigure, error) { return dataManagement("Fig9", montage.FourDegree()) }
+
+func dataManagement(figure string, spec montage.Spec) (DataManagementFigure, error) {
+	w, err := generate(spec)
+	if err != nil {
+		return DataManagementFigure{}, err
+	}
+	results, err := core.CompareModes(w, core.DefaultPlan())
+	if err != nil {
+		return DataManagementFigure{}, err
+	}
+	return DataManagementFigure{Figure: figure, Spec: spec, Results: results}, nil
+}
+
+// StorageTable renders the figure's top panel: storage space-time per
+// mode.
+func (f DataManagementFigure) StorageTable() *report.Table {
+	t := report.New(
+		fmt.Sprintf("%s (top): storage used by %s per mode", f.Figure, f.Spec.Name),
+		"mode", "gb-hours", "peak")
+	for _, mode := range datamgmt.Modes() {
+		m := f.Results[mode].Metrics
+		t.MustAdd(mode.String(), report.F(m.GBHoursStorage(), 4), m.PeakStorage.String())
+	}
+	return t
+}
+
+// TransferTable renders the middle panel: data moved per direction.
+func (f DataManagementFigure) TransferTable() *report.Table {
+	t := report.New(
+		fmt.Sprintf("%s (middle): data transfer of %s per mode", f.Figure, f.Spec.Name),
+		"mode", "in", "out")
+	for _, mode := range datamgmt.Modes() {
+		m := f.Results[mode].Metrics
+		t.MustAdd(mode.String(), m.BytesIn.String(), m.BytesOut.String())
+	}
+	return t
+}
+
+// CostTable renders the bottom panel: data-management dollar costs.
+func (f DataManagementFigure) CostTable() *report.Table {
+	t := report.New(
+		fmt.Sprintf("%s (bottom): costs of %s per mode (excl. CPU)", f.Figure, f.Spec.Name),
+		"mode", "storage$", "in$", "out$", "dm-total$")
+	for _, mode := range datamgmt.Modes() {
+		c := f.Results[mode].Cost
+		t.MustAdd(mode.String(),
+			fmt.Sprintf("%.6f", c.Storage.Dollars()),
+			report.F(c.TransferIn.Dollars(), 4),
+			report.F(c.TransferOut.Dollars(), 4),
+			report.F(c.DataManagement().Dollars(), 4),
+		)
+	}
+	return t
+}
+
+// ---- E8: Fig. 10, CPU vs data-management costs ----
+
+// Fig10Row is one workflow's summary.
+type Fig10Row struct {
+	Workflow string
+	CPUCost  units.Money
+	DM       map[datamgmt.Mode]units.Money
+	Total    map[datamgmt.Mode]units.Money
+}
+
+// Fig10Result summarizes CPU and DM costs across workflows and modes.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 runs all three workflows under all three modes with on-demand
+// billing.
+func Fig10() (Fig10Result, error) {
+	var res Fig10Result
+	for _, spec := range montage.Presets() {
+		w, err := generate(spec)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		results, err := core.CompareModes(w, core.DefaultPlan())
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		row := Fig10Row{
+			Workflow: spec.Name,
+			CPUCost:  results[datamgmt.Regular].Cost.CPU,
+			DM:       make(map[datamgmt.Mode]units.Money, 3),
+			Total:    make(map[datamgmt.Mode]units.Money, 3),
+		}
+		for mode, r := range results {
+			row.DM[mode] = r.Cost.DataManagement()
+			row.Total[mode] = r.Cost.Total()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the Fig. 10 summary.
+func (r Fig10Result) Table() *report.Table {
+	t := report.New("Fig10: CPU and data-management costs per workflow and mode",
+		"workflow", "cpu$", "dm$(remote)", "dm$(regular)", "dm$(cleanup)",
+		"total$(remote)", "total$(regular)", "total$(cleanup)")
+	for _, row := range r.Rows {
+		t.MustAdd(row.Workflow,
+			report.F(row.CPUCost.Dollars(), 2),
+			report.F(row.DM[datamgmt.RemoteIO].Dollars(), 4),
+			report.F(row.DM[datamgmt.Regular].Dollars(), 4),
+			report.F(row.DM[datamgmt.Cleanup].Dollars(), 4),
+			report.F(row.Total[datamgmt.RemoteIO].Dollars(), 2),
+			report.F(row.Total[datamgmt.Regular].Dollars(), 2),
+			report.F(row.Total[datamgmt.Cleanup].Dollars(), 2),
+		)
+	}
+	return t
+}
+
+// ---- E9: Fig. 11, CCR sensitivity ----
+
+// Fig11Result is the CCR sweep of the 1-degree workflow on 8 provisioned
+// processors.
+type Fig11Result struct {
+	Spec   montage.Spec
+	Procs  int
+	Points []core.CCRPoint
+}
+
+// Fig11CCRs returns the swept ratios: the paper's measured 0.053 doubled
+// up to ~3.4.
+func Fig11CCRs() []float64 {
+	return []float64{0.053, 0.106, 0.212, 0.424, 0.848, 1.696, 3.392}
+}
+
+// Fig11 reproduces the CCR sensitivity experiment.
+func Fig11() (Fig11Result, error) {
+	spec := montage.OneDegree()
+	w, err := generate(spec)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	plan := core.DefaultPlan()
+	plan.Processors = 8
+	plan.Billing = core.Provisioned
+	points, err := core.CCRSweep(w, Fig11CCRs(), plan)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	return Fig11Result{Spec: spec, Procs: 8, Points: points}, nil
+}
+
+// Table renders the Fig. 11 sweep.
+func (r Fig11Result) Table() *report.Table {
+	t := report.New(
+		fmt.Sprintf("Fig11: costs of %s with changing CCR (%d provisioned procs)", r.Spec.Name, r.Procs),
+		"ccr", "cpu$", "storage$", "storage$(cleanup)", "transfer$", "total$", "exec-time")
+	for _, p := range r.Points {
+		c := p.Result.Cost
+		t.MustAdd(
+			report.F(p.CCR, 3),
+			report.F(c.CPU.Dollars(), 4),
+			fmt.Sprintf("%.6f", c.Storage.Dollars()),
+			fmt.Sprintf("%.6f", p.StorageCostCleanup.Dollars()),
+			report.F(c.Transfer().Dollars(), 4),
+			report.F(c.Total().Dollars(), 4),
+			p.Result.Metrics.ExecTime.String(),
+		)
+	}
+	return t
+}
+
+// ---- E10: Question 2b, archive break-even ----
+
+// Q2bResult is the archive economics analysis.
+type Q2bResult struct {
+	Spec      montage.Spec
+	Request   core.Result
+	BreakEven archive.BreakEven
+}
+
+// Q2b measures a 2-degree request in regular mode (the paper's example)
+// and computes the 2MASS-archive break-even request rate.
+func Q2b() (Q2bResult, error) {
+	spec := montage.TwoDegree()
+	w, err := generate(spec)
+	if err != nil {
+		return Q2bResult{}, err
+	}
+	req, err := core.Run(w, core.DefaultPlan())
+	if err != nil {
+		return Q2bResult{}, err
+	}
+	be, err := archive.ComputeBreakEven(cost.Amazon2008(), archive.TwoMASSArchiveBytes, req.Cost)
+	if err != nil {
+		return Q2bResult{}, err
+	}
+	return Q2bResult{Spec: spec, Request: req, BreakEven: be}, nil
+}
+
+// Table renders the break-even analysis.
+func (r Q2bResult) Table() *report.Table {
+	t := report.New("Q2b: storing the 12 TB 2MASS archive on the cloud", "quantity", "value")
+	be := r.BreakEven
+	t.MustAdd("archive monthly storage", be.MonthlyStorageCost.String())
+	t.MustAdd("archive one-time upload", be.OneTimeUploadCost.String())
+	t.MustAdd(r.Spec.Name+" request (staged inputs)", be.CostPerRequestStaged.String())
+	t.MustAdd(r.Spec.Name+" request (archived inputs)", be.CostPerRequestArchived.String())
+	t.MustAdd("savings per request", be.SavingsPerRequest.String())
+	t.MustAdd("break-even requests/month", report.F(be.RequestsPerMonth, 0))
+	return t
+}
+
+// ---- E11/E12: Question 3 ----
+
+// Q3WholeSkyResult prices mosaicking the entire sky.
+type Q3WholeSkyResult struct {
+	FourDeg archive.SkyCampaign
+	SixDeg  archive.SkyCampaign
+}
+
+// Q3WholeSky prices the 3,900 x 4-degree tiling (and the 1,734 x
+// 6-degree alternative) from measured per-request costs.
+func Q3WholeSky() (Q3WholeSkyResult, error) {
+	w4, err := generate(montage.FourDegree())
+	if err != nil {
+		return Q3WholeSkyResult{}, err
+	}
+	r4, err := core.Run(w4, core.DefaultPlan())
+	if err != nil {
+		return Q3WholeSkyResult{}, err
+	}
+	c4, err := archive.ComputeSkyCampaign(r4.Cost, archive.WholeSky4DegMosaics)
+	if err != nil {
+		return Q3WholeSkyResult{}, err
+	}
+	w6, err := generate(montage.FromDegrees(6, 6))
+	if err != nil {
+		return Q3WholeSkyResult{}, err
+	}
+	r6, err := core.Run(w6, core.DefaultPlan())
+	if err != nil {
+		return Q3WholeSkyResult{}, err
+	}
+	c6, err := archive.ComputeSkyCampaign(r6.Cost, archive.WholeSky6DegMosaics)
+	if err != nil {
+		return Q3WholeSkyResult{}, err
+	}
+	return Q3WholeSkyResult{FourDeg: c4, SixDeg: c6}, nil
+}
+
+// Table renders the whole-sky costing.
+func (r Q3WholeSkyResult) Table() *report.Table {
+	t := report.New("Q3: cost of the mosaic of the entire sky",
+		"tiling", "mosaics", "per-mosaic$", "total$", "total$(archived inputs)")
+	for _, c := range []struct {
+		name string
+		camp archive.SkyCampaign
+	}{{"4-degree", r.FourDeg}, {"6-degree", r.SixDeg}} {
+		t.MustAdd(c.name,
+			fmt.Sprint(c.camp.Mosaics),
+			report.F(c.camp.CostPerMosaic.Dollars(), 2),
+			report.F(c.camp.TotalCost.Dollars(), 0),
+			report.F(c.camp.TotalCostArchived.Dollars(), 0),
+		)
+	}
+	return t
+}
+
+// Q3StoreRow is one workflow's store-vs-recompute horizon.
+type Q3StoreRow struct {
+	Workflow string
+	Horizon  archive.StorageHorizon
+	Paper    float64 // months reported by the paper
+}
+
+// Q3StoreResult is the store-vs-recompute analysis for the three
+// presets.
+type Q3StoreResult struct {
+	Rows []Q3StoreRow
+}
+
+// Q3Store computes, from measured CPU costs and mosaic sizes, how long
+// each generated mosaic is worth storing rather than recomputing.
+func Q3Store() (Q3StoreResult, error) {
+	paper := map[string]float64{
+		"montage-1deg": 21.52, "montage-2deg": 24.25, "montage-4deg": 25.12,
+	}
+	var res Q3StoreResult
+	for _, spec := range montage.Presets() {
+		w, err := generate(spec)
+		if err != nil {
+			return Q3StoreResult{}, err
+		}
+		r, err := core.Run(w, core.DefaultPlan())
+		if err != nil {
+			return Q3StoreResult{}, err
+		}
+		h, err := archive.ComputeStorageHorizon(cost.Amazon2008(), w.OutputBytes(), r.Cost.CPU)
+		if err != nil {
+			return Q3StoreResult{}, err
+		}
+		res.Rows = append(res.Rows, Q3StoreRow{
+			Workflow: spec.Name, Horizon: h, Paper: paper[spec.Name],
+		})
+	}
+	return res, nil
+}
+
+// Table renders the horizons.
+func (r Q3StoreResult) Table() *report.Table {
+	t := report.New("Q3: store vs recompute horizons",
+		"workflow", "mosaic", "cpu$", "storage$/month", "months", "paper-months")
+	for _, row := range r.Rows {
+		t.MustAdd(row.Workflow,
+			row.Horizon.ProductBytes.String(),
+			report.F(row.Horizon.RecomputeCost.Dollars(), 2),
+			report.F(row.Horizon.MonthlyCost.Dollars(), 4),
+			report.F(row.Horizon.Months, 2),
+			report.F(row.Paper, 2),
+		)
+	}
+	return t
+}

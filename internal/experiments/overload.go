@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/units"
+)
+
+// OverloadResult is the introduction's first scenario made quantitative:
+// a Montage service with a small local cluster facing a multi-day
+// overload, with and without cloud bursting.
+type OverloadResult struct {
+	Classes  []service.Class
+	SLA      units.Duration
+	Requests int
+	Without  service.Stats
+	With     service.Stats
+}
+
+// Overload simulates a month of 1- and 2-degree mosaic requests against
+// an 8-processor local cluster with a 4-hour turnaround target and a
+// 3-day, 8x request burst, comparing local-only operation against
+// bursting to a 32-processor provisioned cloud pool.
+func Overload() (OverloadResult, error) {
+	cloudPlan := core.DefaultPlan()
+	cloudPlan.Billing = core.Provisioned
+	cloudPlan.Processors = 32
+
+	var classes []service.Class
+	for _, spec := range []montage.Spec{montage.OneDegree(), montage.TwoDegree()} {
+		c, err := service.MeasureClass(spec, 8, cloudPlan)
+		if err != nil {
+			return OverloadResult{}, err
+		}
+		classes = append(classes, c)
+	}
+
+	day := units.Duration(24 * units.SecondsPerHour)
+	arrivals := service.Arrivals{
+		Seed: 42, N: 600, MeanGap: 2 * units.Duration(units.SecondsPerHour), Classes: 2,
+		BurstStart: 10 * day, BurstEnd: 13 * day, BurstRate: 8,
+	}
+	reqs, err := arrivals.Generate()
+	if err != nil {
+		return OverloadResult{}, err
+	}
+
+	res := OverloadResult{
+		Classes:  classes,
+		SLA:      units.Duration(4 * units.SecondsPerHour),
+		Requests: len(reqs),
+	}
+	if _, res.Without, err = service.Simulate(classes, reqs,
+		service.Config{SLA: res.SLA}); err != nil {
+		return OverloadResult{}, err
+	}
+	if _, res.With, err = service.Simulate(classes, reqs,
+		service.Config{SLA: res.SLA, CloudEnabled: true}); err != nil {
+		return OverloadResult{}, err
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r OverloadResult) Table() *report.Table {
+	t := report.New(
+		fmt.Sprintf("Overload scenario: %d requests, %v SLA, 3-day 8x burst", r.Requests, r.SLA),
+		"operation", "local-runs", "cloud-runs", "mean-turnaround", "max-turnaround", "sla-violations", "cloud-spend")
+	add := func(name string, s service.Stats) {
+		t.MustAdd(name, fmt.Sprint(s.LocalRuns), fmt.Sprint(s.CloudRuns),
+			s.MeanTurnaround.String(), s.MaxTurnaround.String(),
+			fmt.Sprint(s.SLAViolations), s.CloudSpend.String())
+	}
+	add("local only", r.Without)
+	add("cloud burst", r.With)
+	return t
+}

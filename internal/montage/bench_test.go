@@ -1,0 +1,19 @@
+package montage
+
+import "testing"
+
+func benchGenerate(b *testing.B, spec Spec) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateOneDegree measures building + calibrating the
+// 203-task workflow.
+func BenchmarkGenerateOneDegree(b *testing.B) { benchGenerate(b, OneDegree()) }
+
+// BenchmarkGenerateFourDegree measures the 3,027-task workflow.
+func BenchmarkGenerateFourDegree(b *testing.B) { benchGenerate(b, FourDegree()) }

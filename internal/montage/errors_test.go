@@ -1,0 +1,76 @@
+package montage
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestGenerateWithoutCCRTarget(t *testing.T) {
+	// TargetCCR = 0 skips the size calibration entirely; runtimes are
+	// still calibrated.
+	s := OneDegree()
+	s.TargetCCR = 0
+	w, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.TotalRuntime().Hours(); got < 5.59 || got > 5.61 {
+		t.Errorf("runtime calibration lost: %v h", got)
+	}
+	// The uncalibrated CCR differs from the preset's target.
+	if ccr := w.CCR(units.Mbps(10)); ccr == 0.053 {
+		t.Error("CCR coincidentally equals target without calibration")
+	}
+}
+
+func TestGenerateTinyCustomSpec(t *testing.T) {
+	// The smallest legal Montage: 2 images, 1 overlap.
+	s := Spec{
+		Name: "tiny", Degrees: 0.2, Images: 2, Diffs: 1,
+		TotalCPU:    600,
+		MosaicBytes: units.Bytes(10 * units.MB),
+		TargetCCR:   0.05, Bandwidth: units.Mbps(10), Seed: 1,
+	}
+	w, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() != s.TaskCount() {
+		t.Errorf("tasks = %d, want %d", w.NumTasks(), s.TaskCount())
+	}
+	if w.MaxLevel() != 8 {
+		t.Errorf("levels = %d, want 8", w.MaxLevel())
+	}
+}
+
+func TestFromDegreesSubDegree(t *testing.T) {
+	s := FromDegrees(0.5, 3)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("0.5-degree spec invalid: %v", err)
+	}
+	w, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumTasks() >= w1.NumTasks() {
+		t.Errorf("0.5-degree workflow (%d tasks) not smaller than 1-degree (%d)",
+			w.NumTasks(), w1.NumTasks())
+	}
+}
+
+func TestPresetsOrder(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("presets = %d, want 3", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].TaskCount() <= ps[i-1].TaskCount() {
+			t.Error("presets not in size order")
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package planner performs the Pegasus-style concrete planning step of
+// the paper's Figure 2: it turns an abstract workflow (compute tasks and
+// data dependencies) into an executable plan with explicit data-movement
+// jobs -- stage-in jobs for external inputs, stage-out jobs for results,
+// and, in the dynamic-cleanup model, cleanup jobs that remove files once
+// their last consumer has run (the transformation of the paper's
+// reference [15]).
+//
+// The executor (package exec) implements these semantics directly for
+// speed; the planner exposes the same decisions as an inspectable,
+// serializable artifact, which is what a real workflow-management system
+// hands to its scheduler.
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/units"
+)
+
+// JobKind classifies a plan job.
+type JobKind int
+
+const (
+	// Compute runs one workflow task.
+	Compute JobKind = iota
+	// StageIn transfers external inputs into cloud storage.
+	StageIn
+	// StageOut transfers results back to the user.
+	StageOut
+	// CleanupJob deletes files that are no longer needed.
+	CleanupJob
+)
+
+// String names the kind.
+func (k JobKind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case StageIn:
+		return "stage-in"
+	case StageOut:
+		return "stage-out"
+	case CleanupJob:
+		return "cleanup"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Job is one node of the concrete plan.
+type Job struct {
+	Name    string
+	Kind    JobKind
+	Task    dag.TaskID  // the task a Compute job runs; NoTask otherwise
+	Files   []string    // files a transfer/cleanup job touches
+	Bytes   units.Bytes // total bytes a transfer job moves
+	Depends []string    // names of jobs that must complete first
+}
+
+// Plan is a concretized workflow.
+type Plan struct {
+	Workflow *dag.Workflow
+	Mode     datamgmt.Mode
+	// Jobs in a valid topological order.
+	Jobs []Job
+
+	byName map[string]int
+}
+
+// Options configure planning.
+type Options struct {
+	// Mode picks the data-management model.  Regular produces stage-in,
+	// compute and stage-out jobs; Cleanup additionally inserts cleanup
+	// jobs; RemoteIO gives every compute job its own stage-in/stage-out
+	// pair.
+	Mode datamgmt.Mode
+	// TransferBatch groups up to this many files into one bulk stage-in
+	// job (Regular/Cleanup only); 0 means one job per file.
+	TransferBatch int
+}
+
+// Build plans the workflow.
+func Build(wf *dag.Workflow, opts Options) (*Plan, error) {
+	if !wf.Finalized() {
+		return nil, fmt.Errorf("planner: workflow %q not finalized", wf.Name)
+	}
+	if opts.TransferBatch < 0 {
+		return nil, fmt.Errorf("planner: negative transfer batch %d", opts.TransferBatch)
+	}
+	switch opts.Mode {
+	case datamgmt.Regular, datamgmt.Cleanup, datamgmt.RemoteIO:
+	default:
+		return nil, fmt.Errorf("planner: unknown mode %v", opts.Mode)
+	}
+	p := &Plan{Workflow: wf, Mode: opts.Mode, byName: make(map[string]int)}
+	if opts.Mode == datamgmt.RemoteIO {
+		p.buildRemoteIO()
+	} else {
+		if err := p.buildResident(opts); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("planner: internal error: %w", err)
+	}
+	return p, nil
+}
+
+func (p *Plan) add(j Job) {
+	p.byName[j.Name] = len(p.Jobs)
+	p.Jobs = append(p.Jobs, j)
+}
+
+// computeName is the plan-job name of a workflow task.
+func computeName(t *dag.Task) string { return "compute/" + t.Name }
+
+func (p *Plan) buildResident(opts Options) error {
+	wf := p.Workflow
+	batch := opts.TransferBatch
+	if batch == 0 {
+		batch = 1
+	}
+	// Bulk stage-in jobs over the sorted external inputs.
+	inputs := wf.ExternalInputs()
+	stageInOf := make(map[string]string, len(inputs))
+	for start := 0; start < len(inputs); start += batch {
+		end := start + batch
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		var (
+			files []string
+			total units.Bytes
+		)
+		for _, f := range inputs[start:end] {
+			files = append(files, f.Name)
+			total += f.Size
+		}
+		name := fmt.Sprintf("stage-in/%04d", start/batch)
+		for _, f := range files {
+			stageInOf[f] = name
+		}
+		p.add(Job{Name: name, Kind: StageIn, Task: dag.NoTask, Files: files, Bytes: total})
+	}
+	// Compute jobs depend on stage-ins for external inputs and on
+	// producer compute jobs for the rest.
+	for _, id := range wf.TopoOrder() {
+		t := wf.Task(id)
+		depSet := map[string]bool{}
+		for _, in := range t.Inputs {
+			f := wf.File(in)
+			if f.External() {
+				depSet[stageInOf[in]] = true
+			} else {
+				depSet[computeName(wf.Task(f.Producer))] = true
+			}
+		}
+		p.add(Job{
+			Name: computeName(t), Kind: Compute, Task: id,
+			Depends: sortedKeys(depSet),
+		})
+	}
+	// Cleanup jobs: one per deletable file, after its last consumer.
+	if opts.Mode == datamgmt.Cleanup {
+		sched, err := datamgmt.DeletionSchedule(wf, wf.TopoOrder())
+		if err != nil {
+			return err
+		}
+		var names []string
+		for name := range sched {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, fileName := range names {
+			killer := wf.Task(sched[fileName])
+			p.add(Job{
+				Name: "cleanup/" + fileName, Kind: CleanupJob, Task: dag.NoTask,
+				Files:   []string{fileName},
+				Depends: []string{computeName(killer)},
+			})
+		}
+	}
+	// Stage-out jobs: one per declared output, after its producer.
+	for _, f := range wf.OutputFiles() {
+		deps := []string{}
+		if f.Producer != dag.NoTask {
+			deps = append(deps, computeName(wf.Task(f.Producer)))
+		}
+		p.add(Job{
+			Name: "stage-out/" + f.Name, Kind: StageOut, Task: dag.NoTask,
+			Files: []string{f.Name}, Bytes: f.Size, Depends: deps,
+		})
+	}
+	return nil
+}
+
+func (p *Plan) buildRemoteIO() {
+	wf := p.Workflow
+	for _, id := range wf.TopoOrder() {
+		t := wf.Task(id)
+		// Per-task stage-in of every input, gated on the producers'
+		// stage-outs (data must have reached the user first).
+		var (
+			inFiles []string
+			inBytes units.Bytes
+			inDeps  = map[string]bool{}
+		)
+		for _, in := range t.Inputs {
+			f := wf.File(in)
+			inFiles = append(inFiles, in)
+			inBytes += f.Size
+			if f.Producer != dag.NoTask {
+				inDeps[fmt.Sprintf("stage-out/%s", wf.Task(f.Producer).Name)] = true
+			}
+		}
+		sort.Strings(inFiles)
+		stageIn := fmt.Sprintf("stage-in/%s", t.Name)
+		p.add(Job{
+			Name: stageIn, Kind: StageIn, Task: dag.NoTask,
+			Files: inFiles, Bytes: inBytes, Depends: sortedKeys(inDeps),
+		})
+		p.add(Job{
+			Name: computeName(t), Kind: Compute, Task: id,
+			Depends: []string{stageIn},
+		})
+		var (
+			outFiles []string
+			outBytes units.Bytes
+		)
+		for _, out := range t.Outputs {
+			outFiles = append(outFiles, out)
+			outBytes += wf.File(out).Size
+		}
+		sort.Strings(outFiles)
+		p.add(Job{
+			Name: fmt.Sprintf("stage-out/%s", t.Name), Kind: StageOut, Task: dag.NoTask,
+			Files: outFiles, Bytes: outBytes, Depends: []string{computeName(t)},
+		})
+	}
+}
+
+// validate checks the plan is closed and topologically ordered.
+func (p *Plan) validate() error {
+	seen := map[string]bool{}
+	for _, j := range p.Jobs {
+		for _, d := range j.Depends {
+			if !seen[d] {
+				return fmt.Errorf("job %q depends on %q which is absent or later", j.Name, d)
+			}
+		}
+		if seen[j.Name] {
+			return fmt.Errorf("duplicate job %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	return nil
+}
+
+// Job returns the named job, or nil.
+func (p *Plan) Job(name string) *Job {
+	i, ok := p.byName[name]
+	if !ok {
+		return nil
+	}
+	return &p.Jobs[i]
+}
+
+// CountByKind returns how many jobs of each kind the plan holds.
+func (p *Plan) CountByKind() map[JobKind]int {
+	out := make(map[JobKind]int, 4)
+	for _, j := range p.Jobs {
+		out[j.Kind]++
+	}
+	return out
+}
+
+// TransferBytes sums the bytes moved by jobs of the given transfer kind.
+func (p *Plan) TransferBytes(kind JobKind) units.Bytes {
+	var sum units.Bytes
+	for _, j := range p.Jobs {
+		if j.Kind == kind {
+			sum += j.Bytes
+		}
+	}
+	return sum
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

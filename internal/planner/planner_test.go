@@ -1,0 +1,220 @@
+package planner
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/dagtest"
+	"repro/internal/datamgmt"
+	"repro/internal/exec"
+	"repro/internal/montage"
+)
+
+func oneDeg(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRegularPlanShape(t *testing.T) {
+	w := oneDeg(t)
+	p, err := Build(w, Options{Mode: datamgmt.Regular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.CountByKind()
+	// One stage-in per external input (46: 45 images + template), one
+	// compute per task, one stage-out per output (mosaic + jpeg).
+	if got := counts[StageIn]; got != 46 {
+		t.Errorf("stage-in jobs = %d, want 46", got)
+	}
+	if got := counts[Compute]; got != 203 {
+		t.Errorf("compute jobs = %d, want 203", got)
+	}
+	if got := counts[StageOut]; got != 2 {
+		t.Errorf("stage-out jobs = %d, want 2", got)
+	}
+	if got := counts[CleanupJob]; got != 0 {
+		t.Errorf("cleanup jobs = %d in regular mode, want 0", got)
+	}
+	// Transfer totals match the workflow's external volumes, i.e. what
+	// the executor bills in regular mode.
+	if got := p.TransferBytes(StageIn); got != w.InputBytes() {
+		t.Errorf("stage-in bytes = %d, want %d", got, w.InputBytes())
+	}
+	if got := p.TransferBytes(StageOut); got != w.OutputBytes() {
+		t.Errorf("stage-out bytes = %d, want %d", got, w.OutputBytes())
+	}
+}
+
+func TestCleanupPlanAddsCleanupJobs(t *testing.T) {
+	w := oneDeg(t)
+	p, err := Build(w, Options{Mode: datamgmt.Cleanup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.CountByKind()
+	// One cleanup job per deletable file: every file except the two
+	// staged-out outputs: 249 - 2 = 247.
+	if got := counts[CleanupJob]; got != 247 {
+		t.Errorf("cleanup jobs = %d, want 247", got)
+	}
+	// A cleanup job depends on its file's last consumer.
+	j := p.Job("cleanup/region.hdr")
+	if j == nil {
+		t.Fatal("no cleanup job for the template header")
+	}
+	if len(j.Depends) != 1 {
+		t.Fatalf("cleanup depends = %v, want one compute job", j.Depends)
+	}
+}
+
+func TestTransferBatching(t *testing.T) {
+	w := oneDeg(t)
+	p, err := Build(w, Options{Mode: datamgmt.Regular, TransferBatch: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ceil(46/10) = 5 bulk stage-in jobs moving the same total bytes.
+	if got := p.CountByKind()[StageIn]; got != 5 {
+		t.Errorf("batched stage-in jobs = %d, want 5", got)
+	}
+	if got := p.TransferBytes(StageIn); got != w.InputBytes() {
+		t.Errorf("batched stage-in bytes = %d, want %d", got, w.InputBytes())
+	}
+}
+
+func TestRemoteIOPlanShape(t *testing.T) {
+	w := oneDeg(t)
+	p, err := Build(w, Options{Mode: datamgmt.RemoteIO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.CountByKind()
+	// Per task: one stage-in, one compute, one stage-out.
+	if counts[StageIn] != 203 || counts[Compute] != 203 || counts[StageOut] != 203 {
+		t.Errorf("remote plan counts = %v, want 203 of each", counts)
+	}
+	// The plan's transfer totals equal what the executor measures for
+	// the same mode -- the two implementations must agree.
+	m, err := exec.Run(w, exec.Config{Mode: datamgmt.RemoteIO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TransferBytes(StageIn); got != m.BytesIn {
+		t.Errorf("planned stage-in bytes %d != executed %d", got, m.BytesIn)
+	}
+	if got := p.TransferBytes(StageOut); got != m.BytesOut {
+		t.Errorf("planned stage-out bytes %d != executed %d", got, m.BytesOut)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	w := oneDeg(t)
+	if _, err := Build(dag.New("x"), Options{Mode: datamgmt.Regular}); err == nil {
+		t.Error("unfinalized workflow accepted")
+	}
+	if _, err := Build(w, Options{Mode: datamgmt.Mode(9)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Build(w, Options{Mode: datamgmt.Regular, TransferBatch: -1}); err == nil {
+		t.Error("negative batch accepted")
+	}
+}
+
+func TestJobLookupAndKindNames(t *testing.T) {
+	w := oneDeg(t)
+	p, err := Build(w, Options{Mode: datamgmt.Regular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Job("compute/mAdd") == nil {
+		t.Error("mAdd compute job not found")
+	}
+	if p.Job("ghost") != nil {
+		t.Error("lookup of absent job returned something")
+	}
+	for k, want := range map[JobKind]string{
+		Compute: "compute", StageIn: "stage-in", StageOut: "stage-out", CleanupJob: "cleanup",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d name = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Property: plans over random workflows are topologically valid, closed,
+// and agree with the workflow on transfer volumes (regular mode).
+func TestPropPlanSound(t *testing.T) {
+	f := func(seed int64, modeRaw, batchRaw uint8) bool {
+		w := dagtest.RandomLayered(seed)
+		mode := datamgmt.Modes()[int(modeRaw)%3]
+		opts := Options{Mode: mode, TransferBatch: int(batchRaw % 5)}
+		p, err := Build(w, opts)
+		if err != nil {
+			return false
+		}
+		// Validity is checked internally by Build; re-verify exposure.
+		seen := map[string]bool{}
+		for _, j := range p.Jobs {
+			for _, d := range j.Depends {
+				if !seen[d] {
+					return false
+				}
+			}
+			seen[j.Name] = true
+		}
+		// Compute jobs cover every task exactly once.
+		if p.CountByKind()[Compute] != w.NumTasks() {
+			return false
+		}
+		if mode != datamgmt.RemoteIO {
+			if p.TransferBytes(StageIn) != w.InputBytes() {
+				return false
+			}
+			if p.TransferBytes(StageOut) != w.OutputBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in a cleanup plan, no cleanup job for a file precedes any
+// compute job that reads the file.
+func TestPropCleanupNeverEarly(t *testing.T) {
+	f := func(seed int64) bool {
+		w := dagtest.RandomLayered(seed)
+		p, err := Build(w, Options{Mode: datamgmt.Cleanup})
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, j := range p.Jobs {
+			pos[j.Name] = i
+		}
+		for _, j := range p.Jobs {
+			if j.Kind != CleanupJob {
+				continue
+			}
+			file := j.Files[0]
+			for _, c := range w.File(file).Consumers() {
+				consumer := "compute/" + w.Task(c).Name
+				if pos[consumer] > pos[j.Name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := New("Demo", "procs", "cost")
+	if err := tbl.Add("1", "$0.60"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.MustAdd("128", "$4.00")
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Demo", "procs", "cost", "128", "$4.00", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableTextNoTitle(t *testing.T) {
+	tbl := New("", "a")
+	tbl.MustAdd("x")
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") {
+		t.Error("leading blank line for untitled table")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := New("T", "a", "b")
+	tbl.MustAdd("1", "two,with comma")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"two,with comma\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := New("Fig X", "a", "b")
+	tbl.MustAdd("1", "with|pipe")
+	var b strings.Builder
+	if err := tbl.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Fig X**", "| a | b |", "| --- | --- |", `with\|pipe`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddArityMismatch(t *testing.T) {
+	tbl := New("T", "a", "b")
+	if err := tbl.Add("only-one"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on mismatch")
+		}
+	}()
+	tbl.MustAdd("only-one")
+}
+
+func TestF(t *testing.T) {
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q, want 3.14", got)
+	}
+	if got := F(2, 0); got != "2" {
+		t.Errorf("F = %q, want 2", got)
+	}
+}

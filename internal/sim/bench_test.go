@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkScheduleRun measures raw kernel throughput: schedule and
+// drain 10k events per iteration.
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 10000; j++ {
+			e.Schedule(units.Duration(j%97), func(units.Duration) {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkCascade measures self-scheduling chains (each event schedules
+// the next), the executor's dominant pattern.
+func BenchmarkCascade(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		n := 0
+		var tick Event
+		tick = func(units.Duration) {
+			n++
+			if n < 10000 {
+				e.After(1, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+	}
+}

@@ -1,0 +1,104 @@
+// Package sim is a minimal deterministic discrete-event simulation
+// kernel, the role GridSim played for the paper's experiments.
+//
+// An Engine owns a virtual clock and a time-ordered event queue.  Events
+// scheduled for the same instant fire in scheduling order (a monotonic
+// sequence number breaks ties), which makes every simulation in this
+// repository bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Event is a callback scheduled to run at a simulated time.
+type Event func(now units.Duration)
+
+type queuedEvent struct {
+	at  units.Duration
+	seq uint64
+	fn  Event
+}
+
+type eventQueue []*queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*queuedEvent)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator.  The zero value is ready to use.
+type Engine struct {
+	now     units.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	nEvents uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Duration { return e.now }
+
+// Processed returns how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.nEvents }
+
+// Schedule enqueues fn to run at absolute simulated time at.  Scheduling
+// in the past panics: it is always a simulation bug.
+func (e *Engine) Schedule(at units.Duration, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	e.seq++
+	heap.Push(&e.queue, &queuedEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run delay after the current time.
+func (e *Engine) After(delay units.Duration, fn Event) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue is empty or Stop is called, and
+// returns the final simulated time.
+func (e *Engine) Run() units.Duration {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*queuedEvent)
+		e.now = ev.at
+		e.nEvents++
+		ev.fn(e.now)
+	}
+	return e.now
+}
+
+// Stop halts Run after the current event returns.  Pending events stay
+// queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestRunOrdersEventsByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(30, func(units.Duration) { got = append(got, 3) })
+	e.Schedule(10, func(units.Duration) { got = append(got, 1) })
+	e.Schedule(20, func(units.Duration) { got = append(got, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end time = %v, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(units.Duration) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEventsScheduleMoreEvents(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick Event
+	tick = func(now units.Duration) {
+		count++
+		if count < 5 {
+			e.After(10, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	end := e.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if end != 40 {
+		t.Errorf("end = %v, want 40", end)
+	}
+}
+
+func TestNowAdvancesDuringRun(t *testing.T) {
+	var e Engine
+	var seen []units.Duration
+	e.Schedule(7, func(now units.Duration) { seen = append(seen, now, e.Now()) })
+	e.Run()
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 7 {
+		t.Errorf("seen = %v, want [7 7]", seen)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(10, func(units.Duration) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func(units.Duration) {})
+	})
+	e.Run()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event did not panic")
+		}
+	}()
+	var e Engine
+	e.Schedule(0, nil)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	var e Engine
+	e.After(-1, func(units.Duration) {})
+}
+
+func TestStopAndResume(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(1, func(units.Duration) { got = append(got, 1); e.Stop() })
+	e.Schedule(2, func(units.Duration) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 1 {
+		t.Fatalf("after Stop got %v, want [1]", got)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("after resume got %v, want [1 2]", got)
+	}
+}
+
+// Property: for any set of event times, Run fires them in sorted order
+// and ends at the maximum time.
+func TestPropRunSortsTimes(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var e Engine
+		var fired []units.Duration
+		var max units.Duration
+		for _, r := range raw {
+			at := units.Duration(r)
+			if at > max {
+				max = at
+			}
+			e.Schedule(at, func(now units.Duration) { fired = append(fired, now) })
+		}
+		end := e.Run()
+		if len(raw) == 0 {
+			return end == 0
+		}
+		if end != max {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package skycat models the input image archive behind the Montage
+// service: a synthetic all-sky survey shaped like 2MASS -- plates on a
+// near-uniform sky grid in three infrared bands, ~12 TB in total --
+// supporting the region query that starts every mosaic request ("the
+// input to the service is the region of the sky whose mosaic is desired,
+// the size of the mosaic in square degrees, and the image archive to be
+// used").
+//
+// The catalog is computed, not materialized: plate positions follow from
+// grid arithmetic, so queries over a million-plate survey are cheap and
+// the package stays deterministic.
+package skycat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/montage"
+	"repro/internal/units"
+)
+
+// Band is a survey filter band.  2MASS observed in J, H and Ks.
+type Band int
+
+// The three 2MASS bands.
+const (
+	J Band = iota
+	H
+	K
+)
+
+// String names the band.
+func (b Band) String() string {
+	switch b {
+	case J:
+		return "J"
+	case H:
+		return "H"
+	case K:
+		return "Ks"
+	default:
+		return fmt.Sprintf("band(%d)", int(b))
+	}
+}
+
+// Bands lists all survey bands.
+func Bands() []Band { return []Band{J, H, K} }
+
+// Plate is one survey image.
+type Plate struct {
+	ID   string
+	RA   float64 // center right ascension, degrees [0, 360)
+	Dec  float64 // center declination, degrees [-90, 90]
+	Band Band
+	Size units.Bytes
+}
+
+// Catalog is a gridded synthetic survey.
+type Catalog struct {
+	spacing    float64     // plate grid spacing in degrees of declination
+	plateBytes units.Bytes // uniform plate size
+	margin     float64     // extra border plates a mosaic needs, degrees
+}
+
+// New2MASS returns a catalog dimensioned like the 2MASS all-sky release:
+// ~0.176-degree plate spacing and 3 MB plates, which lands the total
+// holdings at the paper's 12 TB across three bands.
+func New2MASS() *Catalog {
+	return &Catalog{
+		spacing:    0.176,
+		plateBytes: units.Bytes(3 * units.MB),
+		margin:     0.09,
+	}
+}
+
+// rows returns the number of declination rows.
+func (c *Catalog) rows() int { return int(math.Floor(180 / c.spacing)) }
+
+// platesInRow returns how many plates tile the given declination row.
+// Rows shrink toward the poles with cos(dec).
+func (c *Catalog) platesInRow(dec float64) int {
+	circ := 360 * math.Cos(dec*math.Pi/180)
+	if circ < c.spacing {
+		return 1
+	}
+	return int(math.Ceil(circ / c.spacing))
+}
+
+// PlateCount returns the number of plates in one band.
+func (c *Catalog) PlateCount() int {
+	total := 0
+	for i := 0; i < c.rows(); i++ {
+		dec := -90 + (float64(i)+0.5)*c.spacing
+		total += c.platesInRow(dec)
+	}
+	return total
+}
+
+// TotalBytes returns the survey's full holdings across all bands.
+func (c *Catalog) TotalBytes() units.Bytes {
+	return units.Bytes(len(Bands())) * units.Bytes(c.PlateCount()) * c.plateBytes
+}
+
+// Query returns the plates of one band whose centers fall within the
+// mosaic footprint: a square of sizeDeg degrees centered at (ra, dec),
+// grown by the catalog's border margin (mosaics need overlapping
+// neighbours).  RA wrap-around at 0/360 is handled.
+func (c *Catalog) Query(ra, dec, sizeDeg float64, band Band) ([]Plate, error) {
+	if ra < 0 || ra >= 360 {
+		return nil, fmt.Errorf("skycat: RA %v outside [0,360)", ra)
+	}
+	if dec < -90 || dec > 90 {
+		return nil, fmt.Errorf("skycat: Dec %v outside [-90,90]", dec)
+	}
+	if sizeDeg <= 0 || sizeDeg > 30 {
+		return nil, fmt.Errorf("skycat: mosaic size %v outside (0,30] degrees", sizeDeg)
+	}
+	if band < J || band > K {
+		return nil, fmt.Errorf("skycat: unknown band %d", band)
+	}
+	half := sizeDeg/2 + c.margin
+	var plates []Plate
+	for i := 0; i < c.rows(); i++ {
+		rowDec := -90 + (float64(i)+0.5)*c.spacing
+		if rowDec < dec-half || rowDec > dec+half {
+			continue
+		}
+		n := c.platesInRow(rowDec)
+		raStep := 360.0 / float64(n)
+		for j := 0; j < n; j++ {
+			rowRA := (float64(j) + 0.5) * raStep
+			// Angular RA separation on the circle, scaled by cos(dec) to
+			// compare against the footprint in great-circle degrees.
+			d := math.Abs(rowRA - ra)
+			if d > 180 {
+				d = 360 - d
+			}
+			if d*math.Cos(rowDec*math.Pi/180) > half {
+				continue
+			}
+			plates = append(plates, Plate{
+				ID:   fmt.Sprintf("2mass-%s-%05d-%05d", band, i, j),
+				RA:   rowRA,
+				Dec:  rowDec,
+				Band: band,
+				Size: c.plateBytes,
+			})
+		}
+	}
+	if len(plates) == 0 {
+		return nil, fmt.Errorf("skycat: no plates cover (%v, %v)", ra, dec)
+	}
+	return plates, nil
+}
+
+// SpecForRegion turns a region query into a Montage workflow spec: the
+// plate count sets the image count, and CPU time, mosaic size, and
+// overlap counts scale from the paper's calibrated presets.
+func (c *Catalog) SpecForRegion(name string, ra, dec, sizeDeg float64, band Band, seed int64) (montage.Spec, []Plate, error) {
+	plates, err := c.Query(ra, dec, sizeDeg, band)
+	if err != nil {
+		return montage.Spec{}, nil, err
+	}
+	base := montage.OneDegree()
+	n := len(plates)
+	scale := float64(n) / float64(base.Images)
+	spec := montage.Spec{
+		Name:    name,
+		Degrees: sizeDeg,
+		Images:  n,
+		Diffs:   int(math.Round(2.4 * float64(n))),
+		// CPU time and mosaic size scale with the covered area, i.e.
+		// with the plate count.
+		TotalCPU:    units.Duration(float64(base.TotalCPU) * scale),
+		MosaicBytes: units.BytesOf(float64(base.MosaicBytes) * scale),
+		TargetCCR:   base.TargetCCR,
+		Bandwidth:   base.Bandwidth,
+		Seed:        seed,
+	}
+	return spec, plates, nil
+}

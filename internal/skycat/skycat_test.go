@@ -1,0 +1,180 @@
+package skycat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/montage"
+	"repro/internal/units"
+)
+
+func TestArchiveSizeMatchesPaper(t *testing.T) {
+	// §6 Q2b: "The size of entire data set is 12 Terabytes."
+	c := New2MASS()
+	got := c.TotalBytes().GB()
+	if got < 10500 || got > 13500 {
+		t.Errorf("archive = %.0f GB, want ~12,000 GB", got)
+	}
+}
+
+func TestPlateCountOrder(t *testing.T) {
+	// ~41,253 square degrees of sky at ~0.031 sq-deg per plate.
+	c := New2MASS()
+	n := c.PlateCount()
+	if n < 1.2e6 || n > 1.5e6 {
+		t.Errorf("plate count = %d, want ~1.33M per band", n)
+	}
+}
+
+func TestQueryPlateCountsTrackPresets(t *testing.T) {
+	// The paper's workflows: 45 / 162 / 662 images for 1/2/4-degree
+	// mosaics.  Region queries at the equator should land in the same
+	// range.
+	c := New2MASS()
+	cases := []struct {
+		size     float64
+		min, max int
+	}{
+		{1, 35, 60},
+		{2, 130, 200},
+		{4, 500, 800},
+	}
+	for _, tc := range cases {
+		plates, err := c.Query(180, 0, tc.size, J)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plates) < tc.min || len(plates) > tc.max {
+			t.Errorf("%v-degree query returned %d plates, want %d-%d",
+				tc.size, len(plates), tc.min, tc.max)
+		}
+	}
+}
+
+func TestQueryRAWraparound(t *testing.T) {
+	c := New2MASS()
+	atZero, err := c.Query(0, 0, 1, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atMid, err := c.Query(180, 0, 1, K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The footprint at RA=0 straddles the wrap; counts must be similar.
+	ratio := float64(len(atZero)) / float64(len(atMid))
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("wraparound query returned %d plates vs %d at mid-sky", len(atZero), len(atMid))
+	}
+}
+
+func TestQueryNearPole(t *testing.T) {
+	c := New2MASS()
+	plates, err := c.Query(10, 89, 1, H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plates) == 0 {
+		t.Fatal("no plates near the pole")
+	}
+	for _, p := range plates {
+		if p.Dec < 87 {
+			t.Errorf("plate %s at dec %v outside polar cap", p.ID, p.Dec)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c := New2MASS()
+	cases := []struct {
+		name          string
+		ra, dec, size float64
+		band          Band
+	}{
+		{"ra low", -1, 0, 1, J},
+		{"ra high", 360, 0, 1, J},
+		{"dec low", 0, -91, 1, J},
+		{"dec high", 0, 91, 1, J},
+		{"zero size", 0, 0, 0, J},
+		{"huge size", 0, 0, 31, J},
+		{"bad band", 0, 0, 1, Band(9)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := c.Query(tc.ra, tc.dec, tc.size, tc.band); err == nil {
+				t.Error("invalid query accepted")
+			}
+		})
+	}
+}
+
+func TestBandStrings(t *testing.T) {
+	if J.String() != "J" || H.String() != "H" || K.String() != "Ks" {
+		t.Error("band names wrong")
+	}
+	if len(Bands()) != 3 {
+		t.Error("band list wrong")
+	}
+}
+
+func TestSpecForRegionGenerates(t *testing.T) {
+	c := New2MASS()
+	// M17 (the paper's target region): RA ~275.2, Dec ~-16.2.
+	spec, plates, err := c.SpecForRegion("m17-1deg", 275.2, -16.2, 1, K, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Images != len(plates) {
+		t.Errorf("spec images %d != plates %d", spec.Images, len(plates))
+	}
+	wf, err := montage.Generate(spec)
+	if err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+	if wf.NumTasks() != spec.TaskCount() {
+		t.Errorf("tasks = %d, want %d", wf.NumTasks(), spec.TaskCount())
+	}
+	// CPU time scales with plate count relative to the 1-degree preset.
+	base := montage.OneDegree()
+	wantCPU := float64(base.TotalCPU) * float64(len(plates)) / float64(base.Images)
+	if math.Abs(wf.TotalRuntime().Seconds()-wantCPU) > 1 {
+		t.Errorf("CPU = %v s, want %v s", wf.TotalRuntime().Seconds(), wantCPU)
+	}
+	if spec.MosaicBytes <= 0 || spec.MosaicBytes > units.Bytes(600*units.MB) {
+		t.Errorf("mosaic size %v implausible for 1 degree", spec.MosaicBytes)
+	}
+}
+
+// Property: every returned plate's center lies inside the grown
+// footprint, and queries are deterministic.
+func TestPropQueryFootprint(t *testing.T) {
+	c := New2MASS()
+	f := func(raRaw, decRaw uint16, sizeRaw uint8) bool {
+		ra := float64(raRaw) / 65535 * 359.9
+		dec := float64(decRaw)/65535*160 - 80 // stay off the exact poles
+		size := 0.5 + float64(sizeRaw%40)/10  // 0.5 .. 4.4 degrees
+		plates, err := c.Query(ra, dec, size, J)
+		if err != nil {
+			return false
+		}
+		half := size/2 + 0.09 + 1e-9
+		for _, p := range plates {
+			if p.Dec < dec-half || p.Dec > dec+half {
+				return false
+			}
+			d := math.Abs(p.RA - ra)
+			if d > 180 {
+				d = 360 - d
+			}
+			if d*math.Cos(p.Dec*math.Pi/180) > half {
+				return false
+			}
+		}
+		again, err := c.Query(ra, dec, size, J)
+		return err == nil && len(again) == len(plates)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

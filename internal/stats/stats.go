@@ -1,0 +1,106 @@
+// Package stats holds the small numeric helpers shared by the
+// experiment harness: geometric parameter sweeps, step-function
+// integrals, and series summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Geometric returns n values start, start*ratio, start*ratio^2, ...,
+// the progression the paper uses for both processor counts and CCR
+// sweeps.
+func Geometric(start, ratio float64, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: non-positive length %d", n)
+	}
+	if start <= 0 || ratio <= 0 {
+		return nil, fmt.Errorf("stats: geometric sequence needs positive start and ratio")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	return out, nil
+}
+
+// StepIntegral computes the area under a right-continuous step function
+// given as sorted (x, y) breakpoints, from the first breakpoint to end.
+// The function holds value y[i] on [x[i], x[i+1]).
+func StepIntegral(xs, ys []float64, end float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: xs and ys lengths differ (%d vs %d)", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	if !sort.Float64sAreSorted(xs) {
+		return 0, fmt.Errorf("stats: xs not sorted")
+	}
+	if end < xs[len(xs)-1] {
+		return 0, fmt.Errorf("stats: end %v before last breakpoint %v", end, xs[len(xs)-1])
+	}
+	var area float64
+	for i := 0; i+1 < len(xs); i++ {
+		area += ys[i] * (xs[i+1] - xs[i])
+	}
+	area += ys[len(ys)-1] * (end - xs[len(xs)-1])
+	return area, nil
+}
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N         int
+	Min, Max  float64
+	Mean, Sum float64
+	Median    float64
+	StdDev    float64
+}
+
+// Summarize computes a Summary; an empty input yields a zero Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(values), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range values {
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, v := range values {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.N))
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// RelErr returns |got-want| / max(|want|, eps): the relative deviation
+// the EXPERIMENTS.md comparisons report between our measurements and the
+// paper's published values.
+func RelErr(got, want float64) float64 {
+	denom := math.Abs(want)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return math.Abs(got-want) / denom
+}

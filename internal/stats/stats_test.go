@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometric(t *testing.T) {
+	got, err := Geometric(1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Geometric(0, 2, 3); err == nil {
+		t.Error("zero start accepted")
+	}
+	if _, err := Geometric(1, 0, 3); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	if _, err := Geometric(1, 2, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestStepIntegral(t *testing.T) {
+	// f = 100 on [0,10), 150 on [10,20), 50 on [20,30].
+	got, err := StepIntegral([]float64{0, 10, 20}, []float64{100, 150, 50}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3000 {
+		t.Errorf("integral = %v, want 3000", got)
+	}
+	if _, err := StepIntegral([]float64{0, 1}, []float64{1}, 2); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := StepIntegral([]float64{1, 0}, []float64{1, 1}, 2); err == nil {
+		t.Error("unsorted xs accepted")
+	}
+	if _, err := StepIntegral([]float64{0, 10}, []float64{1, 1}, 5); err == nil {
+		t.Error("end before last breakpoint accepted")
+	}
+	if got, err := StepIntegral(nil, nil, 5); err != nil || got != 0 {
+		t.Errorf("empty integral = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 || s.Mean != 2.5 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median = %v, want 2.5", s.Median)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median)
+	}
+	if zero := Summarize(nil); zero.N != 0 {
+		t.Errorf("empty summary: %+v", zero)
+	}
+	// StdDev of {2,4,4,4,5,5,7,9} is 2.
+	sd := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(sd.StdDev-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", sd.StdDev)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(110,100) = %v, want 0.1", got)
+	}
+	if got := RelErr(1, 0); got <= 0 {
+		t.Errorf("RelErr(1,0) = %v, want large positive", got)
+	}
+	if got := RelErr(5, 5); got != 0 {
+		t.Errorf("RelErr(5,5) = %v, want 0", got)
+	}
+}
+
+// Property: geometric sequences are strictly increasing for ratio > 1
+// and each term is ratio x the previous.
+func TestPropGeometric(t *testing.T) {
+	f := func(start, ratio uint8, n uint8) bool {
+		s := float64(start%50) + 1
+		r := 1 + float64(ratio%30+1)/10
+		k := int(n%20) + 1
+		seq, err := Geometric(s, r, k)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(seq); i++ {
+			if seq[i] <= seq[i-1] {
+				return false
+			}
+			if math.Abs(seq[i]/seq[i-1]-r) > 1e-9 {
+				return false
+			}
+		}
+		return seq[0] == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize bounds hold: Min <= Median <= Max, Min <= Mean <= Max.
+func TestPropSummaryBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		s := Summarize(vals)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade-level tests double as integration tests: the full pipeline
+// (generate -> simulate -> price -> analyze) through the public API.
+
+func TestQuickstartFlow(t *testing.T) {
+	wf, err := Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.NumTasks() != 203 {
+		t.Fatalf("tasks = %d, want 203", wf.NumTasks())
+	}
+	res, err := Run(wf, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Cost.CPU)-0.56) > 1e-6 {
+		t.Errorf("CPU cost = %v, want $0.56", res.Cost.CPU)
+	}
+	if res.Cost.Total() <= res.Cost.CPU {
+		t.Error("total must exceed CPU cost")
+	}
+}
+
+func TestProvisioningFlow(t *testing.T) {
+	wf, err := Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := ProvisioningSweep(wf, GeometricProcessors(), DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 8", len(points))
+	}
+	// The paper's headline trade-off: cheapest at 1 processor, fastest at
+	// 128.
+	cheapest, fastest := points[0], points[0]
+	for _, p := range points {
+		if p.Result.Cost.Total() < cheapest.Result.Cost.Total() {
+			cheapest = p
+		}
+		if p.Result.Metrics.ExecTime < fastest.Result.Metrics.ExecTime {
+			fastest = p
+		}
+	}
+	if cheapest.Processors != 1 {
+		t.Errorf("cheapest pool = %d procs, want 1", cheapest.Processors)
+	}
+	// 128 processors must be at least as fast as any pool (pools past the
+	// level width can tie).
+	if points[7].Result.Metrics.ExecTime > fastest.Result.Metrics.ExecTime {
+		t.Errorf("128-proc time %v slower than fastest %v (%d procs)",
+			points[7].Result.Metrics.ExecTime, fastest.Result.Metrics.ExecTime, fastest.Processors)
+	}
+}
+
+func TestModeComparisonFlow(t *testing.T) {
+	wf, err := Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareModes(wf, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("modes = %d, want 3", len(results))
+	}
+	if !(results[RemoteIO].Cost.Total() > results[Cleanup].Cost.Total()) {
+		t.Error("remote I/O should cost more than cleanup")
+	}
+}
+
+func TestArchiveFlow(t *testing.T) {
+	wf, err := Generate(TwoDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(wf, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := ComputeBreakEven(Amazon2008(), TwoMASSArchiveBytes, res.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(be.MonthlyStorageCost) != 1800 {
+		t.Errorf("monthly = %v, want $1800", be.MonthlyStorageCost)
+	}
+	h, err := ComputeStorageHorizon(Amazon2008(), wf.OutputBytes(), res.Cost.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Months < 20 || h.Months > 27 {
+		t.Errorf("horizon = %.2f months, want ~24", h.Months)
+	}
+	sky, err := ComputeSkyCampaign(res.Cost, WholeSky4DegMosaics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sky.TotalCost <= 0 {
+		t.Error("sky campaign cost not positive")
+	}
+}
+
+func TestCCRFlow(t *testing.T) {
+	wf, err := Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultPlan()
+	plan.Processors = 8
+	plan.Billing = Provisioned
+	points, err := CCRSweep(wf, []float64{0.053, 0.106}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[1].Result.Cost.Total() <= points[0].Result.Cost.Total() {
+		t.Error("CCR sweep not increasing")
+	}
+}
+
+func TestCustomPricing(t *testing.T) {
+	// The paper's closing speculation: providers with cheap compute and
+	// expensive storage (or vice versa) change which plan wins.  Verify
+	// the library supports alternative schedules end to end.
+	wf, err := Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := DefaultPlan()
+	plan.Pricing = Pricing{
+		StoragePerGBMonth: 1.50, // 10x storage
+		TransferInPerGB:   0.01,
+		TransferOutPerGB:  0.016,
+		CPUPerHour:        0.10,
+	}
+	res, err := Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(wf, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Cost.Storage > base.Cost.Storage) {
+		t.Error("10x storage rate did not raise storage cost")
+	}
+	if !(res.Cost.TransferIn < base.Cost.TransferIn) {
+		t.Error("cheaper transfer rate did not lower transfer cost")
+	}
+}
+
+func TestMbpsHelper(t *testing.T) {
+	if Mbps(10).BytesPerSecond() != 1.25e6 {
+		t.Errorf("Mbps(10) = %v B/s, want 1.25e6", Mbps(10).BytesPerSecond())
+	}
+}
