@@ -9,12 +9,15 @@ package repro
 // Run with:  go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/montage"
 	"repro/internal/report"
 )
 
@@ -35,7 +38,7 @@ func printTables(name string, tables ...*report.Table) {
 // BenchmarkTableCCR regenerates the §6.3 CCR table (E1).
 func BenchmarkTableCCR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.CCRTable()
+		res, err := experiments.CCRTable(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,10 +50,10 @@ func BenchmarkTableCCR(b *testing.B) {
 	}
 }
 
-func benchProvisioning(b *testing.B, name string, fn func() (experiments.ProvisioningFigure, error)) {
+func benchProvisioning(b *testing.B, name string, fn func(context.Context) (experiments.ProvisioningFigure, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		f, err := fn()
+		f, err := fn(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,10 +77,10 @@ func BenchmarkFig5(b *testing.B) { benchProvisioning(b, "fig5", experiments.Fig5
 // BenchmarkFig6 regenerates the 4-degree provisioning sweep (E4).
 func BenchmarkFig6(b *testing.B) { benchProvisioning(b, "fig6", experiments.Fig6) }
 
-func benchDataManagement(b *testing.B, name string, fn func() (experiments.DataManagementFigure, error)) {
+func benchDataManagement(b *testing.B, name string, fn func(context.Context) (experiments.DataManagementFigure, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		f, err := fn()
+		f, err := fn(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +105,7 @@ func BenchmarkFig9(b *testing.B) { benchDataManagement(b, "fig9", experiments.Fi
 // BenchmarkFig10 regenerates the CPU-vs-DM cost summary (E8).
 func BenchmarkFig10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10()
+		res, err := experiments.Fig10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +121,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 regenerates the CCR sensitivity sweep (E9).
 func BenchmarkFig11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig11()
+		res, err := experiments.Fig11(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +137,7 @@ func BenchmarkFig11(b *testing.B) {
 // BenchmarkQ2bArchive regenerates the archive break-even analysis (E10).
 func BenchmarkQ2bArchive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Q2b()
+		res, err := experiments.Q2b(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +152,7 @@ func BenchmarkQ2bArchive(b *testing.B) {
 // BenchmarkQ3WholeSky regenerates the whole-sky campaign costing (E11).
 func BenchmarkQ3WholeSky(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Q3WholeSky()
+		res, err := experiments.Q3WholeSky(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +167,7 @@ func BenchmarkQ3WholeSky(b *testing.B) {
 // BenchmarkQ3StoreVsRecompute regenerates the storage horizons (E12).
 func BenchmarkQ3StoreVsRecompute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Q3Store()
+		res, err := experiments.Q3Store(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +182,7 @@ func BenchmarkQ3StoreVsRecompute(b *testing.B) {
 // BenchmarkAblationGranularity probes per-hour vs per-second billing.
 func BenchmarkAblationGranularity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationGranularity()
+		res, err := experiments.AblationGranularity(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,7 +198,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 // charging (the paper's $13.92-vs-$8.89 example).
 func BenchmarkAblationPlanComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationPlanComparison()
+		res, err := experiments.AblationPlanComparison(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -211,7 +214,7 @@ func BenchmarkAblationPlanComparison(b *testing.B) {
 // BenchmarkAblationVMStartup probes the §8 VM-boot cost extension.
 func BenchmarkAblationVMStartup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationVMStartup()
+		res, err := experiments.AblationVMStartup(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +229,7 @@ func BenchmarkAblationVMStartup(b *testing.B) {
 // BenchmarkAblationOutage probes the §8 storage-availability extension.
 func BenchmarkAblationOutage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationOutage()
+		res, err := experiments.AblationOutage(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +244,7 @@ func BenchmarkAblationOutage(b *testing.B) {
 // BenchmarkAblationScheduler probes list-scheduler ready-queue policies.
 func BenchmarkAblationScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationScheduler()
+		res, err := experiments.AblationScheduler(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -254,7 +257,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 // BenchmarkAblationClustering probes Pegasus-style task clustering.
 func BenchmarkAblationClustering(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationClustering()
+		res, err := experiments.AblationClustering(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -269,7 +272,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 // BenchmarkAblationReliability probes the §8 task-failure extension.
 func BenchmarkAblationReliability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationReliability()
+		res, err := experiments.AblationReliability(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -285,7 +288,7 @@ func BenchmarkAblationReliability(b *testing.B) {
 // scenario.
 func BenchmarkOverloadScenario(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Overload()
+		res, err := experiments.Overload(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -322,3 +325,43 @@ func BenchmarkGenerate4Degree(b *testing.B) {
 		}
 	}
 }
+
+// benchSweepWorkers runs the Question-1 grid of the 1-degree workflow
+// (regular + cleanup run per pool size) through the sweep engine with a
+// fixed worker count.  Comparing the two benchmarks below measures the
+// wall-time win of the parallel sweep over the serial reference path.
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	wf, err := montage.Cached(montage.OneDegree())
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := DefaultPlan()
+	s := experiments.Sweep[int, core.SweepPoint]{
+		Name:    "bench-provisioning",
+		Points:  GeometricProcessors(),
+		Workers: workers,
+		Run: func(ctx context.Context, n int) (core.SweepPoint, error) {
+			points, err := core.ProvisioningSweepContext(ctx, wf, []int{n}, plan)
+			if err != nil {
+				return core.SweepPoint{}, err
+			}
+			return points[0], nil
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Do(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the serial reference: one worker walks the
+// grid exactly like the seed's loop did.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel is the same grid on a GOMAXPROCS-sized pool;
+// results are byte-identical to the serial run (see the determinism
+// test), only the wall-time changes.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }

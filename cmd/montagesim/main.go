@@ -15,11 +15,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -35,13 +37,13 @@ import (
 type tableSet struct {
 	name   string
 	desc   string
-	tables func() ([]*report.Table, error)
+	tables func(context.Context) ([]*report.Table, error)
 }
 
 func experimentsIndex() []tableSet {
 	return []tableSet{
-		{"ccr-table", "§6.3 CCR table", func() ([]*report.Table, error) {
-			r, err := experiments.CCRTable()
+		{"ccr-table", "§6.3 CCR table", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.CCRTable(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
 		{"fig4", "Q1 provisioning sweep, 1-degree", provisioningTables(experiments.Fig4)},
@@ -50,64 +52,64 @@ func experimentsIndex() []tableSet {
 		{"fig7", "Q2a data-management comparison, 1-degree", dmTables(experiments.Fig7)},
 		{"fig8", "Q2a data-management comparison, 2-degree", dmTables(experiments.Fig8)},
 		{"fig9", "Q2a data-management comparison, 4-degree", dmTables(experiments.Fig9)},
-		{"fig10", "CPU vs data-management cost summary", func() ([]*report.Table, error) {
-			r, err := experiments.Fig10()
+		{"fig10", "CPU vs data-management cost summary", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.Fig10(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"fig11", "CCR sensitivity sweep", func() ([]*report.Table, error) {
-			r, err := experiments.Fig11()
+		{"fig11", "CCR sensitivity sweep", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.Fig11(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"q2b", "archive break-even analysis", func() ([]*report.Table, error) {
-			r, err := experiments.Q2b()
+		{"q2b", "archive break-even analysis", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.Q2b(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"q3", "whole-sky campaign costing", func() ([]*report.Table, error) {
-			r, err := experiments.Q3WholeSky()
+		{"q3", "whole-sky campaign costing", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.Q3WholeSky(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"store", "store-vs-recompute horizons", func() ([]*report.Table, error) {
-			r, err := experiments.Q3Store()
+		{"store", "store-vs-recompute horizons", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.Q3Store(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-granularity", "per-hour vs per-second billing", func() ([]*report.Table, error) {
-			r, err := experiments.AblationGranularity()
+		{"ablation-granularity", "per-hour vs per-second billing", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationGranularity(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-plan", "provisioned vs on-demand charging", func() ([]*report.Table, error) {
-			r, err := experiments.AblationPlanComparison()
+		{"ablation-plan", "provisioned vs on-demand charging", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationPlanComparison(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-startup", "VM startup cost (§8 extension)", func() ([]*report.Table, error) {
-			r, err := experiments.AblationVMStartup()
+		{"ablation-startup", "VM startup cost (§8 extension)", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationVMStartup(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-outage", "storage outage impact (§8 extension)", func() ([]*report.Table, error) {
-			r, err := experiments.AblationOutage()
+		{"ablation-outage", "storage outage impact (§8 extension)", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationOutage(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-scheduler", "list-scheduler policy comparison", func() ([]*report.Table, error) {
-			r, err := experiments.AblationScheduler()
+		{"ablation-scheduler", "list-scheduler policy comparison", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationScheduler(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-clustering", "horizontal task clustering", func() ([]*report.Table, error) {
-			r, err := experiments.AblationClustering()
+		{"ablation-clustering", "horizontal task clustering", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationClustering(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"ablation-reliability", "task failure rate impact (§8 extension)", func() ([]*report.Table, error) {
-			r, err := experiments.AblationReliability()
+		{"ablation-reliability", "task failure rate impact (§8 extension)", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.AblationReliability(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
-		{"overload", "cloud bursting under a request overload", func() ([]*report.Table, error) {
-			r, err := experiments.Overload()
+		{"overload", "cloud bursting under a request overload", func(ctx context.Context) ([]*report.Table, error) {
+			r, err := experiments.Overload(ctx)
 			return []*report.Table{r.Table()}, err
 		}},
 	}
 }
 
-func provisioningTables(fn func() (experiments.ProvisioningFigure, error)) func() ([]*report.Table, error) {
-	return func() ([]*report.Table, error) {
-		f, err := fn()
+func provisioningTables(fn func(context.Context) (experiments.ProvisioningFigure, error)) func(context.Context) ([]*report.Table, error) {
+	return func(ctx context.Context) ([]*report.Table, error) {
+		f, err := fn(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -115,9 +117,9 @@ func provisioningTables(fn func() (experiments.ProvisioningFigure, error)) func(
 	}
 }
 
-func dmTables(fn func() (experiments.DataManagementFigure, error)) func() ([]*report.Table, error) {
-	return func() ([]*report.Table, error) {
-		f, err := fn()
+func dmTables(fn func(context.Context) (experiments.DataManagementFigure, error)) func(context.Context) ([]*report.Table, error) {
+	return func(ctx context.Context) ([]*report.Table, error) {
+		f, err := fn(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -134,27 +136,32 @@ func main() {
 	billing := flag.String("billing", "on-demand", "custom run: provisioned or on-demand")
 	flag.Parse()
 
-	if err := realMain(*exp, *format, *run, *mode, *procs, *billing); err != nil {
+	// Ctrl-C cancels the whole experiment grid cooperatively: in-flight
+	// simulations notice within a few events and the sweep drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := realMain(ctx, *exp, *format, *run, *mode, *procs, *billing); err != nil {
 		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(exp, format, run, mode string, procs int, billing string) error {
+func realMain(ctx context.Context, exp, format, run, mode string, procs int, billing string) error {
 	switch {
 	case exp != "" && run != "":
 		return fmt.Errorf("use either -exp or -run, not both")
 	case exp != "":
-		return runExperiment(exp, format, os.Stdout)
+		return runExperiment(ctx, exp, format, os.Stdout)
 	case run != "":
-		return runCustom(run, mode, procs, billing, format, os.Stdout)
+		return runCustom(ctx, run, mode, procs, billing, format, os.Stdout)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -exp or -run")
 	}
 }
 
-func runExperiment(name, format string, w io.Writer) error {
+func runExperiment(ctx context.Context, name, format string, w io.Writer) error {
 	index := experimentsIndex()
 	if name == "list" {
 		tbl := report.New("Available experiments", "name", "description")
@@ -177,11 +184,29 @@ func runExperiment(name, format string, w io.Writer) error {
 			return fmt.Errorf("unknown experiment %q (try -exp list)", name)
 		}
 	}
-	for _, e := range selected {
-		tables, err := e.tables()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
-		}
+	switch format {
+	case "text", "csv", "markdown", "md":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv or markdown)", format)
+	}
+	// Run the selected experiments through the sweep engine: every
+	// figure computes concurrently, and each one's tables stream out in
+	// index order as soon as all earlier experiments have printed.
+	// Experiments nest their own grid pools inside this one; both levels
+	// are small (<=20 experiments, <=9 points) and a shared token pool
+	// across nested sweeps could deadlock, so each level is bounded by
+	// GOMAXPROCS independently and the OS scheduler absorbs the
+	// oversubscription.
+	return experiments.Sweep[tableSet, []*report.Table]{
+		Points: selected,
+		Run: func(ctx context.Context, e tableSet) ([]*report.Table, error) {
+			tables, err := e.tables(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.name, err)
+			}
+			return tables, nil
+		},
+	}.DoEach(ctx, func(tables []*report.Table) error {
 		for _, t := range tables {
 			var werr error
 			switch format {
@@ -193,18 +218,16 @@ func runExperiment(name, format string, w io.Writer) error {
 			case "markdown", "md":
 				werr = t.WriteMarkdown(w)
 				fmt.Fprintln(w)
-			default:
-				return fmt.Errorf("unknown format %q (want text, csv or markdown)", format)
 			}
 			if werr != nil {
 				return werr
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-func runCustom(preset, modeStr string, procs int, billingStr, format string, w io.Writer) error {
+func runCustom(ctx context.Context, preset, modeStr string, procs int, billingStr, format string, w io.Writer) error {
 	var spec montage.Spec
 	switch strings.ToLower(preset) {
 	case "1deg":
@@ -235,7 +258,7 @@ func runCustom(preset, modeStr string, procs int, billingStr, format string, w i
 	if err != nil {
 		return err
 	}
-	res, err := core.Run(wf, plan)
+	res, err := core.RunContext(ctx, wf, plan)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunExperimentList(t *testing.T) {
 	var b strings.Builder
-	if err := runExperiment("list", "text", &b); err != nil {
+	if err := runExperiment(context.Background(), "list", "text", &b); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"fig4", "fig10", "q2b", "ablation-outage"} {
@@ -19,7 +20,7 @@ func TestRunExperimentList(t *testing.T) {
 
 func TestRunExperimentText(t *testing.T) {
 	var b strings.Builder
-	if err := runExperiment("ccr-table", "text", &b); err != nil {
+	if err := runExperiment(context.Background(), "ccr-table", "text", &b); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "montage-4deg") {
@@ -29,7 +30,7 @@ func TestRunExperimentText(t *testing.T) {
 
 func TestRunExperimentCSV(t *testing.T) {
 	var b strings.Builder
-	if err := runExperiment("ccr-table", "csv", &b); err != nil {
+	if err := runExperiment(context.Background(), "ccr-table", "csv", &b); err != nil {
 		t.Fatal(err)
 	}
 	first := strings.SplitN(b.String(), "\n", 2)[0]
@@ -40,17 +41,17 @@ func TestRunExperimentCSV(t *testing.T) {
 
 func TestRunExperimentErrors(t *testing.T) {
 	var b strings.Builder
-	if err := runExperiment("no-such-figure", "text", &b); err == nil {
+	if err := runExperiment(context.Background(), "no-such-figure", "text", &b); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := runExperiment("ccr-table", "yaml", &b); err == nil {
+	if err := runExperiment(context.Background(), "ccr-table", "yaml", &b); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
 
 func TestRunCustom(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom("1deg", "cleanup", 8, "provisioned", "text", &b); err != nil {
+	if err := runCustom(context.Background(), "1deg", "cleanup", 8, "provisioned", "text", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -63,7 +64,7 @@ func TestRunCustom(t *testing.T) {
 
 func TestRunCustomJSON(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom("1deg", "regular", 4, "on-demand", "json", &b); err != nil {
+	if err := runCustom(context.Background(), "1deg", "regular", 4, "on-demand", "json", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -76,22 +77,22 @@ func TestRunCustomJSON(t *testing.T) {
 
 func TestRunCustomErrors(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom("9deg", "regular", 0, "on-demand", "text", &b); err == nil {
+	if err := runCustom(context.Background(), "9deg", "regular", 0, "on-demand", "text", &b); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if err := runCustom("1deg", "sideways", 0, "on-demand", "text", &b); err == nil {
+	if err := runCustom(context.Background(), "1deg", "sideways", 0, "on-demand", "text", &b); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := runCustom("1deg", "regular", 0, "prepaid", "text", &b); err == nil {
+	if err := runCustom(context.Background(), "1deg", "regular", 0, "prepaid", "text", &b); err == nil {
 		t.Error("unknown billing accepted")
 	}
 }
 
 func TestRealMainArgs(t *testing.T) {
-	if err := realMain("fig4", "text", "1deg", "regular", 0, "on-demand"); err == nil {
+	if err := realMain(context.Background(), "fig4", "text", "1deg", "regular", 0, "on-demand"); err == nil {
 		t.Error("-exp together with -run accepted")
 	}
-	if err := realMain("", "text", "", "regular", 0, "on-demand"); err == nil {
+	if err := realMain(context.Background(), "", "text", "", "regular", 0, "on-demand"); err == nil {
 		t.Error("no action accepted")
 	}
 }

@@ -16,12 +16,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cost"
 	"repro/internal/dag"
 	"repro/internal/datamgmt"
 	"repro/internal/exec"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -128,11 +130,17 @@ type Result struct {
 
 // Run executes wf under the plan and prices the outcome.
 func Run(wf *dag.Workflow, plan Plan) (Result, error) {
+	return RunContext(context.Background(), wf, plan)
+}
+
+// RunContext is Run with cooperative cancellation, for sweeps that must
+// abort cleanly mid-grid.
+func RunContext(ctx context.Context, wf *dag.Workflow, plan Plan) (Result, error) {
 	if err := plan.Validate(); err != nil {
 		return Result{}, err
 	}
 	p := plan.normalized()
-	m, err := exec.Run(wf, exec.Config{
+	m, err := exec.RunContext(ctx, wf, exec.Config{
 		Mode:        p.Mode,
 		Processors:  p.Processors,
 		Bandwidth:   p.Bandwidth,
@@ -169,55 +177,78 @@ type SweepPoint struct {
 // provisioned billing, reporting cost components and execution time.
 // The plan's Mode is forced to Regular (the sweep reports cleanup
 // storage alongside, as the paper's figures do).
+//
+// Grid points run concurrently on a GOMAXPROCS-sized worker pool; each
+// point is a deterministic simulation, so the returned slice is
+// identical to what a serial loop produces.
 func ProvisioningSweep(wf *dag.Workflow, processors []int, plan Plan) ([]SweepPoint, error) {
+	return ProvisioningSweepContext(context.Background(), wf, processors, plan)
+}
+
+// ProvisioningSweepContext is ProvisioningSweep with cooperative
+// cancellation across the whole grid.
+func ProvisioningSweepContext(ctx context.Context, wf *dag.Workflow, processors []int, plan Plan) ([]SweepPoint, error) {
 	if len(processors) == 0 {
 		return nil, fmt.Errorf("core: empty processor list")
 	}
-	points := make([]SweepPoint, 0, len(processors))
 	for _, n := range processors {
 		if n <= 0 {
 			return nil, fmt.Errorf("core: invalid processor count %d in sweep", n)
 		}
+	}
+	return sweep.Map(ctx, 0, processors, func(ctx context.Context, _ int, n int) (SweepPoint, error) {
 		p := plan.normalized()
 		p.Mode = datamgmt.Regular
 		p.Processors = n
 		p.Billing = Provisioned
-		res, err := Run(wf, p)
+		res, err := RunContext(ctx, wf, p)
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep at %d processors: %w", n, err)
+			return SweepPoint{}, fmt.Errorf("core: sweep at %d processors: %w", n, err)
 		}
 		pc := p
 		pc.Mode = datamgmt.Cleanup
-		resC, err := Run(wf, pc)
+		resC, err := RunContext(ctx, wf, pc)
 		if err != nil {
-			return nil, fmt.Errorf("core: cleanup run at %d processors: %w", n, err)
+			return SweepPoint{}, fmt.Errorf("core: cleanup run at %d processors: %w", n, err)
 		}
-		points = append(points, SweepPoint{
+		return SweepPoint{
 			Processors:         n,
 			Result:             res,
 			StorageCostCleanup: resC.Cost.Storage,
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // GeometricProcessors returns the paper's pool sizes: 1,2,4,...,128.
 func GeometricProcessors() []int { return []int{1, 2, 4, 8, 16, 32, 64, 128} }
 
 // CompareModes reproduces Question 2a: run wf once per data-management
-// mode with on-demand billing and full parallelism.
+// mode with on-demand billing and full parallelism.  The three runs
+// execute concurrently.
 func CompareModes(wf *dag.Workflow, plan Plan) (map[datamgmt.Mode]Result, error) {
-	out := make(map[datamgmt.Mode]Result, 3)
-	for _, mode := range datamgmt.Modes() {
+	return CompareModesContext(context.Background(), wf, plan)
+}
+
+// CompareModesContext is CompareModes with cooperative cancellation.
+func CompareModesContext(ctx context.Context, wf *dag.Workflow, plan Plan) (map[datamgmt.Mode]Result, error) {
+	modes := datamgmt.Modes()
+	results, err := sweep.Map(ctx, 0, modes, func(ctx context.Context, _ int, mode datamgmt.Mode) (Result, error) {
 		p := plan.normalized()
 		p.Mode = mode
 		p.Billing = OnDemand
 		p.Processors = 0
-		res, err := Run(wf, p)
+		res, err := RunContext(ctx, wf, p)
 		if err != nil {
-			return nil, fmt.Errorf("core: mode %v: %w", mode, err)
+			return Result{}, fmt.Errorf("core: mode %v: %w", mode, err)
 		}
-		out[mode] = res
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[datamgmt.Mode]Result, len(modes))
+	for i, mode := range modes {
+		out[mode] = results[i]
 	}
 	return out, nil
 }
@@ -231,35 +262,39 @@ type CCRPoint struct {
 
 // CCRSweep reproduces Fig. 11: rescale wf's file sizes to each target
 // CCR (at the plan's bandwidth) and run under the plan.  The paper uses
-// the 1-degree workflow on 8 provisioned processors.
+// the 1-degree workflow on 8 provisioned processors.  Grid points run
+// concurrently; each point rescales its own deep copy of wf.
 func CCRSweep(wf *dag.Workflow, ccrs []float64, plan Plan) ([]CCRPoint, error) {
+	return CCRSweepContext(context.Background(), wf, ccrs, plan)
+}
+
+// CCRSweepContext is CCRSweep with cooperative cancellation.
+func CCRSweepContext(ctx context.Context, wf *dag.Workflow, ccrs []float64, plan Plan) ([]CCRPoint, error) {
 	if len(ccrs) == 0 {
 		return nil, fmt.Errorf("core: empty CCR list")
 	}
 	p := plan.normalized()
-	points := make([]CCRPoint, 0, len(ccrs))
-	for _, ccr := range ccrs {
+	return sweep.Map(ctx, 0, ccrs, func(ctx context.Context, _ int, ccr float64) (CCRPoint, error) {
 		scaled, err := wf.RescaleCCR(ccr, p.Bandwidth)
 		if err != nil {
-			return nil, fmt.Errorf("core: ccr %v: %w", ccr, err)
+			return CCRPoint{}, fmt.Errorf("core: ccr %v: %w", ccr, err)
 		}
 		pr := p
 		pr.Mode = datamgmt.Regular
-		res, err := Run(scaled, pr)
+		res, err := RunContext(ctx, scaled, pr)
 		if err != nil {
-			return nil, fmt.Errorf("core: ccr %v: %w", ccr, err)
+			return CCRPoint{}, fmt.Errorf("core: ccr %v: %w", ccr, err)
 		}
 		pc := p
 		pc.Mode = datamgmt.Cleanup
-		resC, err := Run(scaled, pc)
+		resC, err := RunContext(ctx, scaled, pc)
 		if err != nil {
-			return nil, fmt.Errorf("core: ccr %v cleanup: %w", ccr, err)
+			return CCRPoint{}, fmt.Errorf("core: ccr %v cleanup: %w", ccr, err)
 		}
-		points = append(points, CCRPoint{
+		return CCRPoint{
 			CCR:                ccr,
 			Result:             res,
 			StorageCostCleanup: resC.Cost.Storage,
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }

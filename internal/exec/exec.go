@@ -25,6 +25,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -227,6 +228,13 @@ func (m Metrics) GBHoursStorage() float64 { return units.GBHours(m.StorageByteSe
 
 // Run simulates wf under cfg and returns the measured metrics.
 func Run(wf *dag.Workflow, cfg Config) (Metrics, error) {
+	return RunContext(context.Background(), wf, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation aborts
+// between events once ctx is canceled and returns ctx's error.  wf is
+// only ever read, so concurrent runs may share one workflow.
+func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, error) {
 	if !wf.Finalized() {
 		return Metrics{}, fmt.Errorf("exec: workflow %q not finalized", wf.Name)
 	}
@@ -282,7 +290,7 @@ func Run(wf *dag.Workflow, cfg Config) (Metrics, error) {
 	if cfg.FailureProb > 0 {
 		r.failRNG = rand.New(rand.NewSource(cfg.FailureSeed))
 	}
-	return r.run()
+	return r.run(ctx)
 }
 
 type taskPhase int
@@ -342,7 +350,7 @@ func (r *runner) reserveAvail(now units.Duration, size units.Bytes, dir cloudsim
 	return r.link.Reserve(r.avail(s), size, dir)
 }
 
-func (r *runner) run() (Metrics, error) {
+func (r *runner) run(ctx context.Context) (Metrics, error) {
 	n := r.wf.NumTasks()
 	r.phase = make([]taskPhase, n)
 	r.depsLeft = make([]int, n)
@@ -361,7 +369,9 @@ func (r *runner) run() (Metrics, error) {
 		}
 	})
 
-	r.eng.Run()
+	if _, err := r.eng.RunContext(ctx); err != nil {
+		return Metrics{}, fmt.Errorf("exec: %w", err)
+	}
 	if r.err != nil {
 		return Metrics{}, r.err
 	}

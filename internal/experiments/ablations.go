@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -35,13 +36,13 @@ type AblationGranularityResult struct {
 // AblationGranularity re-prices the Fig. 4 sweep with whole-hour billing
 // (what 2008 EC2 actually charged) against the paper's per-second
 // normalization.
-func AblationGranularity() (AblationGranularityResult, error) {
+func AblationGranularity(ctx context.Context) (AblationGranularityResult, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
 		return AblationGranularityResult{}, err
 	}
-	points, err := core.ProvisioningSweep(w, core.GeometricProcessors(), core.DefaultPlan())
+	points, err := core.ProvisioningSweepContext(ctx, w, core.GeometricProcessors(), core.DefaultPlan())
 	if err != nil {
 		return AblationGranularityResult{}, err
 	}
@@ -95,27 +96,34 @@ type AblationVMStartupResult struct {
 
 // AblationVMStartup reruns the 1-degree workflow on a 16-processor
 // provisioned pool with increasing VM boot windows.
-func AblationVMStartup() (AblationVMStartupResult, error) {
+func AblationVMStartup(ctx context.Context) (AblationVMStartupResult, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
 		return AblationVMStartupResult{}, err
 	}
 	res := AblationVMStartupResult{Spec: spec, Procs: 16}
-	for _, startup := range []units.Duration{0, 60, 300, 900} {
-		plan := core.DefaultPlan()
-		plan.Billing = core.Provisioned
-		plan.Processors = res.Procs
-		plan.VMStartup = startup
-		r, err := core.Run(w, plan)
-		if err != nil {
-			return AblationVMStartupResult{}, err
-		}
-		res.Rows = append(res.Rows, StartupRow{
-			Startup:  startup,
-			ExecTime: r.Metrics.ExecTime,
-			Total:    r.Cost.Total(),
-		})
+	res.Rows, err = Sweep[units.Duration, StartupRow]{
+		Name:   "ablation-startup",
+		Points: []units.Duration{0, 60, 300, 900},
+		Run: func(ctx context.Context, startup units.Duration) (StartupRow, error) {
+			plan := core.DefaultPlan()
+			plan.Billing = core.Provisioned
+			plan.Processors = res.Procs
+			plan.VMStartup = startup
+			r, err := core.RunContext(ctx, w, plan)
+			if err != nil {
+				return StartupRow{}, err
+			}
+			return StartupRow{
+				Startup:  startup,
+				ExecTime: r.Metrics.ExecTime,
+				Total:    r.Cost.Total(),
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return AblationVMStartupResult{}, err
 	}
 	return res, nil
 }
@@ -151,30 +159,37 @@ type AblationOutageResult struct {
 // AblationOutage injects a storage outage mid-run (opening 10 minutes
 // into the 1-degree workflow on 16 provisioned processors) of increasing
 // length and reports the delay and cost impact.
-func AblationOutage() (AblationOutageResult, error) {
+func AblationOutage(ctx context.Context) (AblationOutageResult, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
 		return AblationOutageResult{}, err
 	}
 	res := AblationOutageResult{Spec: spec, Procs: 16}
-	for _, length := range []units.Duration{0, 300, 1800, 7200} {
-		plan := core.DefaultPlan()
-		plan.Billing = core.Provisioned
-		plan.Processors = res.Procs
-		if length > 0 {
-			plan.Outages = []exec.Outage{{Start: 600, End: 600 + length}}
-		}
-		r, err := core.Run(w, plan)
-		if err != nil {
-			return AblationOutageResult{}, err
-		}
-		res.Rows = append(res.Rows, OutageRow{
-			OutageLen: length,
-			ExecTime:  r.Metrics.ExecTime,
-			Makespan:  r.Metrics.Makespan,
-			Total:     r.Cost.Total(),
-		})
+	res.Rows, err = Sweep[units.Duration, OutageRow]{
+		Name:   "ablation-outage",
+		Points: []units.Duration{0, 300, 1800, 7200},
+		Run: func(ctx context.Context, length units.Duration) (OutageRow, error) {
+			plan := core.DefaultPlan()
+			plan.Billing = core.Provisioned
+			plan.Processors = res.Procs
+			if length > 0 {
+				plan.Outages = []exec.Outage{{Start: 600, End: 600 + length}}
+			}
+			r, err := core.RunContext(ctx, w, plan)
+			if err != nil {
+				return OutageRow{}, err
+			}
+			return OutageRow{
+				OutageLen: length,
+				ExecTime:  r.Metrics.ExecTime,
+				Makespan:  r.Metrics.Makespan,
+				Total:     r.Cost.Total(),
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return AblationOutageResult{}, err
 	}
 	return res, nil
 }
@@ -207,31 +222,47 @@ type AblationSchedulerResult struct {
 }
 
 // AblationScheduler runs the 1-degree workflow at several pool sizes
-// under FIFO, longest-first and shortest-first dispatch.
-func AblationScheduler() (AblationSchedulerResult, error) {
+// under FIFO, longest-first and shortest-first dispatch.  The 3x3 grid
+// runs concurrently in row-major order.
+func AblationScheduler(ctx context.Context) (AblationSchedulerResult, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
 		return AblationSchedulerResult{}, err
 	}
-	res := AblationSchedulerResult{Spec: spec}
+	type cell struct {
+		procs  int
+		policy exec.Policy
+	}
+	var grid []cell
 	for _, procs := range []int{4, 8, 16} {
 		for _, pol := range []exec.Policy{exec.FIFO, exec.LongestFirst, exec.ShortestFirst} {
+			grid = append(grid, cell{procs, pol})
+		}
+	}
+	res := AblationSchedulerResult{Spec: spec}
+	res.Rows, err = Sweep[cell, SchedulerRow]{
+		Name:   "ablation-scheduler",
+		Points: grid,
+		Run: func(ctx context.Context, c cell) (SchedulerRow, error) {
 			plan := core.DefaultPlan()
 			plan.Billing = core.Provisioned
-			plan.Processors = procs
-			plan.Policy = pol
-			r, err := core.Run(w, plan)
+			plan.Processors = c.procs
+			plan.Policy = c.policy
+			r, err := core.RunContext(ctx, w, plan)
 			if err != nil {
-				return AblationSchedulerResult{}, err
+				return SchedulerRow{}, err
 			}
-			res.Rows = append(res.Rows, SchedulerRow{
-				Processors: procs,
-				Policy:     pol,
+			return SchedulerRow{
+				Processors: c.procs,
+				Policy:     c.policy,
 				ExecTime:   r.Metrics.ExecTime,
 				Total:      r.Cost.Total(),
-			})
-		}
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return AblationSchedulerResult{}, err
 	}
 	return res, nil
 }
@@ -267,31 +298,40 @@ type AblationReliabilityResult struct {
 }
 
 // AblationReliability sweeps the per-attempt failure probability on the
-// 1-degree workflow (16 provisioned processors).
-func AblationReliability() (AblationReliabilityResult, error) {
+// 1-degree workflow (16 provisioned processors).  Each grid point owns
+// its own seeded RNG, so concurrent points sample identically to serial
+// ones.
+func AblationReliability(ctx context.Context) (AblationReliabilityResult, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
 		return AblationReliabilityResult{}, err
 	}
 	res := AblationReliabilityResult{Spec: spec, Procs: 16}
-	for _, p := range []float64{0, 0.01, 0.05, 0.10, 0.25} {
-		plan := core.DefaultPlan()
-		plan.Billing = core.Provisioned
-		plan.Processors = res.Procs
-		plan.FailureProb = p
-		plan.FailureSeed = 11
-		r, err := core.Run(w, plan)
-		if err != nil {
-			return AblationReliabilityResult{}, err
-		}
-		res.Rows = append(res.Rows, ReliabilityRow{
-			FailureProb: p,
-			Retries:     r.Metrics.Retries,
-			ExecTime:    r.Metrics.ExecTime,
-			CPUCost:     r.Cost.CPU,
-			Total:       r.Cost.Total(),
-		})
+	res.Rows, err = Sweep[float64, ReliabilityRow]{
+		Name:   "ablation-reliability",
+		Points: []float64{0, 0.01, 0.05, 0.10, 0.25},
+		Run: func(ctx context.Context, p float64) (ReliabilityRow, error) {
+			plan := core.DefaultPlan()
+			plan.Billing = core.Provisioned
+			plan.Processors = res.Procs
+			plan.FailureProb = p
+			plan.FailureSeed = 11
+			r, err := core.RunContext(ctx, w, plan)
+			if err != nil {
+				return ReliabilityRow{}, err
+			}
+			return ReliabilityRow{
+				FailureProb: p,
+				Retries:     r.Metrics.Retries,
+				ExecTime:    r.Metrics.ExecTime,
+				CPUCost:     r.Cost.CPU,
+				Total:       r.Cost.Total(),
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return AblationReliabilityResult{}, err
 	}
 	return res, nil
 }
@@ -329,8 +369,10 @@ type AblationClusteringResult struct {
 }
 
 // AblationClustering clusters the 1-degree workflow at factors 1..16 and
-// runs each variant on 16 provisioned processors.
-func AblationClustering() (AblationClusteringResult, error) {
+// runs each variant on 16 provisioned processors.  Each grid point
+// derives its own clustered copy, so the shared base workflow stays
+// untouched.
+func AblationClustering(ctx context.Context) (AblationClusteringResult, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
@@ -339,25 +381,32 @@ func AblationClustering() (AblationClusteringResult, error) {
 	hourly := cost.Amazon2008()
 	hourly.Granularity = cost.PerHour
 	res := AblationClusteringResult{Spec: spec, Procs: 16}
-	for _, factor := range []int{1, 2, 4, 8, 16} {
-		cw, err := cluster.Horizontal(w, factor)
-		if err != nil {
-			return AblationClusteringResult{}, err
-		}
-		plan := core.DefaultPlan()
-		plan.Billing = core.Provisioned
-		plan.Processors = res.Procs
-		r, err := core.Run(cw, plan)
-		if err != nil {
-			return AblationClusteringResult{}, err
-		}
-		res.Rows = append(res.Rows, ClusteringRow{
-			Factor:    factor,
-			Tasks:     cw.NumTasks(),
-			ExecTime:  r.Metrics.ExecTime,
-			PerSecond: r.Cost.Total(),
-			PerHour:   hourly.Provisioned(r.Metrics).Total(),
-		})
+	res.Rows, err = Sweep[int, ClusteringRow]{
+		Name:   "ablation-clustering",
+		Points: []int{1, 2, 4, 8, 16},
+		Run: func(ctx context.Context, factor int) (ClusteringRow, error) {
+			cw, err := cluster.Horizontal(w, factor)
+			if err != nil {
+				return ClusteringRow{}, err
+			}
+			plan := core.DefaultPlan()
+			plan.Billing = core.Provisioned
+			plan.Processors = res.Procs
+			r, err := core.RunContext(ctx, cw, plan)
+			if err != nil {
+				return ClusteringRow{}, err
+			}
+			return ClusteringRow{
+				Factor:    factor,
+				Tasks:     cw.NumTasks(),
+				ExecTime:  r.Metrics.ExecTime,
+				PerSecond: r.Cost.Total(),
+				PerHour:   hourly.Provisioned(r.Metrics).Total(),
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return AblationClusteringResult{}, err
 	}
 	return res, nil
 }
@@ -392,32 +441,40 @@ type PlanComparisonResult struct {
 // of running the 4 degree square Montage workflow on 128 processors is
 // $13.92 in the provisioned case, whereas the workflow which is charged
 // only for the resources used is only $8.89."
-func AblationPlanComparison() (PlanComparisonResult, error) {
+func AblationPlanComparison(ctx context.Context) (PlanComparisonResult, error) {
 	const procs = 128
 	res := PlanComparisonResult{Processors: procs}
-	for _, spec := range montage.Presets() {
-		w, err := generate(spec)
-		if err != nil {
-			return PlanComparisonResult{}, err
-		}
-		prov := core.DefaultPlan()
-		prov.Billing = core.Provisioned
-		prov.Processors = procs
-		pr, err := core.Run(w, prov)
-		if err != nil {
-			return PlanComparisonResult{}, err
-		}
-		od, err := core.Run(w, core.DefaultPlan())
-		if err != nil {
-			return PlanComparisonResult{}, err
-		}
-		res.Rows = append(res.Rows, PlanComparisonRow{
-			Workflow:    spec.Name,
-			Provisioned: pr.Cost.Total(),
-			OnDemand:    od.Cost.Total(),
-			Utilization: pr.Metrics.Utilization,
-		})
+	rows, err := Sweep[montage.Spec, PlanComparisonRow]{
+		Name:   "ablation-plan",
+		Points: montage.Presets(),
+		Run: func(ctx context.Context, spec montage.Spec) (PlanComparisonRow, error) {
+			w, err := generate(spec)
+			if err != nil {
+				return PlanComparisonRow{}, err
+			}
+			prov := core.DefaultPlan()
+			prov.Billing = core.Provisioned
+			prov.Processors = procs
+			pr, err := core.RunContext(ctx, w, prov)
+			if err != nil {
+				return PlanComparisonRow{}, err
+			}
+			od, err := core.RunContext(ctx, w, core.DefaultPlan())
+			if err != nil {
+				return PlanComparisonRow{}, err
+			}
+			return PlanComparisonRow{
+				Workflow:    spec.Name,
+				Provisioned: pr.Cost.Total(),
+				OnDemand:    od.Cost.Total(),
+				Utilization: pr.Metrics.Utilization,
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return PlanComparisonResult{}, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

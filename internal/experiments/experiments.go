@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/archive"
@@ -28,9 +29,11 @@ import (
 	"repro/internal/units"
 )
 
-// generate builds a preset workflow, failing loudly on generator bugs.
+// generate returns a preset workflow from the process-wide memo (grid
+// points re-ask for the same presets constantly), failing loudly on
+// generator bugs.  The result is shared and read-only.
 func generate(spec montage.Spec) (*dag.Workflow, error) {
-	w, err := montage.Generate(spec)
+	w, err := montage.Cached(spec)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generate %s: %w", spec.Name, err)
 	}
@@ -55,23 +58,31 @@ type CCRTableResult struct {
 
 // CCRTable computes the CCR of the three Montage workflows at the
 // paper's 10 Mbps reference bandwidth.
-func CCRTable() (CCRTableResult, error) {
+func CCRTable(ctx context.Context) (CCRTableResult, error) {
 	paper := map[string]float64{
 		"montage-1deg": 0.053, "montage-2deg": 0.053, "montage-4deg": 0.045,
 	}
 	res := CCRTableResult{Bandwidth: units.Mbps(10)}
-	for _, spec := range montage.Presets() {
-		w, err := generate(spec)
-		if err != nil {
-			return CCRTableResult{}, err
-		}
-		res.Rows = append(res.Rows, CCRRow{
-			Workflow: spec.Name,
-			Tasks:    w.NumTasks(),
-			CCR:      w.CCR(res.Bandwidth),
-			PaperCCR: paper[spec.Name],
-		})
+	rows, err := Sweep[montage.Spec, CCRRow]{
+		Name:   "ccr-table",
+		Points: montage.Presets(),
+		Run: func(ctx context.Context, spec montage.Spec) (CCRRow, error) {
+			w, err := generate(spec)
+			if err != nil {
+				return CCRRow{}, err
+			}
+			return CCRRow{
+				Workflow: spec.Name,
+				Tasks:    w.NumTasks(),
+				CCR:      w.CCR(res.Bandwidth),
+				PaperCCR: paper[spec.Name],
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return CCRTableResult{}, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -96,20 +107,26 @@ type ProvisioningFigure struct {
 }
 
 // Fig4 sweeps the 1-degree workflow over 1..128 provisioned processors.
-func Fig4() (ProvisioningFigure, error) { return provisioning("Fig4", montage.OneDegree()) }
+func Fig4(ctx context.Context) (ProvisioningFigure, error) {
+	return provisioning(ctx, "Fig4", montage.OneDegree())
+}
 
 // Fig5 sweeps the 2-degree workflow.
-func Fig5() (ProvisioningFigure, error) { return provisioning("Fig5", montage.TwoDegree()) }
+func Fig5(ctx context.Context) (ProvisioningFigure, error) {
+	return provisioning(ctx, "Fig5", montage.TwoDegree())
+}
 
 // Fig6 sweeps the 4-degree workflow.
-func Fig6() (ProvisioningFigure, error) { return provisioning("Fig6", montage.FourDegree()) }
+func Fig6(ctx context.Context) (ProvisioningFigure, error) {
+	return provisioning(ctx, "Fig6", montage.FourDegree())
+}
 
-func provisioning(figure string, spec montage.Spec) (ProvisioningFigure, error) {
+func provisioning(ctx context.Context, figure string, spec montage.Spec) (ProvisioningFigure, error) {
 	w, err := generate(spec)
 	if err != nil {
 		return ProvisioningFigure{}, err
 	}
-	points, err := core.ProvisioningSweep(w, core.GeometricProcessors(), core.DefaultPlan())
+	points, err := core.ProvisioningSweepContext(ctx, w, core.GeometricProcessors(), core.DefaultPlan())
 	if err != nil {
 		return ProvisioningFigure{}, err
 	}
@@ -165,20 +182,26 @@ type DataManagementFigure struct {
 }
 
 // Fig7 compares modes on the 1-degree workflow.
-func Fig7() (DataManagementFigure, error) { return dataManagement("Fig7", montage.OneDegree()) }
+func Fig7(ctx context.Context) (DataManagementFigure, error) {
+	return dataManagement(ctx, "Fig7", montage.OneDegree())
+}
 
 // Fig8 compares modes on the 2-degree workflow.
-func Fig8() (DataManagementFigure, error) { return dataManagement("Fig8", montage.TwoDegree()) }
+func Fig8(ctx context.Context) (DataManagementFigure, error) {
+	return dataManagement(ctx, "Fig8", montage.TwoDegree())
+}
 
 // Fig9 compares modes on the 4-degree workflow.
-func Fig9() (DataManagementFigure, error) { return dataManagement("Fig9", montage.FourDegree()) }
+func Fig9(ctx context.Context) (DataManagementFigure, error) {
+	return dataManagement(ctx, "Fig9", montage.FourDegree())
+}
 
-func dataManagement(figure string, spec montage.Spec) (DataManagementFigure, error) {
+func dataManagement(ctx context.Context, figure string, spec montage.Spec) (DataManagementFigure, error) {
 	w, err := generate(spec)
 	if err != nil {
 		return DataManagementFigure{}, err
 	}
-	results, err := core.CompareModes(w, core.DefaultPlan())
+	results, err := core.CompareModesContext(ctx, w, core.DefaultPlan())
 	if err != nil {
 		return DataManagementFigure{}, err
 	}
@@ -243,31 +266,38 @@ type Fig10Result struct {
 }
 
 // Fig10 runs all three workflows under all three modes with on-demand
-// billing.
-func Fig10() (Fig10Result, error) {
-	var res Fig10Result
-	for _, spec := range montage.Presets() {
-		w, err := generate(spec)
-		if err != nil {
-			return Fig10Result{}, err
-		}
-		results, err := core.CompareModes(w, core.DefaultPlan())
-		if err != nil {
-			return Fig10Result{}, err
-		}
-		row := Fig10Row{
-			Workflow: spec.Name,
-			CPUCost:  results[datamgmt.Regular].Cost.CPU,
-			DM:       make(map[datamgmt.Mode]units.Money, 3),
-			Total:    make(map[datamgmt.Mode]units.Money, 3),
-		}
-		for mode, r := range results {
-			row.DM[mode] = r.Cost.DataManagement()
-			row.Total[mode] = r.Cost.Total()
-		}
-		res.Rows = append(res.Rows, row)
+// billing; the nine runs execute concurrently (three workflows through
+// the sweep engine, three modes inside each).
+func Fig10(ctx context.Context) (Fig10Result, error) {
+	rows, err := Sweep[montage.Spec, Fig10Row]{
+		Name:   "fig10",
+		Points: montage.Presets(),
+		Run: func(ctx context.Context, spec montage.Spec) (Fig10Row, error) {
+			w, err := generate(spec)
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			results, err := core.CompareModesContext(ctx, w, core.DefaultPlan())
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			row := Fig10Row{
+				Workflow: spec.Name,
+				CPUCost:  results[datamgmt.Regular].Cost.CPU,
+				DM:       make(map[datamgmt.Mode]units.Money, 3),
+				Total:    make(map[datamgmt.Mode]units.Money, 3),
+			}
+			for mode, r := range results {
+				row.DM[mode] = r.Cost.DataManagement()
+				row.Total[mode] = r.Cost.Total()
+			}
+			return row, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return Fig10Result{}, err
 	}
-	return res, nil
+	return Fig10Result{Rows: rows}, nil
 }
 
 // Table renders the Fig. 10 summary.
@@ -306,7 +336,7 @@ func Fig11CCRs() []float64 {
 }
 
 // Fig11 reproduces the CCR sensitivity experiment.
-func Fig11() (Fig11Result, error) {
+func Fig11(ctx context.Context) (Fig11Result, error) {
 	spec := montage.OneDegree()
 	w, err := generate(spec)
 	if err != nil {
@@ -315,7 +345,7 @@ func Fig11() (Fig11Result, error) {
 	plan := core.DefaultPlan()
 	plan.Processors = 8
 	plan.Billing = core.Provisioned
-	points, err := core.CCRSweep(w, Fig11CCRs(), plan)
+	points, err := core.CCRSweepContext(ctx, w, Fig11CCRs(), plan)
 	if err != nil {
 		return Fig11Result{}, err
 	}
@@ -353,13 +383,13 @@ type Q2bResult struct {
 
 // Q2b measures a 2-degree request in regular mode (the paper's example)
 // and computes the 2MASS-archive break-even request rate.
-func Q2b() (Q2bResult, error) {
+func Q2b(ctx context.Context) (Q2bResult, error) {
 	spec := montage.TwoDegree()
 	w, err := generate(spec)
 	if err != nil {
 		return Q2bResult{}, err
 	}
-	req, err := core.Run(w, core.DefaultPlan())
+	req, err := core.RunContext(ctx, w, core.DefaultPlan())
 	if err != nil {
 		return Q2bResult{}, err
 	}
@@ -392,33 +422,35 @@ type Q3WholeSkyResult struct {
 }
 
 // Q3WholeSky prices the 3,900 x 4-degree tiling (and the 1,734 x
-// 6-degree alternative) from measured per-request costs.
-func Q3WholeSky() (Q3WholeSkyResult, error) {
-	w4, err := generate(montage.FourDegree())
+// 6-degree alternative) from measured per-request costs; the two tilings
+// are measured concurrently.
+func Q3WholeSky(ctx context.Context) (Q3WholeSkyResult, error) {
+	type tiling struct {
+		spec    montage.Spec
+		mosaics int
+	}
+	campaigns, err := Sweep[tiling, archive.SkyCampaign]{
+		Name: "q3-whole-sky",
+		Points: []tiling{
+			{montage.FourDegree(), archive.WholeSky4DegMosaics},
+			{montage.FromDegrees(6, 6), archive.WholeSky6DegMosaics},
+		},
+		Run: func(ctx context.Context, tl tiling) (archive.SkyCampaign, error) {
+			w, err := generate(tl.spec)
+			if err != nil {
+				return archive.SkyCampaign{}, err
+			}
+			r, err := core.RunContext(ctx, w, core.DefaultPlan())
+			if err != nil {
+				return archive.SkyCampaign{}, err
+			}
+			return archive.ComputeSkyCampaign(r.Cost, tl.mosaics)
+		},
+	}.Do(ctx)
 	if err != nil {
 		return Q3WholeSkyResult{}, err
 	}
-	r4, err := core.Run(w4, core.DefaultPlan())
-	if err != nil {
-		return Q3WholeSkyResult{}, err
-	}
-	c4, err := archive.ComputeSkyCampaign(r4.Cost, archive.WholeSky4DegMosaics)
-	if err != nil {
-		return Q3WholeSkyResult{}, err
-	}
-	w6, err := generate(montage.FromDegrees(6, 6))
-	if err != nil {
-		return Q3WholeSkyResult{}, err
-	}
-	r6, err := core.Run(w6, core.DefaultPlan())
-	if err != nil {
-		return Q3WholeSkyResult{}, err
-	}
-	c6, err := archive.ComputeSkyCampaign(r6.Cost, archive.WholeSky6DegMosaics)
-	if err != nil {
-		return Q3WholeSkyResult{}, err
-	}
-	return Q3WholeSkyResult{FourDeg: c4, SixDeg: c6}, nil
+	return Q3WholeSkyResult{FourDeg: campaigns[0], SixDeg: campaigns[1]}, nil
 }
 
 // Table renders the whole-sky costing.
@@ -454,29 +486,33 @@ type Q3StoreResult struct {
 
 // Q3Store computes, from measured CPU costs and mosaic sizes, how long
 // each generated mosaic is worth storing rather than recomputing.
-func Q3Store() (Q3StoreResult, error) {
+func Q3Store(ctx context.Context) (Q3StoreResult, error) {
 	paper := map[string]float64{
 		"montage-1deg": 21.52, "montage-2deg": 24.25, "montage-4deg": 25.12,
 	}
-	var res Q3StoreResult
-	for _, spec := range montage.Presets() {
-		w, err := generate(spec)
-		if err != nil {
-			return Q3StoreResult{}, err
-		}
-		r, err := core.Run(w, core.DefaultPlan())
-		if err != nil {
-			return Q3StoreResult{}, err
-		}
-		h, err := archive.ComputeStorageHorizon(cost.Amazon2008(), w.OutputBytes(), r.Cost.CPU)
-		if err != nil {
-			return Q3StoreResult{}, err
-		}
-		res.Rows = append(res.Rows, Q3StoreRow{
-			Workflow: spec.Name, Horizon: h, Paper: paper[spec.Name],
-		})
+	rows, err := Sweep[montage.Spec, Q3StoreRow]{
+		Name:   "q3-store",
+		Points: montage.Presets(),
+		Run: func(ctx context.Context, spec montage.Spec) (Q3StoreRow, error) {
+			w, err := generate(spec)
+			if err != nil {
+				return Q3StoreRow{}, err
+			}
+			r, err := core.RunContext(ctx, w, core.DefaultPlan())
+			if err != nil {
+				return Q3StoreRow{}, err
+			}
+			h, err := archive.ComputeStorageHorizon(cost.Amazon2008(), w.OutputBytes(), r.Cost.CPU)
+			if err != nil {
+				return Q3StoreRow{}, err
+			}
+			return Q3StoreRow{Workflow: spec.Name, Horizon: h, Paper: paper[spec.Name]}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return Q3StoreResult{}, err
 	}
-	return res, nil
+	return Q3StoreResult{Rows: rows}, nil
 }
 
 // Table renders the horizons.

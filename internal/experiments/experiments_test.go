@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestCCRTableMatchesPaper(t *testing.T) {
-	res, err := CCRTable()
+	res, err := CCRTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestCCRTableMatchesPaper(t *testing.T) {
 }
 
 func TestFig4Anchors(t *testing.T) {
-	f, err := Fig4()
+	f, err := Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestFig4Anchors(t *testing.T) {
 }
 
 func TestFig5Anchors(t *testing.T) {
-	f, err := Fig5()
+	f, err := Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFig6Anchors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("4-degree sweep is slow")
 	}
-	f, err := Fig6()
+	f, err := Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig6Anchors(t *testing.T) {
 }
 
 func TestFig7ModeOrderings(t *testing.T) {
-	f, err := Fig7()
+	f, err := Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,10 +168,10 @@ func TestFig8And9SameShapeAsFig7(t *testing.T) {
 	if testing.Short() {
 		t.Skip("larger workflows are slow")
 	}
-	for name, fn := range map[string]func() (DataManagementFigure, error){
+	for name, fn := range map[string]func(context.Context) (DataManagementFigure, error){
 		"fig8": Fig8, "fig9": Fig9,
 	} {
-		f, err := fn()
+		f, err := fn(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -185,7 +186,7 @@ func TestFig8And9SameShapeAsFig7(t *testing.T) {
 }
 
 func TestFig10Anchors(t *testing.T) {
-	res, err := Fig10()
+	res, err := Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestFig10Anchors(t *testing.T) {
 }
 
 func TestFig11Monotone(t *testing.T) {
-	res, err := Fig11()
+	res, err := Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestFig11Monotone(t *testing.T) {
 }
 
 func TestQ2bAnchors(t *testing.T) {
-	res, err := Q2b()
+	res, err := Q2b(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestQ3WholeSkyAnchors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("4- and 6-degree runs are slow")
 	}
-	res, err := Q3WholeSky()
+	res, err := Q3WholeSky(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestQ3WholeSkyAnchors(t *testing.T) {
 }
 
 func TestQ3StoreAnchors(t *testing.T) {
-	res, err := Q3Store()
+	res, err := Q3Store(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestQ3StoreAnchors(t *testing.T) {
 }
 
 func TestOverloadScenario(t *testing.T) {
-	res, err := Overload()
+	res, err := Overload(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestOverloadScenario(t *testing.T) {
 }
 
 func TestAblationGranularity(t *testing.T) {
-	res, err := AblationGranularity()
+	res, err := AblationGranularity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestAblationGranularity(t *testing.T) {
 }
 
 func TestAblationVMStartup(t *testing.T) {
-	res, err := AblationVMStartup()
+	res, err := AblationVMStartup(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestAblationVMStartup(t *testing.T) {
 }
 
 func TestAblationOutage(t *testing.T) {
-	res, err := AblationOutage()
+	res, err := AblationOutage(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestAblationOutage(t *testing.T) {
 }
 
 func TestAblationScheduler(t *testing.T) {
-	res, err := AblationScheduler()
+	res, err := AblationScheduler(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +451,7 @@ func TestAblationScheduler(t *testing.T) {
 }
 
 func TestAblationReliability(t *testing.T) {
-	res, err := AblationReliability()
+	res, err := AblationReliability(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,7 +476,7 @@ func TestAblationReliability(t *testing.T) {
 }
 
 func TestAblationClustering(t *testing.T) {
-	res, err := AblationClustering()
+	res, err := AblationClustering(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +504,7 @@ func TestAblationPlanComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("all-preset comparison is slow")
 	}
-	res, err := AblationPlanComparison()
+	res, err := AblationPlanComparison(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

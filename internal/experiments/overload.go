@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -24,19 +25,22 @@ type OverloadResult struct {
 // Overload simulates a month of 1- and 2-degree mosaic requests against
 // an 8-processor local cluster with a 4-hour turnaround target and a
 // 3-day, 8x request burst, comparing local-only operation against
-// bursting to a 32-processor provisioned cloud pool.
-func Overload() (OverloadResult, error) {
+// bursting to a 32-processor provisioned cloud pool.  The two class
+// measurements and the two month-long simulations each run concurrently.
+func Overload(ctx context.Context) (OverloadResult, error) {
 	cloudPlan := core.DefaultPlan()
 	cloudPlan.Billing = core.Provisioned
 	cloudPlan.Processors = 32
 
-	var classes []service.Class
-	for _, spec := range []montage.Spec{montage.OneDegree(), montage.TwoDegree()} {
-		c, err := service.MeasureClass(spec, 8, cloudPlan)
-		if err != nil {
-			return OverloadResult{}, err
-		}
-		classes = append(classes, c)
+	classes, err := Sweep[montage.Spec, service.Class]{
+		Name:   "overload-classes",
+		Points: []montage.Spec{montage.OneDegree(), montage.TwoDegree()},
+		Run: func(ctx context.Context, spec montage.Spec) (service.Class, error) {
+			return service.MeasureClassContext(ctx, spec, 8, cloudPlan)
+		},
+	}.Do(ctx)
+	if err != nil {
+		return OverloadResult{}, err
 	}
 
 	day := units.Duration(24 * units.SecondsPerHour)
@@ -54,14 +58,21 @@ func Overload() (OverloadResult, error) {
 		SLA:      units.Duration(4 * units.SecondsPerHour),
 		Requests: len(reqs),
 	}
-	if _, res.Without, err = service.Simulate(classes, reqs,
-		service.Config{SLA: res.SLA}); err != nil {
+	stats, err := Sweep[service.Config, service.Stats]{
+		Name: "overload-scenarios",
+		Points: []service.Config{
+			{SLA: res.SLA},
+			{SLA: res.SLA, CloudEnabled: true},
+		},
+		Run: func(ctx context.Context, cfg service.Config) (service.Stats, error) {
+			_, s, err := service.Simulate(classes, reqs, cfg)
+			return s, err
+		},
+	}.Do(ctx)
+	if err != nil {
 		return OverloadResult{}, err
 	}
-	if _, res.With, err = service.Simulate(classes, reqs,
-		service.Config{SLA: res.SLA, CloudEnabled: true}); err != nil {
-		return OverloadResult{}, err
-	}
+	res.Without, res.With = stats[0], stats[1]
 	return res, nil
 }
 

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sweep"
+)
+
+// Sweep is the concurrent grid engine every figure and table reproduction
+// is routed through: a grid of points plus a function that simulates one
+// point.  Do fans the grid out over a worker pool sized by GOMAXPROCS
+// (unless Workers pins it) and collects results in grid order, so the
+// output is byte-identical to a serial loop over Points -- parallelism
+// never changes a paper number.
+type Sweep[P, R any] struct {
+	// Name labels the sweep in errors.
+	Name string
+	// Points is the grid, in presentation order.
+	Points []P
+	// Workers bounds the pool; <= 0 means GOMAXPROCS.  Workers == 1 is
+	// the serial reference path the determinism tests compare against.
+	Workers int
+	// Run simulates one grid point.  It is called concurrently and must
+	// treat shared state (cached workflows in particular) as read-only.
+	Run func(ctx context.Context, p P) (R, error)
+}
+
+// Do executes the grid and returns one result per point, in the order of
+// Points.  The first error (by grid index, matching what a serial loop
+// would report) aborts the sweep, labeled with Name; cancellation of ctx
+// wins over errors.
+func (s Sweep[P, R]) Do(ctx context.Context) ([]R, error) {
+	out, err := sweep.Map(ctx, s.Workers, s.Points, func(ctx context.Context, _ int, p P) (R, error) {
+		return s.Run(ctx, p)
+	})
+	if err != nil && s.Name != "" {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return out, err
+}
+
+// DoEach executes the grid like Do but hands each result to emit in
+// grid order as soon as it and every earlier point have finished, while
+// later points are still computing -- streaming output for long grids.
+// An error from emit aborts the sweep.
+func (s Sweep[P, R]) DoEach(ctx context.Context, emit func(r R) error) error {
+	err := sweep.Stream(ctx, s.Workers, s.Points,
+		func(ctx context.Context, _ int, p P) (R, error) {
+			return s.Run(ctx, p)
+		},
+		func(_ int, r R) error { return emit(r) })
+	if err != nil && s.Name != "" {
+		return fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return err
+}

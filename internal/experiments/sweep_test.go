@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+)
+
+// serialProvisioning is the seed's serial sweep loop, kept as the
+// reference the concurrent engine is measured against: same grid, same
+// plan mutations, one point after another.
+func serialProvisioning(t *testing.T, processors []int, plan core.Plan) []core.SweepPoint {
+	t.Helper()
+	w, err := generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []core.SweepPoint
+	for _, n := range processors {
+		p := plan
+		p.Mode = datamgmt.Regular
+		p.Processors = n
+		p.Billing = core.Provisioned
+		res, err := core.Run(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := p
+		pc.Mode = datamgmt.Cleanup
+		resC, err := core.Run(w, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, core.SweepPoint{
+			Processors:         n,
+			Result:             res,
+			StorageCostCleanup: resC.Cost.Storage,
+		})
+	}
+	return points
+}
+
+// TestParallelSweepMatchesSerial is the tentpole guarantee: the
+// concurrent sweep returns exactly what the serial loop returns -- same
+// order, same metrics, same costs.  Parallelism may never change a paper
+// number.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	procs := core.GeometricProcessors()
+	plan := core.DefaultPlan()
+	want := serialProvisioning(t, procs, plan)
+
+	w, err := generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.ProvisioningSweepContext(context.Background(), w, procs, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parallel sweep differs from serial reference\nparallel: %+v\nserial:   %+v", got, want)
+	}
+}
+
+// TestSweepWorkerCountInvariant drives the figure-level engine directly:
+// the same grid through 1 worker and through GOMAXPROCS workers must
+// collect identical results in identical order.
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	w, err := generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{0.053, 0.106, 0.212, 0.424}
+	plan := core.DefaultPlan()
+	plan.Processors = 8
+	plan.Billing = core.Provisioned
+	run := func(workers int) []core.CCRPoint {
+		points, err := Sweep[float64, core.CCRPoint]{
+			Name:    "worker-invariant",
+			Points:  grid,
+			Workers: workers,
+			Run: func(ctx context.Context, ccr float64) (core.CCRPoint, error) {
+				pts, err := core.CCRSweepContext(ctx, w, []float64{ccr}, plan)
+				if err != nil {
+					return core.CCRPoint{}, err
+				}
+				return pts[0], nil
+			},
+		}.Do(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("worker count changed sweep results")
+	}
+	for i, p := range parallel {
+		if p.CCR != grid[i] {
+			t.Errorf("point %d: CCR %v out of grid order (want %v)", i, p.CCR, grid[i])
+		}
+	}
+}
+
+// TestCompareModesMatchesSerial pins the mode-comparison path the same
+// way: the concurrent map equals three serial runs.
+func TestCompareModesMatchesSerial(t *testing.T) {
+	w, err := generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.DefaultPlan()
+	want := make(map[datamgmt.Mode]core.Result, 3)
+	for _, mode := range datamgmt.Modes() {
+		p := plan
+		p.Mode = mode
+		p.Billing = core.OnDemand
+		p.Processors = 0
+		res, err := core.Run(w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[mode] = res
+	}
+	got, err := core.CompareModesContext(context.Background(), w, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("concurrent CompareModes differs from serial runs")
+	}
+}
+
+// TestSweepCancellation covers the context plumbing end to end: a
+// canceled context aborts figure reproductions, core sweeps and raw
+// sweep grids with context.Canceled.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := Fig4(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig4 under canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := Fig10(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig10 under canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := AblationScheduler(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("AblationScheduler under canceled ctx: %v, want context.Canceled", err)
+	}
+	w, err := generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RunContext(ctx, w, core.DefaultPlan()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext under canceled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepMidRunCancellation cancels while the grid is in flight: the
+// engine must stop dispatching and report the cancellation rather than a
+// partial result.
+func TestSweepMidRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	_, err := Sweep[int, int]{
+		Name:    "mid-run-cancel",
+		Points:  []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Workers: 1,
+		Run: func(ctx context.Context, p int) (int, error) {
+			select {
+			case started <- struct{}{}:
+				cancel() // cancel as soon as the first point starts
+			default:
+			}
+			return p, nil
+		},
+	}.Do(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,60 @@
+package montage
+
+import (
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// Cache memoizes Generate by Spec.  Generation is deterministic, so two
+// identical specs always describe the same workflow; the experiment grid
+// re-asks for the same presets dozens of times, and regenerating a
+// 3,027-task DAG per grid point is pure waste.
+//
+// The cached *dag.Workflow is shared between callers and MUST be treated
+// as read-only (a finalized workflow already is for every simulation
+// path; clone before mutating, as RescaleCCR does).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Spec]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	wf   *dag.Workflow
+	err  error
+}
+
+// Generate returns the memoized workflow for s, generating it on first
+// use.  Concurrent callers with the same spec share one generation.
+func (c *Cache) Generate(s Spec) (*dag.Workflow, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[Spec]*cacheEntry)
+	}
+	e, ok := c.entries[s]
+	if !ok {
+		e = new(cacheEntry)
+		c.entries[s] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.wf, e.err = Generate(s) })
+	return e.wf, e.err
+}
+
+// Len reports how many specs have been memoized.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// defaultCache backs Cached: one process-wide memo of the preset
+// workflows every figure and sweep shares.
+var defaultCache Cache
+
+// Cached is Generate memoized through a process-wide cache; see Cache
+// for the sharing contract.
+func Cached(s Spec) (*dag.Workflow, error) {
+	return defaultCache.Generate(s)
+}

@@ -1,0 +1,94 @@
+package montage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheReturnsSameWorkflow(t *testing.T) {
+	var c Cache
+	a, err := c.Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Generate(OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical specs produced distinct workflows")
+	}
+	other, err := c.Generate(TwoDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Error("distinct specs shared one workflow")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+func TestCacheMatchesGenerate(t *testing.T) {
+	spec := OneDegree()
+	cached, err := Cached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.NumTasks() != fresh.NumTasks() || cached.NumFiles() != fresh.NumFiles() {
+		t.Errorf("cached %d tasks/%d files vs fresh %d/%d",
+			cached.NumTasks(), cached.NumFiles(), fresh.NumTasks(), fresh.NumFiles())
+	}
+	if cached.TotalRuntime() != fresh.TotalRuntime() {
+		t.Errorf("cached runtime %v vs fresh %v", cached.TotalRuntime(), fresh.TotalRuntime())
+	}
+	if cached.TotalFileBytes() != fresh.TotalFileBytes() {
+		t.Errorf("cached bytes %v vs fresh %v", cached.TotalFileBytes(), fresh.TotalFileBytes())
+	}
+}
+
+func TestCacheConcurrentSingleGeneration(t *testing.T) {
+	var c Cache
+	const goroutines = 16
+	out := make([]interface{ NumTasks() int }, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			w, err := c.Generate(OneDegree())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = w
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if out[i] != out[0] {
+			t.Fatalf("goroutine %d got a different workflow", i)
+		}
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheInvalidSpec(t *testing.T) {
+	var c Cache
+	bad := OneDegree()
+	bad.Images = 0
+	if _, err := c.Generate(bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	// The error is memoized too: same spec, same answer.
+	if _, err := c.Generate(bad); err == nil {
+		t.Fatal("invalid spec accepted on second lookup")
+	}
+}

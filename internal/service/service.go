@@ -11,6 +11,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -49,18 +50,24 @@ func (c Class) Validate() error {
 // data (a fast LAN instead of the 10 Mbps WAN), the cloud profile from
 // running it under cloudPlan.
 func MeasureClass(spec montage.Spec, localProcs int, cloudPlan core.Plan) (Class, error) {
-	wf, err := montage.Generate(spec)
+	return MeasureClassContext(context.Background(), spec, localProcs, cloudPlan)
+}
+
+// MeasureClassContext is MeasureClass with cooperative cancellation of
+// the two measurement simulations.
+func MeasureClassContext(ctx context.Context, spec montage.Spec, localProcs int, cloudPlan core.Plan) (Class, error) {
+	wf, err := montage.Cached(spec)
 	if err != nil {
 		return Class{}, err
 	}
 	local := core.DefaultPlan()
 	local.Processors = localProcs
 	local.Bandwidth = units.Mbps(1000) // data is already at the service
-	lr, err := core.Run(wf, local)
+	lr, err := core.RunContext(ctx, wf, local)
 	if err != nil {
 		return Class{}, err
 	}
-	cr, err := core.Run(wf, cloudPlan)
+	cr, err := core.RunContext(ctx, wf, cloudPlan)
 	if err != nil {
 		return Class{}, err
 	}

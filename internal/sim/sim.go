@@ -9,6 +9,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/units"
@@ -86,14 +87,33 @@ func (e *Engine) After(delay units.Duration, fn Event) {
 // Run processes events until the queue is empty or Stop is called, and
 // returns the final simulated time.
 func (e *Engine) Run() units.Duration {
+	t, _ := e.RunContext(context.Background())
+	return t
+}
+
+// cancelCheckInterval is how many events the engine processes between
+// context polls: frequent enough that cancellation lands promptly, rare
+// enough that the poll never shows up in profiles.
+const cancelCheckInterval = 64
+
+// RunContext is Run with cooperative cancellation: the engine polls ctx
+// every few events and, once it is canceled, stops and returns ctx's
+// error with the virtual clock frozen at the abort point.  Pending
+// events stay queued, as after Stop.
+func (e *Engine) RunContext(ctx context.Context) (units.Duration, error) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for n := 0; len(e.queue) > 0 && !e.stopped; n++ {
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return e.now, err
+			}
+		}
 		ev := heap.Pop(&e.queue).(*queuedEvent)
 		e.now = ev.at
 		e.nEvents++
 		ev.fn(e.now)
 	}
-	return e.now
+	return e.now, nil
 }
 
 // Stop halts Run after the current event returns.  Pending events stay

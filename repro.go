@@ -15,9 +15,25 @@
 // Sweeps and the paper's archive-economics analyses are exposed as well;
 // the per-figure harness lives in internal/experiments and is runnable
 // via the montagesim command or `go test -bench .`.
+//
+// # The sweep engine
+//
+// Every parameter scan (ProvisioningSweep, CompareModes, CCRSweep, and
+// each figure in internal/experiments) runs its grid points concurrently
+// on a worker pool sized by GOMAXPROCS.  Each point is a deterministic
+// simulation and collection is order-stable, so a parallel sweep returns
+// results byte-identical to a serial loop -- parallelism never changes a
+// paper number.  The Context variants (RunContext,
+// ProvisioningSweepContext, ...) add cooperative cancellation: cancel
+// the context and the grid drains within a few simulated events.
+// GenerateCached memoizes workflow generation per spec; the returned
+// workflow is shared and must be treated as read-only (every simulation
+// path already does).
 package repro
 
 import (
+	"context"
+
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -66,6 +82,11 @@ var (
 // Generate builds, calibrates and finalizes a Montage workflow.
 func Generate(spec Spec) (*Workflow, error) { return montage.Generate(spec) }
 
+// GenerateCached is Generate memoized through a process-wide cache:
+// repeated requests for the same spec share one workflow.  The result
+// must be treated as read-only.
+func GenerateCached(spec Spec) (*Workflow, error) { return montage.Cached(spec) }
+
 // Execution and billing plans.
 type (
 	// Plan describes how a request executes and how it is billed.
@@ -107,6 +128,11 @@ func Amazon2008() Pricing { return cost.Amazon2008() }
 // Run executes a workflow under a plan and prices the outcome.
 func Run(wf *Workflow, plan Plan) (Result, error) { return core.Run(wf, plan) }
 
+// RunContext is Run with cooperative cancellation.
+func RunContext(ctx context.Context, wf *Workflow, plan Plan) (Result, error) {
+	return core.RunContext(ctx, wf, plan)
+}
+
 // Sweeps.
 type (
 	// SweepPoint is one row of a provisioning sweep.
@@ -116,24 +142,41 @@ type (
 )
 
 // ProvisioningSweep reproduces Question 1: provisioned pools of each
-// size, reporting costs and execution time.
+// size, reporting costs and execution time.  Grid points run
+// concurrently; results are identical to a serial loop.
 func ProvisioningSweep(wf *Workflow, processors []int, plan Plan) ([]SweepPoint, error) {
 	return core.ProvisioningSweep(wf, processors, plan)
+}
+
+// ProvisioningSweepContext is ProvisioningSweep with cooperative
+// cancellation.
+func ProvisioningSweepContext(ctx context.Context, wf *Workflow, processors []int, plan Plan) ([]SweepPoint, error) {
+	return core.ProvisioningSweepContext(ctx, wf, processors, plan)
 }
 
 // GeometricProcessors returns the paper's pool sizes 1, 2, 4, ..., 128.
 func GeometricProcessors() []int { return core.GeometricProcessors() }
 
 // CompareModes reproduces Question 2a: one on-demand run per
-// data-management mode.
+// data-management mode, all three concurrently.
 func CompareModes(wf *Workflow, plan Plan) (map[Mode]Result, error) {
 	return core.CompareModes(wf, plan)
 }
 
+// CompareModesContext is CompareModes with cooperative cancellation.
+func CompareModesContext(ctx context.Context, wf *Workflow, plan Plan) (map[Mode]Result, error) {
+	return core.CompareModesContext(ctx, wf, plan)
+}
+
 // CCRSweep reproduces Fig. 11: runs at rescaled communication-to-
-// computation ratios.
+// computation ratios, concurrently across the grid.
 func CCRSweep(wf *Workflow, ccrs []float64, plan Plan) ([]CCRPoint, error) {
 	return core.CCRSweep(wf, ccrs, plan)
+}
+
+// CCRSweepContext is CCRSweep with cooperative cancellation.
+func CCRSweepContext(ctx context.Context, wf *Workflow, ccrs []float64, plan Plan) ([]CCRPoint, error) {
+	return core.CCRSweepContext(ctx, wf, ccrs, plan)
 }
 
 // Archive economics (Questions 2b and 3).
