@@ -8,124 +8,28 @@
 //	montagesim -exp all
 //	montagesim -exp fig7 -format csv
 //	montagesim -run 2deg -mode cleanup -procs 16 -billing provisioned
+//	montagesim -run 1deg -json
 //
 // The -exp flag selects a canned experiment (one per paper table or
-// figure); the -run flag instead simulates a single custom configuration
-// and prints its metrics and cost.
+// figure) from the shared registry in internal/experiments -- the same
+// list the reprosrv daemon serves under /v1/experiments, so the CLI and
+// the API can never drift apart.  The -run flag instead simulates a
+// single custom configuration; with -json it emits the exact result
+// document POST /v1/run returns, byte for byte.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
-	"strings"
 
-	"repro/internal/core"
-	"repro/internal/cost"
-	"repro/internal/datamgmt"
-	"repro/internal/exec"
+	"repro"
 	"repro/internal/experiments"
-	"repro/internal/montage"
 	"repro/internal/report"
-	"repro/internal/units"
 )
-
-type tableSet struct {
-	name   string
-	desc   string
-	tables func(context.Context) ([]*report.Table, error)
-}
-
-func experimentsIndex() []tableSet {
-	return []tableSet{
-		{"ccr-table", "§6.3 CCR table", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.CCRTable(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"fig4", "Q1 provisioning sweep, 1-degree", provisioningTables(experiments.Fig4)},
-		{"fig5", "Q1 provisioning sweep, 2-degree", provisioningTables(experiments.Fig5)},
-		{"fig6", "Q1 provisioning sweep, 4-degree", provisioningTables(experiments.Fig6)},
-		{"fig7", "Q2a data-management comparison, 1-degree", dmTables(experiments.Fig7)},
-		{"fig8", "Q2a data-management comparison, 2-degree", dmTables(experiments.Fig8)},
-		{"fig9", "Q2a data-management comparison, 4-degree", dmTables(experiments.Fig9)},
-		{"fig10", "CPU vs data-management cost summary", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.Fig10(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"fig11", "CCR sensitivity sweep", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.Fig11(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"q2b", "archive break-even analysis", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.Q2b(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"q3", "whole-sky campaign costing", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.Q3WholeSky(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"store", "store-vs-recompute horizons", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.Q3Store(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-granularity", "per-hour vs per-second billing", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationGranularity(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-plan", "provisioned vs on-demand charging", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationPlanComparison(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-startup", "VM startup cost (§8 extension)", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationVMStartup(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-outage", "storage outage impact (§8 extension)", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationOutage(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-scheduler", "list-scheduler policy comparison", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationScheduler(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-clustering", "horizontal task clustering", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationClustering(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"ablation-reliability", "task failure rate impact (§8 extension)", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.AblationReliability(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-		{"overload", "cloud bursting under a request overload", func(ctx context.Context) ([]*report.Table, error) {
-			r, err := experiments.Overload(ctx)
-			return []*report.Table{r.Table()}, err
-		}},
-	}
-}
-
-func provisioningTables(fn func(context.Context) (experiments.ProvisioningFigure, error)) func(context.Context) ([]*report.Table, error) {
-	return func(ctx context.Context) ([]*report.Table, error) {
-		f, err := fn(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{f.CostTable(), f.TimeTable()}, nil
-	}
-}
-
-func dmTables(fn func(context.Context) (experiments.DataManagementFigure, error)) func(context.Context) ([]*report.Table, error) {
-	return func(ctx context.Context) ([]*report.Table, error) {
-		f, err := fn(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return []*report.Table{f.StorageTable(), f.TransferTable(), f.CostTable()}, nil
-	}
-}
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -exp list), or 'all'")
@@ -134,6 +38,7 @@ func main() {
 	mode := flag.String("mode", "regular", "custom run: remote-io, regular or cleanup")
 	procs := flag.Int("procs", 0, "custom run: provisioned processors (0 = full parallelism)")
 	billing := flag.String("billing", "on-demand", "custom run: provisioned or on-demand")
+	jsonOut := flag.Bool("json", false, "custom run: emit the machine-readable result document (same as the reprosrv API)")
 	flag.Parse()
 
 	// Ctrl-C cancels the whole experiment grid cooperatively: in-flight
@@ -141,7 +46,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := realMain(ctx, *exp, *format, *run, *mode, *procs, *billing); err != nil {
+	fmtArg := *format
+	if *jsonOut {
+		if *exp != "" {
+			fmt.Fprintln(os.Stderr, "montagesim: -json applies to -run only (experiments take -format text|csv|markdown)")
+			os.Exit(1)
+		}
+		fmtArg = "json"
+	}
+	if err := realMain(ctx, *exp, fmtArg, *run, *mode, *procs, *billing); err != nil {
 		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
 		os.Exit(1)
 	}
@@ -162,27 +75,23 @@ func realMain(ctx context.Context, exp, format, run, mode string, procs int, bil
 }
 
 func runExperiment(ctx context.Context, name, format string, w io.Writer) error {
-	index := experimentsIndex()
+	index := experiments.Registry()
 	if name == "list" {
 		tbl := report.New("Available experiments", "name", "description")
 		for _, e := range index {
-			tbl.MustAdd(e.name, e.desc)
+			tbl.MustAdd(e.Name, e.Description)
 		}
 		return tbl.WriteText(w)
 	}
-	var selected []tableSet
+	var selected []experiments.Experiment
 	if name == "all" {
 		selected = index
 	} else {
-		for _, e := range index {
-			if e.name == name {
-				selected = []tableSet{e}
-				break
-			}
-		}
-		if selected == nil {
+		e, ok := experiments.Lookup(name)
+		if !ok {
 			return fmt.Errorf("unknown experiment %q (try -exp list)", name)
 		}
+		selected = []experiments.Experiment{e}
 	}
 	switch format {
 	case "text", "csv", "markdown", "md":
@@ -197,12 +106,12 @@ func runExperiment(ctx context.Context, name, format string, w io.Writer) error 
 	// across nested sweeps could deadlock, so each level is bounded by
 	// GOMAXPROCS independently and the OS scheduler absorbs the
 	// oversubscription.
-	return experiments.Sweep[tableSet, []*report.Table]{
+	return experiments.Sweep[experiments.Experiment, []*report.Table]{
 		Points: selected,
-		Run: func(ctx context.Context, e tableSet) ([]*report.Table, error) {
-			tables, err := e.tables(ctx)
+		Run: func(ctx context.Context, e experiments.Experiment) ([]*report.Table, error) {
+			tables, err := e.Tables(ctx, experiments.Params{})
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", e.name, err)
+				return nil, fmt.Errorf("%s: %w", e.Name, err)
 			}
 			return tables, nil
 		},
@@ -228,50 +137,33 @@ func runExperiment(ctx context.Context, name, format string, w io.Writer) error 
 }
 
 func runCustom(ctx context.Context, preset, modeStr string, procs int, billingStr, format string, w io.Writer) error {
-	var spec montage.Spec
-	switch strings.ToLower(preset) {
-	case "1deg":
-		spec = montage.OneDegree()
-	case "2deg":
-		spec = montage.TwoDegree()
-	case "4deg":
-		spec = montage.FourDegree()
-	default:
-		return fmt.Errorf("unknown preset %q (want 1deg, 2deg or 4deg)", preset)
+	req := repro.RunRequest{
+		Workflow:   preset,
+		Mode:       modeStr,
+		Processors: procs,
+		Billing:    billingStr,
 	}
-	m, err := datamgmt.ParseMode(modeStr)
+	spec, plan, err := req.Resolve()
 	if err != nil {
 		return err
 	}
-	plan := core.DefaultPlan()
-	plan.Mode = m
-	plan.Processors = procs
-	switch billingStr {
-	case "provisioned":
-		plan.Billing = core.Provisioned
-	case "on-demand", "ondemand":
-		plan.Billing = core.OnDemand
-	default:
-		return fmt.Errorf("unknown billing %q (want provisioned or on-demand)", billingStr)
-	}
-	wf, err := montage.Generate(spec)
+	wf, err := repro.GenerateCached(spec)
 	if err != nil {
 		return err
 	}
-	res, err := core.RunContext(ctx, wf, plan)
+	res, err := repro.RunContext(ctx, wf, plan)
 	if err != nil {
 		return err
 	}
 	if format == "json" {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
-			Metrics exec.Metrics
-			Cost    cost.Breakdown
-			Total   units.Money
-		}{res.Metrics, res.Cost, res.Cost.Total()})
+		body, err := repro.NewRunDocument(res).Encode()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(body)
+		return err
 	}
-	tbl := report.New(fmt.Sprintf("%s, %s mode, %s billing", spec.Name, m, plan.Billing),
+	tbl := report.New(fmt.Sprintf("%s, %s mode, %s billing", spec.Name, plan.Mode, plan.Billing),
 		"quantity", "value")
 	mtr := res.Metrics
 	tbl.MustAdd("tasks", fmt.Sprint(mtr.TasksRun))

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestRunExperimentList(t *testing.T) {
@@ -68,10 +70,38 @@ func TestRunCustomJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{`"Mode": "regular"`, `"Total"`, `"CPUSeconds"`} {
+	for _, want := range []string{`"Mode": "regular"`, `"total"`, `"CPUSeconds"`, `"workflow": "montage-1deg"`, `"billing": "on-demand"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("JSON output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunCustomJSONMatchesWireDocument(t *testing.T) {
+	// The -json document must be byte-identical to what the server
+	// builds for the same request: both go through RunDocument.Encode.
+	var b strings.Builder
+	if err := runCustom(context.Background(), "1deg", "regular", 4, "on-demand", "json", &b); err != nil {
+		t.Fatal(err)
+	}
+	spec, plan, err := repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := repro.GenerateCached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.NewRunDocument(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("CLI JSON diverges from wire document:\nCLI:\n%s\nwire:\n%s", b.String(), want)
 	}
 }
 

@@ -1,0 +1,63 @@
+// Command reprosrv serves the Montage cost simulator as a long-running
+// HTTP daemon: the paper's Figure-2 mosaic portal, made literal.
+//
+// Usage:
+//
+//	reprosrv -addr 127.0.0.1:8080
+//	reprosrv -addr 127.0.0.1:0 -workers 8 -queue 128 -cache 2048
+//
+// Endpoints (see internal/server): POST /v1/run, POST /v1/sweep (NDJSON
+// stream), GET /v1/experiments, GET /v1/experiments/{name},
+// GET /v1/advisor, GET /healthz, GET /metrics.
+//
+// The daemon prints "listening on HOST:PORT" once the socket is open
+// (so -addr :0 is scriptable) and drains in-flight requests on SIGTERM
+// or SIGINT before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a worker before 503 (0 = 64)")
+	cache := flag.Int("cache", 0, "result cache entries (0 = 1024)")
+	drain := flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, server.Config{
+		MaxConcurrent: *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		DrainTimeout:  *drain,
+	}, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "reprosrv: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run listens on addr and serves until ctx is canceled, announcing the
+// bound address on w so callers can find a :0-assigned port.
+func run(ctx context.Context, addr string, cfg server.Config, w io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "listening on %s\n", l.Addr())
+	return server.New(cfg).Serve(ctx, l)
+}

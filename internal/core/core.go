@@ -89,6 +89,12 @@ func DefaultPlan() Plan {
 	}
 }
 
+// Canonical returns the plan with its zero-value defaults filled in:
+// the form two plans must be reduced to before being compared or used
+// as a cache key, since a zero Bandwidth and an explicit 10 Mbps
+// describe the same run.
+func (p Plan) Canonical() Plan { return p.normalized() }
+
 // normalized fills zero-value defaults.
 func (p Plan) normalized() Plan {
 	if p.Bandwidth == 0 {

@@ -16,11 +16,16 @@ import (
 // overload, with and without cloud bursting.
 type OverloadResult struct {
 	Classes  []service.Class
+	Seed     int64
 	SLA      units.Duration
 	Requests int
 	Without  service.Stats
 	With     service.Stats
 }
+
+// DefaultOverloadSeed is the published arrival-stream seed; Overload
+// uses it, and OverloadSeeded reproduces any other stream on demand.
+const DefaultOverloadSeed int64 = 42
 
 // Overload simulates a month of 1- and 2-degree mosaic requests against
 // an 8-processor local cluster with a 4-hour turnaround target and a
@@ -28,6 +33,14 @@ type OverloadResult struct {
 // bursting to a 32-processor provisioned cloud pool.  The two class
 // measurements and the two month-long simulations each run concurrently.
 func Overload(ctx context.Context) (OverloadResult, error) {
+	return OverloadSeeded(ctx, DefaultOverloadSeed)
+}
+
+// OverloadSeeded is Overload with an explicit arrival-stream seed: the
+// only stochastic input of the scenario, threaded through
+// service.Arrivals so a server (or anyone else) can re-run the exact
+// same request stream, or explore fresh ones, reproducibly.
+func OverloadSeeded(ctx context.Context, seed int64) (OverloadResult, error) {
 	cloudPlan := core.DefaultPlan()
 	cloudPlan.Billing = core.Provisioned
 	cloudPlan.Processors = 32
@@ -45,9 +58,9 @@ func Overload(ctx context.Context) (OverloadResult, error) {
 
 	day := units.Duration(24 * units.SecondsPerHour)
 	arrivals := service.Arrivals{
-		Seed: 42, N: 600, MeanGap: 2 * units.Duration(units.SecondsPerHour), Classes: 2,
+		N: 600, MeanGap: 2 * units.Duration(units.SecondsPerHour), Classes: 2,
 		BurstStart: 10 * day, BurstEnd: 13 * day, BurstRate: 8,
-	}
+	}.WithSeed(seed)
 	reqs, err := arrivals.Generate()
 	if err != nil {
 		return OverloadResult{}, err
@@ -55,6 +68,7 @@ func Overload(ctx context.Context) (OverloadResult, error) {
 
 	res := OverloadResult{
 		Classes:  classes,
+		Seed:     seed,
 		SLA:      units.Duration(4 * units.SecondsPerHour),
 		Requests: len(reqs),
 	}

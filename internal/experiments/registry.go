@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Params carries the optional knobs a caller may turn on a registered
+// experiment.  The zero value reproduces the paper: every experiment
+// ignores the fields it does not consult.
+type Params struct {
+	// Seed overrides the arrival-stream seed of the stochastic
+	// experiments (currently only the overload scenario); nil keeps the
+	// published default.  Every other experiment is fully deterministic
+	// and ignores it.
+	Seed *int64
+}
+
+// Experiment is one registered paper experiment: a stable name, a short
+// description, and a runner producing renderable tables.  The montagesim
+// CLI and the reprosrv HTTP daemon both enumerate and invoke experiments
+// through this registry, so the two surfaces can never drift apart.
+type Experiment struct {
+	Name        string
+	Description string
+	Tables      func(ctx context.Context, p Params) ([]*report.Table, error)
+}
+
+// Registry lists every experiment in presentation order (the order of
+// the paper's evaluation, then the §8 ablation extensions).
+func Registry() []Experiment {
+	return []Experiment{
+		{"ccr-table", "§6.3 CCR table", one(CCRTable)},
+		{"fig4", "Q1 provisioning sweep, 1-degree", provisioningTables(Fig4)},
+		{"fig5", "Q1 provisioning sweep, 2-degree", provisioningTables(Fig5)},
+		{"fig6", "Q1 provisioning sweep, 4-degree", provisioningTables(Fig6)},
+		{"fig7", "Q2a data-management comparison, 1-degree", dataManagementTables(Fig7)},
+		{"fig8", "Q2a data-management comparison, 2-degree", dataManagementTables(Fig8)},
+		{"fig9", "Q2a data-management comparison, 4-degree", dataManagementTables(Fig9)},
+		{"fig10", "CPU vs data-management cost summary", one(Fig10)},
+		{"fig11", "CCR sensitivity sweep", one(Fig11)},
+		{"q2b", "archive break-even analysis", one(Q2b)},
+		{"q3", "whole-sky campaign costing", one(Q3WholeSky)},
+		{"store", "store-vs-recompute horizons", one(Q3Store)},
+		{"ablation-granularity", "per-hour vs per-second billing", one(AblationGranularity)},
+		{"ablation-plan", "provisioned vs on-demand charging", one(AblationPlanComparison)},
+		{"ablation-startup", "VM startup cost (§8 extension)", one(AblationVMStartup)},
+		{"ablation-outage", "storage outage impact (§8 extension)", one(AblationOutage)},
+		{"ablation-scheduler", "list-scheduler policy comparison", one(AblationScheduler)},
+		{"ablation-clustering", "horizontal task clustering", one(AblationClustering)},
+		{"ablation-reliability", "task failure rate impact (§8 extension)", one(AblationReliability)},
+		{"overload", "cloud bursting under a request overload (?seed= reseeds the arrivals)",
+			func(ctx context.Context, p Params) ([]*report.Table, error) {
+				seed := DefaultOverloadSeed
+				if p.Seed != nil {
+					seed = *p.Seed
+				}
+				r, err := OverloadSeeded(ctx, seed)
+				if err != nil {
+					return nil, err
+				}
+				return []*report.Table{r.Table()}, nil
+			}},
+	}
+}
+
+// Lookup finds a registered experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// tabler is any experiment result that renders itself as one table.
+type tabler interface {
+	Table() *report.Table
+}
+
+// one adapts a single-table experiment constructor to the registry
+// runner signature.
+func one[R tabler](fn func(context.Context) (R, error)) func(context.Context, Params) ([]*report.Table, error) {
+	return func(ctx context.Context, _ Params) ([]*report.Table, error) {
+		r, err := fn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	}
+}
+
+// provisioningTables adapts a Question-1 figure (two panels).
+func provisioningTables(fn func(context.Context) (ProvisioningFigure, error)) func(context.Context, Params) ([]*report.Table, error) {
+	return func(ctx context.Context, _ Params) ([]*report.Table, error) {
+		f, err := fn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{f.CostTable(), f.TimeTable()}, nil
+	}
+}
+
+// dataManagementTables adapts a Question-2a figure (three panels).
+func dataManagementTables(fn func(context.Context) (DataManagementFigure, error)) func(context.Context, Params) ([]*report.Table, error) {
+	return func(ctx context.Context, _ Params) ([]*report.Table, error) {
+		f, err := fn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{f.StorageTable(), f.TransferTable(), f.CostTable()}, nil
+	}
+}
+
+// Run executes the named experiment, labeling errors with the name.
+func Run(ctx context.Context, name string, p Params) ([]*report.Table, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	tables, err := e.Tables(ctx, p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Name, err)
+	}
+	return tables, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRegistryNamesUniqueAndComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 19 {
+		t.Fatalf("registry has %d experiments, want at least 19", len(reg))
+	}
+	seen := make(map[string]bool)
+	for _, e := range reg {
+		if e.Name == "" || e.Description == "" || e.Tables == nil {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment name %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"ccr-table", "fig4", "fig10", "q2b", "overload", "ablation-outage"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("ccr-table"); !ok {
+		t.Error("ccr-table not found")
+	}
+	if _, ok := Lookup("no-such-experiment"); ok {
+		t.Error("bogus name found")
+	}
+}
+
+func TestRunByName(t *testing.T) {
+	tables, err := Run(context.Background(), "ccr-table", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("got %d tables, want 1", len(tables))
+	}
+	var b strings.Builder
+	if err := tables[0].WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "montage-4deg") {
+		t.Errorf("ccr-table output missing workflow row:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownName(t *testing.T) {
+	if _, err := Run(context.Background(), "no-such-experiment", Params{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestOverloadSeedThreading(t *testing.T) {
+	ctx := context.Background()
+	a, err := OverloadSeeded(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OverloadSeeded(ctx, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.With != b.With || a.Without != b.Without {
+		t.Error("same seed produced different overload stats")
+	}
+	c, err := OverloadSeeded(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.With == c.With && a.Without == c.Without {
+		t.Error("different seeds produced identical overload stats")
+	}
+	if a.Seed != 7 || c.Seed != 8 {
+		t.Errorf("seeds not recorded: %d, %d", a.Seed, c.Seed)
+	}
+}

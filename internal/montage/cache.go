@@ -1,6 +1,7 @@
 package montage
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/dag"
@@ -11,19 +12,46 @@ import (
 // re-asks for the same presets dozens of times, and regenerating a
 // 3,027-task DAG per grid point is pure waste.
 //
+// A positive Limit bounds the memo: once more than Limit distinct specs
+// have been generated, the least-recently-used workflow is evicted.  A
+// long-running server fielding arbitrary mosaic sizes needs the bound
+// (every distinct spec pins a multi-thousand-task DAG) and the Stats
+// surface to report cache behaviour; the process-wide preset memo stays
+// unbounded (Limit 0).
+//
 // The cached *dag.Workflow is shared between callers and MUST be treated
 // as read-only (a finalized workflow already is for every simulation
 // path; clone before mutating, as RescaleCCR does).
 type Cache struct {
+	// Limit bounds the number of memoized specs; <= 0 means unbounded.
+	Limit int
+
 	mu      sync.Mutex
 	entries map[Spec]*cacheEntry
+	order   *list.List // of Spec; front = most recently used
+	hits    uint64
+	misses  uint64
+	evicted uint64
 }
 
 type cacheEntry struct {
 	once sync.Once
+	elem *list.Element
 	wf   *dag.Workflow
 	err  error
 }
+
+// CacheStats is a snapshot of a cache's behaviour.
+type CacheStats struct {
+	Hits      uint64 // lookups that found a memoized entry
+	Misses    uint64 // lookups that triggered a generation
+	Evictions uint64 // entries dropped to respect Limit
+	Entries   int    // specs currently memoized
+}
+
+// NewCache returns a cache bounded to at most limit memoized specs
+// (<= 0 means unbounded).
+func NewCache(limit int) *Cache { return &Cache{Limit: limit} }
 
 // Generate returns the memoized workflow for s, generating it on first
 // use.  Concurrent callers with the same spec share one generation.
@@ -31,22 +59,44 @@ func (c *Cache) Generate(s Spec) (*dag.Workflow, error) {
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[Spec]*cacheEntry)
+		c.order = list.New()
 	}
 	e, ok := c.entries[s]
-	if !ok {
+	if ok {
+		c.hits++
+		c.order.MoveToFront(e.elem)
+	} else {
+		c.misses++
 		e = new(cacheEntry)
+		e.elem = c.order.PushFront(s)
 		c.entries[s] = e
+		for c.Limit > 0 && len(c.entries) > c.Limit {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(Spec))
+			c.evicted++
+		}
 	}
 	c.mu.Unlock()
+	// An entry evicted while its generation is still running stays valid
+	// for the callers already holding it; it is merely no longer shared
+	// with future lookups.
 	e.once.Do(func() { e.wf, e.err = Generate(s) })
 	return e.wf, e.err
 }
 
-// Len reports how many specs have been memoized.
+// Len reports how many specs are currently memoized.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: len(c.entries)}
 }
 
 // defaultCache backs Cached: one process-wide memo of the preset
@@ -54,7 +104,9 @@ func (c *Cache) Len() int {
 var defaultCache Cache
 
 // Cached is Generate memoized through a process-wide cache; see Cache
-// for the sharing contract.
+// for the sharing contract.  Only trusted callers (the experiment
+// harness, the CLIs) should use it -- a server fielding arbitrary specs
+// must own a bounded Cache instead.
 func Cached(s Spec) (*dag.Workflow, error) {
 	return defaultCache.Generate(s)
 }

@@ -80,6 +80,59 @@ func TestCacheConcurrentSingleGeneration(t *testing.T) {
 	}
 }
 
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	one, two, four := OneDegree(), TwoDegree(), FourDegree()
+	mustGen := func(s Spec) {
+		t.Helper()
+		if _, err := c.Generate(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGen(one)
+	mustGen(two)
+	mustGen(one) // touch: one is now more recently used than two
+	mustGen(four)
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// two was least recently used, so it must be the evicted one: asking
+	// for one and four again is all hits, asking for two regenerates.
+	before := c.Stats()
+	mustGen(one)
+	mustGen(four)
+	if got := c.Stats(); got.Misses != before.Misses {
+		t.Errorf("resident entries missed: misses %d -> %d", before.Misses, got.Misses)
+	}
+	mustGen(two)
+	if got := c.Stats(); got.Misses != before.Misses+1 {
+		t.Errorf("evicted entry not regenerated: misses %d -> %d", before.Misses, got.Misses)
+	}
+	if got := c.Stats(); got.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", got.Evictions)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	var c Cache // unbounded
+	if _, err := c.Generate(OneDegree()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Generate(OneDegree()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 3 hits / 1 miss / 0 evictions / 1 entry", st)
+	}
+}
+
 func TestCacheInvalidSpec(t *testing.T) {
 	var c Cache
 	bad := OneDegree()

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheHitMiss(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	body, ok := c.Get("a")
+	if !ok || !bytes.Equal(body, []byte("alpha")) {
+		t.Fatalf("Get(a) = %q, %v", body, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestResultCacheLRUBound(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Put("k3", []byte{3})
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("stats after eviction = %+v, want 3 entries / 1 eviction", st)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("LRU entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("recent entry %s evicted", k)
+		}
+	}
+}
+
+func TestResultCachePutRefreshesRecency(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("1")) // refresh a; b is now LRU
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("refreshed entry was evicted instead of the stale one")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed entry missing")
+	}
+}
+
+func TestResultCacheUnbounded(t *testing.T) {
+	c := newResultCache(0)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), nil)
+	}
+	if st := c.Stats(); st.Entries != 100 || st.Evictions != 0 {
+		t.Errorf("unbounded cache stats = %+v", st)
+	}
+}

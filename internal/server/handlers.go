@@ -1,0 +1,478 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/advisor"
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sweep"
+	"repro/internal/units"
+)
+
+// maxBodyBytes bounds request bodies; every request document is tiny.
+const maxBodyBytes = 1 << 20
+
+// writeJSON renders v as indented JSON.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing left to tell the client
+}
+
+// errorDoc is the wire form of a failure.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, err error) {
+	s.metrics.errors.Add(1)
+	// A client that hung up gets nothing; don't count its cancellation
+	// as a server error status.
+	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		return
+	}
+	writeJSON(w, status, errorDoc{Error: err.Error()})
+}
+
+// statusFor maps a handler error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+// ---- POST /v1/run ----
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("run")
+	var req repro.RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	spec, plan, err := req.Resolve()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	key := repro.CanonicalRunKey(spec, plan)
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body) //nolint:errcheck
+		return
+	}
+	body, shared, err := s.flights.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		release, err := s.admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		if s.testHookPreSim != nil {
+			s.testHookPreSim()
+		}
+		s.metrics.simulations.Add(1)
+		wf, err := s.wfCache.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := repro.RunContext(ctx, wf, plan)
+		if err != nil {
+			return nil, err
+		}
+		body, err := repro.NewRunDocument(res).Encode()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, body)
+		return body, nil
+	})
+	if shared {
+		s.metrics.coalesced.Add(1)
+	}
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(body) //nolint:errcheck
+}
+
+// ---- POST /v1/sweep ----
+
+// SweepRequest is the wire form of a grid request: a base run plus up
+// to three axes.  The grid is the cross product in processors x modes x
+// CCRs order; an absent axis contributes the base plan's single value.
+type SweepRequest struct {
+	repro.RunRequest
+	Processors []int     `json:"processors,omitempty"`
+	Modes      []string  `json:"modes,omitempty"`
+	CCRs       []float64 `json:"ccrs,omitempty"`
+}
+
+// sweepRow is one NDJSON line of a sweep response.
+type sweepRow struct {
+	Index int     `json:"index"`
+	CCR   float64 `json:"ccr,omitempty"`
+	repro.RunDocument
+}
+
+type gridPoint struct {
+	procs int
+	mode  datamgmt.Mode
+	ccr   float64 // 0 means "leave the workflow's CCR alone"
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("sweep")
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	spec, plan, err := req.Resolve()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	procsAxis := req.Processors
+	if len(procsAxis) == 0 {
+		procsAxis = []int{plan.Processors}
+	}
+	modesAxis := []datamgmt.Mode{plan.Mode}
+	if len(req.Modes) > 0 {
+		modesAxis = modesAxis[:0]
+		for _, m := range req.Modes {
+			mode, err := datamgmt.ParseMode(m)
+			if err != nil {
+				s.fail(w, r, http.StatusBadRequest, err)
+				return
+			}
+			modesAxis = append(modesAxis, mode)
+		}
+	}
+	ccrAxis := req.CCRs
+	if len(ccrAxis) == 0 {
+		ccrAxis = []float64{0}
+	}
+	var grid []gridPoint
+	for _, procs := range procsAxis {
+		if procs < 0 {
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: negative processor count %d", procs))
+			return
+		}
+		for _, mode := range modesAxis {
+			for _, ccr := range ccrAxis {
+				if ccr < 0 {
+					s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: negative CCR %v", ccr))
+					return
+				}
+				grid = append(grid, gridPoint{procs: procs, mode: mode, ccr: ccr})
+			}
+		}
+	}
+
+	// A sweep holds one worker slot; its grid fans out on the sweep
+	// engine's own GOMAXPROCS pool, like every nested sweep in the repo.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	defer release()
+	wf, err := s.wfCache.Generate(spec)
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	// Rescale once per distinct CCR, not once per grid point: the scaled
+	// workflow is independent of the processor and mode axes, and cloning
+	// a multi-thousand-task DAG per point is pure waste.
+	scaledByCCR := make(map[float64]*dag.Workflow)
+	for _, ccr := range ccrAxis {
+		if ccr == 0 {
+			continue
+		}
+		if _, ok := scaledByCCR[ccr]; ok {
+			continue
+		}
+		scaled, err := wf.RescaleCCR(ccr, plan.Bandwidth)
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, err)
+			return
+		}
+		scaledByCCR[ccr] = scaled
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streamed := false
+	// Rows stream in grid order as soon as each point (and every earlier
+	// one) finishes; r.Context() cancellation -- the client hanging up --
+	// drains the whole grid.
+	err = sweep.Stream(r.Context(), 0, grid,
+		func(ctx context.Context, _ int, p gridPoint) (repro.RunDocument, error) {
+			pointPlan := plan
+			pointPlan.Processors = p.procs
+			pointPlan.Mode = p.mode
+			pointWf := wf
+			if p.ccr > 0 {
+				pointWf = scaledByCCR[p.ccr]
+			}
+			res, err := repro.RunContext(ctx, pointWf, pointPlan)
+			if err != nil {
+				return repro.RunDocument{}, err
+			}
+			return repro.NewRunDocument(res), nil
+		},
+		func(i int, doc repro.RunDocument) error {
+			streamed = true
+			if err := enc.Encode(sweepRow{Index: i, CCR: grid[i].ccr, RunDocument: doc}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	if err != nil {
+		if !streamed {
+			s.fail(w, r, statusFor(err), err)
+			return
+		}
+		// Mid-stream the status line is gone; emit a terminal error row.
+		s.metrics.errors.Add(1)
+		if r.Context().Err() == nil {
+			enc.Encode(errorDoc{Error: err.Error()}) //nolint:errcheck
+		}
+	}
+}
+
+// ---- GET /v1/experiments and /v1/experiments/{name} ----
+
+// experimentDoc is one registry entry on the wire.
+type experimentDoc struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// tableDoc is one rendered result table on the wire.
+type tableDoc struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+func tableDocs(tables []*report.Table) []tableDoc {
+	docs := make([]tableDoc, len(tables))
+	for i, t := range tables {
+		docs[i] = tableDoc{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	}
+	return docs
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("experiments")
+	reg := experiments.Registry()
+	docs := make([]experimentDoc, len(reg))
+	for i, e := range reg {
+		docs[i] = experimentDoc{Name: e.Name, Description: e.Description}
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("experiment")
+	name := r.PathValue("name")
+	if _, ok := experiments.Lookup(name); !ok {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("server: unknown experiment %q", name))
+		return
+	}
+	var params experiments.Params
+	if seedStr := r.URL.Query().Get("seed"); seedStr != "" {
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad seed %q: %w", seedStr, err))
+			return
+		}
+		params.Seed = &seed
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	defer release()
+	tables, err := experiments.Run(r.Context(), name, params)
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name   string     `json:"name"`
+		Tables []tableDoc `json:"tables"`
+	}{Name: name, Tables: tableDocs(tables)})
+}
+
+// ---- GET /v1/advisor ----
+
+// advisorOption is one provisioning choice on the wire.
+type advisorOption struct {
+	Processors  int     `json:"processors"`
+	CostDollars float64 `json:"cost_dollars"`
+	Hours       float64 `json:"hours"`
+}
+
+func toAdvisorOptions(opts []advisor.Option) []advisorOption {
+	out := make([]advisorOption, len(opts))
+	for i, o := range opts {
+		out[i] = advisorOption{Processors: o.Processors, CostDollars: o.Cost.Dollars(), Hours: o.Time.Hours()}
+	}
+	return out
+}
+
+func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("advisor")
+	q := r.URL.Query()
+	req := repro.RunRequest{
+		Workflow: q.Get("workflow"),
+		Mode:     q.Get("mode"),
+		Billing:  "provisioned",
+	}
+	if req.Workflow == "" {
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: advisor needs ?workflow= (1deg, 2deg or 4deg)"))
+		return
+	}
+	spec, plan, err := req.Resolve()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	procs := repro.GeometricProcessors()
+	if list := q.Get("processors"); list != "" {
+		procs = procs[:0]
+		for _, field := range strings.Split(list, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || n <= 0 {
+				s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad processor list %q", list))
+				return
+			}
+			procs = append(procs, n)
+		}
+	}
+	slack := 0.10
+	if v := q.Get("slack"); v != "" {
+		if slack, err = strconv.ParseFloat(v, 64); err != nil || slack < 0 {
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad slack %q", v))
+			return
+		}
+	}
+	// Every parameter is validated before the sweep runs: a malformed
+	// deadline or budget must cost a 400, not a full exploration.
+	var deadline *units.Duration
+	if v := q.Get("deadline_hours"); v != "" {
+		hours, err := strconv.ParseFloat(v, 64)
+		if err != nil || hours <= 0 {
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad deadline_hours %q", v))
+			return
+		}
+		d := units.Duration(hours * units.SecondsPerHour)
+		deadline = &d
+	}
+	var budget *units.Money
+	if v := q.Get("budget"); v != "" {
+		dollars, err := strconv.ParseFloat(v, 64)
+		if err != nil || dollars < 0 {
+			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad budget %q", v))
+			return
+		}
+		b := units.Money(dollars)
+		budget = &b
+	}
+
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	defer release()
+	wf, err := s.wfCache.Generate(spec)
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	opts, err := advisor.Explore(r.Context(), wf, procs, plan)
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	resp := struct {
+		Workflow    string          `json:"workflow"`
+		Options     []advisorOption `json:"options"`
+		Pareto      []advisorOption `json:"pareto"`
+		Recommended *advisorOption  `json:"recommended,omitempty"`
+		Cheapest    *advisorOption  `json:"cheapest_within_deadline,omitempty"`
+		Fastest     *advisorOption  `json:"fastest_under_budget,omitempty"`
+	}{
+		Workflow: spec.Name,
+		Options:  toAdvisorOptions(opts),
+		Pareto:   toAdvisorOptions(advisor.ParetoFrontier(opts)),
+	}
+	if rec, err := advisor.Recommend(opts, slack); err == nil {
+		o := advisorOption{Processors: rec.Processors, CostDollars: rec.Cost.Dollars(), Hours: rec.Time.Hours()}
+		resp.Recommended = &o
+	}
+	if deadline != nil {
+		if o, err := advisor.CheapestWithin(opts, *deadline); err == nil {
+			d := advisorOption{Processors: o.Processors, CostDollars: o.Cost.Dollars(), Hours: o.Time.Hours()}
+			resp.Cheapest = &d
+		}
+	}
+	if budget != nil {
+		if o, err := advisor.FastestUnder(opts, *budget); err == nil {
+			d := advisorOption{Processors: o.Processors, CostDollars: o.Cost.Dollars(), Hours: o.Time.Hours()}
+			resp.Fastest = &d
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- GET /healthz and /metrics ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s.cache.Stats(), s.wfCache.Stats())
+}

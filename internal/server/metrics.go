@@ -1,0 +1,77 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/montage"
+)
+
+// metrics holds the daemon's operational counters.  Everything is
+// atomics or snapshot reads, so the hot paths never serialize on the
+// exposition format.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]*atomic.Uint64 // per-endpoint request count
+
+	simulations atomic.Uint64 // simulations actually executed
+	coalesced   atomic.Uint64 // requests that joined another's flight
+	rejected    atomic.Uint64 // requests refused at the admission queue
+	errors      atomic.Uint64 // requests that failed
+
+	inflight atomic.Int64 // requests holding a worker slot
+	queued   atomic.Int64 // requests waiting for a worker slot
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]*atomic.Uint64)}
+}
+
+// count records one request against an endpoint label.
+func (m *metrics) count(endpoint string) {
+	m.mu.Lock()
+	c, ok := m.requests[endpoint]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.requests[endpoint] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// write renders the counters in the Prometheus text exposition format,
+// alongside the result-cache and workflow-generation-cache stats.
+func (m *metrics) write(w io.Writer, cache CacheStats, wf montage.CacheStats) {
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	counts := make(map[string]uint64, len(endpoints))
+	for _, e := range endpoints {
+		counts[e] = m.requests[e].Load()
+	}
+	m.mu.Unlock()
+
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "reprosrv_requests_total{endpoint=%q} %d\n", e, counts[e])
+	}
+	fmt.Fprintf(w, "reprosrv_simulations_total %d\n", m.simulations.Load())
+	fmt.Fprintf(w, "reprosrv_coalesced_requests_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(w, "reprosrv_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "reprosrv_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(w, "reprosrv_in_flight %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "reprosrv_queue_depth %d\n", m.queued.Load())
+	fmt.Fprintf(w, "reprosrv_result_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "reprosrv_result_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "reprosrv_result_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "reprosrv_result_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(w, "reprosrv_workflow_cache_hits_total %d\n", wf.Hits)
+	fmt.Fprintf(w, "reprosrv_workflow_cache_misses_total %d\n", wf.Misses)
+	fmt.Fprintf(w, "reprosrv_workflow_cache_evictions_total %d\n", wf.Evictions)
+	fmt.Fprintf(w, "reprosrv_workflow_cache_entries %d\n", wf.Entries)
+}

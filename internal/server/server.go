@@ -1,0 +1,177 @@
+// Package server puts the deterministic Montage simulator behind a
+// long-running HTTP daemon: the paper's Figure-2 scenario -- a mosaic
+// portal fielding a stream of requests -- made literal.  cmd/reprosrv is
+// the thin binary around it.
+//
+// Endpoints:
+//
+//	POST /v1/run                one simulation (cached, coalesced)
+//	POST /v1/sweep              provisioning/mode/CCR grid, streamed as
+//	                            NDJSON rows in grid order
+//	GET  /v1/experiments        the registered paper experiments
+//	GET  /v1/experiments/{name} run one experiment (tables as JSON)
+//	GET  /v1/advisor            provisioning recommendations
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition
+//
+// Every simulation is a deterministic function of its (spec, plan)
+// pair, which buys three things at once: responses are cacheable (a
+// size-bounded LRU keyed by repro.CanonicalRunKey stores the marshaled
+// bytes, so a hit is byte-identical to a cold run); concurrent identical
+// requests coalesce singleflight-style into one simulation; and admitted
+// work runs on a bounded worker pool with per-request context
+// cancellation, so a client hanging up aborts its grid and SIGTERM
+// drains in-flight requests before the process exits.
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/montage"
+)
+
+// Config sizes the daemon.  The zero value picks sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds how many simulations run at once; <= 0 means
+	// GOMAXPROCS.  (Grid endpoints hold one slot and fan out internally
+	// on the sweep engine's own GOMAXPROCS pool, matching how the CLI
+	// nests sweeps.)
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot before new ones are refused with 503; <= 0 means 64.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache; <= 0 means 1024.
+	CacheEntries int
+	// WorkflowCacheEntries bounds the server's workflow-generation memo.
+	// Requests choose arbitrary mosaic sizes and every distinct spec
+	// pins a multi-thousand-task DAG, so unlike the CLI's preset-only
+	// process cache this one must be bounded; <= 0 means 64.
+	WorkflowCacheEntries int
+	// DrainTimeout caps how long Serve waits for in-flight requests
+	// after its context is canceled; <= 0 means 30s.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.WorkflowCacheEntries <= 0 {
+		c.WorkflowCacheEntries = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the simulation service.  Create it with New; it is safe for
+// concurrent use by the HTTP stack.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *resultCache
+	wfCache *montage.Cache
+	flights flightGroup
+	metrics *metrics
+	sem     chan struct{}
+	waiting atomic.Int64
+
+	// testHookPreSim, when set by tests in this package, runs inside the
+	// worker slot just before a /v1/run simulation starts.
+	testHookPreSim func()
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		wfCache: montage.NewCache(cfg.WorkflowCacheEntries),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/advisor", s.handleAdvisor)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errBusy is returned by admit when the wait queue is full.
+var errBusy = errors.New("server: at capacity, try again later")
+
+// admit blocks until a worker slot is free (or ctx is done) and returns
+// the release function for the slot.  At most QueueDepth requests may
+// wait; beyond that admit fails fast with errBusy so a overload degrades
+// into quick 503s instead of an unbounded queue.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		s.metrics.rejected.Add(1)
+		return nil, errBusy
+	}
+	s.metrics.queued.Add(1)
+	defer func() {
+		s.waiting.Add(-1)
+		s.metrics.queued.Add(-1)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return func() {
+			<-s.sem
+			s.metrics.inflight.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Serve accepts connections on l until ctx is canceled, then drains:
+// in-flight requests get up to DrainTimeout to finish before the
+// process gives up on them.  It returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// Sweeps over 4-degree workflows stream for a while; only bound
+		// the read side (headers + small JSON bodies).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(dctx)
+	}()
+	if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if ctx.Err() == nil {
+		// Serve returned without a shutdown (listener closed externally).
+		return nil
+	}
+	return <-shutdownErr
+}

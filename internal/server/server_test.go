@@ -1,0 +1,502 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestRunEndpointCachesRepeats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"workflow":"1deg","processors":4,"billing":"provisioned"}`
+
+	cold, coldBody := postRun(t, ts, req)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", cold.StatusCode, coldBody)
+	}
+	if got := cold.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("cold X-Cache = %q, want miss", got)
+	}
+	warm, warmBody := postRun(t, ts, req)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d", warm.StatusCode)
+	}
+	if got := warm.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("warm X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Errorf("cached response differs from cold:\ncold: %s\nwarm: %s", coldBody, warmBody)
+	}
+
+	var doc repro.RunDocument
+	if err := json.Unmarshal(coldBody, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workflow != "montage-1deg" || doc.Tasks != 203 || doc.Plan.Processors != 4 {
+		t.Errorf("document = %+v", doc)
+	}
+
+	// The hit must be visible in /metrics, per the acceptance criteria.
+	_, metricsBody := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metricsBody), "reprosrv_result_cache_hits_total 1") {
+		t.Errorf("metrics missing the cache hit:\n%s", metricsBody)
+	}
+}
+
+// TestRunCacheByteIdenticalAcrossGrid is the cache-correctness property
+// test: over a grid of specs and plans, the cached response must be
+// byte-identical to the cold one.
+func TestRunCacheByteIdenticalAcrossGrid(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, workflow := range []string{"1deg", "2deg"} {
+		for _, mode := range []string{"remote-io", "regular", "cleanup"} {
+			for _, procs := range []int{0, 8} {
+				req := fmt.Sprintf(`{"workflow":%q,"mode":%q,"processors":%d}`, workflow, mode, procs)
+				cold, coldBody := postRun(t, ts, req)
+				warm, warmBody := postRun(t, ts, req)
+				if cold.StatusCode != http.StatusOK || warm.StatusCode != http.StatusOK {
+					t.Fatalf("%s: statuses %d/%d", req, cold.StatusCode, warm.StatusCode)
+				}
+				if warm.Header.Get("X-Cache") != "hit" {
+					t.Errorf("%s: repeat was not a cache hit", req)
+				}
+				if !bytes.Equal(coldBody, warmBody) {
+					t.Errorf("%s: cached body differs from cold", req)
+				}
+			}
+		}
+	}
+}
+
+func TestRunCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	const herd = 8
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	release := make(chan struct{})
+	s.testHookPreSim = func() { <-release }
+
+	bodies := make([][]byte, herd)
+	statuses := make([]int, herd)
+	var wg sync.WaitGroup
+	wg.Add(herd)
+	for i := 0; i < herd; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+				strings.NewReader(`{"workflow":"1deg","processors":2}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Wait until the whole herd is parked on one flight, then let the
+	// single simulation proceed.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		s.flights.mu.Lock()
+		n := 0
+		for _, f := range s.flights.flights {
+			n += f.waiters
+		}
+		s.flights.mu.Unlock()
+		if n == herd {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests joined the flight", n, herd)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < herd; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Errorf("request %d: status %d", i, statuses[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d got a different body", i)
+		}
+	}
+	if got := s.metrics.simulations.Load(); got != 1 {
+		t.Errorf("herd of %d ran %d simulations, want exactly 1", herd, got)
+	}
+	if got := s.metrics.coalesced.Load(); got != herd-1 {
+		t.Errorf("coalesced = %d, want %d", got, herd-1)
+	}
+}
+
+func TestAdmissionQueueRejectsOverflow(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	s.testHookPreSim = func() { <-release }
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make([]error, 2)
+	// A holds the only worker slot; B waits in the queue.
+	for i, body := range []string{
+		`{"workflow":"1deg","processors":1}`,
+		`{"workflow":"1deg","processors":2}`,
+	} {
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i, body)
+		// A must be in flight before B queues, and B queued before C.
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			if s.metrics.inflight.Load() == 1 && s.waiting.Load() == int64(i) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("request %d never reached its slot", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// C overflows the queue and must be refused immediately.
+	resp, body := postRun(t, ts, `{"workflow":"1deg","processors":3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("overflow status = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d: %v", i, err)
+		}
+	}
+	if got := s.metrics.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+}
+
+func TestSweepStreamsNDJSONInGridOrder(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"workflow":"1deg","billing":"provisioned","processors":[1,2,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	type row struct {
+		Index int `json:"index"`
+		Plan  struct {
+			Processors int `json:"processors"`
+		} `json:"plan"`
+	}
+	wantProcs := []int{1, 2, 4}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows int
+	for sc.Scan() {
+		var r row
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("row %d: %v: %s", rows, err, sc.Text())
+		}
+		if r.Index != rows {
+			t.Errorf("row %d has index %d: rows out of grid order", rows, r.Index)
+		}
+		if r.Plan.Processors != wantProcs[rows] {
+			t.Errorf("row %d ran %d processors, want %d", rows, r.Plan.Processors, wantProcs[rows])
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != len(wantProcs) {
+		t.Errorf("got %d rows, want %d", rows, len(wantProcs))
+	}
+}
+
+func TestSweepModeAndCCRAxes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"workflow":"1deg","modes":["regular","cleanup"],"ccrs":[0.1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type row struct {
+		Index int     `json:"index"`
+		CCR   float64 `json:"ccr"`
+		Plan  struct {
+			Mode string `json:"mode"`
+		} `json:"plan"`
+	}
+	wantModes := []string{"regular", "cleanup"}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows int
+	for sc.Scan() {
+		var r row
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.CCR != 0.1 {
+			t.Errorf("row %d ccr = %v", rows, r.CCR)
+		}
+		if r.Plan.Mode != wantModes[rows] {
+			t.Errorf("row %d mode = %q, want %q", rows, r.Plan.Mode, wantModes[rows])
+		}
+		rows++
+	}
+	if rows != 2 {
+		t.Errorf("got %d rows, want 2", rows)
+	}
+}
+
+func TestExperimentsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/v1/experiments")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	var list []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(list))
+	for _, e := range list {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"ccr-table", "fig4", "overload"} {
+		if !names[want] {
+			t.Errorf("experiment list missing %q", want)
+		}
+	}
+
+	resp, body = getBody(t, ts.URL+"/v1/experiments/ccr-table")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ccr-table status %d: %s", resp.StatusCode, body)
+	}
+	var run struct {
+		Name   string `json:"name"`
+		Tables []struct {
+			Title string     `json:"title"`
+			Rows  [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(body, &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Name != "ccr-table" || len(run.Tables) != 1 || len(run.Tables[0].Rows) != 3 {
+		t.Errorf("ccr-table response = %+v", run)
+	}
+
+	resp, _ = getBody(t, ts.URL+"/v1/experiments/no-such-figure")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment status = %d, want 404", resp.StatusCode)
+	}
+
+	resp, _ = getBody(t, ts.URL+"/v1/experiments/ccr-table?seed=nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad seed status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAdvisorEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/v1/advisor?workflow=1deg&processors=1,2,4&slack=0.5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Workflow string `json:"workflow"`
+		Options  []struct {
+			Processors int `json:"processors"`
+		} `json:"options"`
+		Pareto      []json.RawMessage `json:"pareto"`
+		Recommended *json.RawMessage  `json:"recommended"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workflow != "montage-1deg" || len(doc.Options) != 3 {
+		t.Errorf("advisor doc = %s", body)
+	}
+	if len(doc.Pareto) == 0 || doc.Recommended == nil {
+		t.Errorf("advisor gave no recommendation: %s", body)
+	}
+
+	resp, _ = getBody(t, ts.URL+"/v1/advisor")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing workflow status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBadRunRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"garbage":          `{not json`,
+		"unknown workflow": `{"workflow":"9deg"}`,
+		"no selector":      `{}`,
+		"bad mode":         `{"workflow":"1deg","mode":"sideways"}`,
+	} {
+		resp, _ := postRun(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postRun(t, ts, `{"workflow":"1deg"}`)
+	postRun(t, ts, `{"workflow":"1deg"}`)
+	_, body := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`reprosrv_requests_total{endpoint="run"} 2`,
+		"reprosrv_simulations_total 1",
+		"reprosrv_result_cache_hits_total 1",
+		"reprosrv_result_cache_misses_total 1",
+		"reprosrv_in_flight 0",
+		"reprosrv_queue_depth 0",
+		"reprosrv_workflow_cache_entries",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeDrainsInflightRequests pins the graceful-drain contract:
+// canceling Serve's context (what SIGTERM does in cmd/reprosrv) lets
+// in-flight requests finish before Serve returns.
+func TestServeDrainsInflightRequests(t *testing.T) {
+	s := New(Config{DrainTimeout: 30 * time.Second})
+	release := make(chan struct{})
+	s.testHookPreSim = func() { <-release }
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, l) }()
+
+	reqDone := make(chan struct{})
+	var status int
+	var body []byte
+	go func() {
+		defer close(reqDone)
+		resp, err := http.Post("http://"+l.Addr().String()+"/v1/run", "application/json",
+			strings.NewReader(`{"workflow":"1deg"}`))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		status = resp.StatusCode
+		body, _ = io.ReadAll(resp.Body)
+	}()
+	for deadline := time.Now().Add(10 * time.Second); s.metrics.inflight.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the worker pool")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned %v with a request still in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	<-reqDone
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve = %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after the last request drained")
+	}
+	if status != http.StatusOK {
+		t.Errorf("in-flight request finished with %d: %s", status, body)
+	}
+	var doc repro.RunDocument
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Errorf("drained response unparseable: %v", err)
+	}
+}

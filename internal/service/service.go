@@ -247,6 +247,12 @@ func CapacitySweep(specs []montage.Spec, localSizes []int, cloudPlan core.Plan, 
 // inter-arrival gaps with the given mean, plus an overload burst (a
 // window during which the arrival rate multiplies), the "sporadic
 // overload" of the paper's introduction.
+//
+// All randomness flows from Seed through a private source -- this
+// package never touches math/rand's package-global generator -- so the
+// same Arrivals value always yields the same stream, no matter what
+// else in the process is drawing random numbers.  That is what lets a
+// long-running server replay the Figure-2 scenario on demand.
 type Arrivals struct {
 	Seed       int64
 	N          int
@@ -255,6 +261,14 @@ type Arrivals struct {
 	BurstStart units.Duration // 0,0 disables the burst
 	BurstEnd   units.Duration
 	BurstRate  float64 // arrival-rate multiplier inside the burst (>= 1)
+}
+
+// WithSeed returns a copy of the arrival spec reseeded to seed: the
+// explicit seed-threading point for callers (the experiment registry,
+// the HTTP server) that expose reproducible reruns of the scenario.
+func (a Arrivals) WithSeed(seed int64) Arrivals {
+	a.Seed = seed
+	return a
 }
 
 // Generate produces the stream.

@@ -29,6 +29,15 @@
 // GenerateCached memoizes workflow generation per spec; the returned
 // workflow is shared and must be treated as read-only (every simulation
 // path already does).
+//
+// # The wire layer
+//
+// RunRequest, RunDocument and CanonicalRunKey (wire.go) are the JSON
+// request/result documents and the cache key a service exchanges with
+// the simulator: cmd/reprosrv serves them over HTTP (with result
+// caching and request coalescing, possible precisely because every
+// simulation is a deterministic function of its spec and plan), and
+// montagesim -json emits the identical document for offline diffing.
 package repro
 
 import (

@@ -1,0 +1,160 @@
+package repro
+
+// This file is the wire layer of the facade: the JSON request and result
+// documents a service (or a CLI talking to one) exchanges with the
+// simulator, plus the canonical cache key that makes deterministic
+// simulations cacheable.  cmd/reprosrv serves these documents over HTTP
+// and cmd/montagesim -json emits the same document, so the two outputs
+// can be diffed byte for byte.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/datamgmt"
+	"repro/internal/units"
+)
+
+// RunRequest is the wire form of one simulation request: a workflow
+// selector plus the plan knobs a caller may turn.  The zero value of
+// every plan field reproduces the paper's baseline (regular mode, full
+// parallelism, on-demand billing, 10 Mbps).
+type RunRequest struct {
+	// Workflow selects a preset: 1deg, 2deg or 4deg (the full
+	// montage-Ndeg names are accepted too).  Empty selects a custom
+	// mosaic via Degrees.
+	Workflow string `json:"workflow,omitempty"`
+	// Degrees sizes a custom mosaic when Workflow is empty.
+	Degrees float64 `json:"degrees,omitempty"`
+
+	// Mode is the data-management model: remote-io, regular or cleanup.
+	Mode string `json:"mode,omitempty"`
+	// Processors provisioned; 0 means enough for full parallelism.
+	Processors int `json:"processors,omitempty"`
+	// Billing is provisioned or on-demand.
+	Billing string `json:"billing,omitempty"`
+	// BandwidthMbps is the user<->cloud link speed; 0 means the paper's
+	// 10 Mbps.
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+}
+
+// maxRequestDegrees caps custom mosaic sizes on the wire.  Task count
+// grows with sky area; the paper tops out at 4 degrees and the
+// whole-sky tilings at 6, while an uncapped request could ask one cheap
+// POST to materialize a multi-million-task DAG.
+const maxRequestDegrees = 20
+
+// Resolve turns the wire request into a concrete spec and plan,
+// rejecting anything malformed.  The returned plan is canonical
+// (defaults filled in), so equal requests resolve to equal values.
+func (r RunRequest) Resolve() (Spec, Plan, error) {
+	var spec Spec
+	switch {
+	case r.Workflow != "" && r.Degrees != 0:
+		return Spec{}, Plan{}, fmt.Errorf("repro: request names workflow %q and degrees %v; use one", r.Workflow, r.Degrees)
+	case r.Workflow != "":
+		switch strings.ToLower(r.Workflow) {
+		case "1deg", "montage-1deg":
+			spec = OneDegree()
+		case "2deg", "montage-2deg":
+			spec = TwoDegree()
+		case "4deg", "montage-4deg":
+			spec = FourDegree()
+		default:
+			return Spec{}, Plan{}, fmt.Errorf("repro: unknown workflow %q (want 1deg, 2deg or 4deg)", r.Workflow)
+		}
+	case r.Degrees > maxRequestDegrees:
+		return Spec{}, Plan{}, fmt.Errorf("repro: %v-degree mosaic exceeds the %v-degree request limit", r.Degrees, float64(maxRequestDegrees))
+	case r.Degrees > 0:
+		spec = FromDegrees(r.Degrees, int64(math.Round(r.Degrees)))
+	default:
+		return Spec{}, Plan{}, fmt.Errorf("repro: request selects no workflow (set workflow or degrees)")
+	}
+
+	plan := DefaultPlan()
+	if r.Mode != "" {
+		m, err := datamgmt.ParseMode(r.Mode)
+		if err != nil {
+			return Spec{}, Plan{}, err
+		}
+		plan.Mode = m
+	}
+	switch strings.ToLower(r.Billing) {
+	case "", "on-demand", "ondemand":
+		plan.Billing = OnDemand
+	case "provisioned":
+		plan.Billing = Provisioned
+	default:
+		return Spec{}, Plan{}, fmt.Errorf("repro: unknown billing %q (want provisioned or on-demand)", r.Billing)
+	}
+	if r.Processors < 0 {
+		return Spec{}, Plan{}, fmt.Errorf("repro: negative processor count %d", r.Processors)
+	}
+	plan.Processors = r.Processors
+	if r.BandwidthMbps < 0 {
+		return Spec{}, Plan{}, fmt.Errorf("repro: negative bandwidth %v Mbps", r.BandwidthMbps)
+	}
+	if r.BandwidthMbps > 0 {
+		plan.Bandwidth = units.Mbps(r.BandwidthMbps)
+	}
+	return spec, plan.Canonical(), nil
+}
+
+// PlanDocument is the wire form of the plan a run executed under.
+type PlanDocument struct {
+	Mode          string  `json:"mode"`
+	Processors    int     `json:"processors"`
+	Billing       string  `json:"billing"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+}
+
+// RunDocument is the machine-readable result of one simulation: the
+// document POST /v1/run returns and montagesim -json prints.
+type RunDocument struct {
+	Workflow string       `json:"workflow"`
+	Tasks    int          `json:"tasks"`
+	Plan     PlanDocument `json:"plan"`
+	Metrics  Metrics      `json:"metrics"`
+	Cost     Breakdown    `json:"cost"`
+	Total    Money        `json:"total"`
+}
+
+// NewRunDocument builds the wire document for a finished run.
+func NewRunDocument(res Result) RunDocument {
+	p := res.Plan.Canonical()
+	return RunDocument{
+		Workflow: res.Metrics.Workflow,
+		Tasks:    res.Metrics.TasksRun,
+		Plan: PlanDocument{
+			Mode:          p.Mode.String(),
+			Processors:    p.Processors,
+			Billing:       p.Billing.String(),
+			BandwidthMbps: p.Bandwidth.BytesPerSecond() * 8 / 1e6,
+		},
+		Metrics: res.Metrics,
+		Cost:    res.Cost,
+		Total:   res.Cost.Total(),
+	}
+}
+
+// Encode renders the document in the canonical wire encoding:
+// two-space-indented JSON with a trailing newline.  The server and
+// montagesim -json both emit exactly this, so CLI output can be diffed
+// byte for byte against API output.
+func (d RunDocument) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CanonicalRunKey derives a stable cache key for a (spec, plan) pair.
+// Simulations are deterministic functions of exactly these two values,
+// so equal keys guarantee byte-identical result documents; the server's
+// result cache and request coalescing both key on it.
+func CanonicalRunKey(spec Spec, plan Plan) string {
+	return fmt.Sprintf("%#v|%#v", spec, plan.Canonical())
+}

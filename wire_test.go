@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRequestResolvePresets(t *testing.T) {
+	for _, tc := range []struct {
+		workflow string
+		tasks    string
+	}{{"1deg", "montage-1deg"}, {"2deg", "montage-2deg"}, {"4deg", "montage-4deg"}, {"montage-1deg", "montage-1deg"}} {
+		spec, plan, err := RunRequest{Workflow: tc.workflow}.Resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.workflow, err)
+		}
+		if spec.Name != tc.tasks {
+			t.Errorf("%s resolved to %s", tc.workflow, spec.Name)
+		}
+		if plan.Billing != OnDemand || plan.Mode != Regular {
+			t.Errorf("%s: defaults not applied: %+v", tc.workflow, plan)
+		}
+		if plan.Bandwidth != Mbps(10) {
+			t.Errorf("%s: bandwidth default %v, want 10 Mbps", tc.workflow, plan.Bandwidth)
+		}
+	}
+}
+
+func TestRunRequestResolveCustomDegrees(t *testing.T) {
+	spec, _, err := RunRequest{Degrees: 3}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spec.Name, "3deg") {
+		t.Errorf("custom spec named %q", spec.Name)
+	}
+}
+
+func TestRunRequestResolveKnobs(t *testing.T) {
+	_, plan, err := RunRequest{
+		Workflow: "1deg", Mode: "cleanup", Processors: 16,
+		Billing: "provisioned", BandwidthMbps: 100,
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != Cleanup || plan.Processors != 16 || plan.Billing != Provisioned || plan.Bandwidth != Mbps(100) {
+		t.Errorf("knobs not applied: %+v", plan)
+	}
+}
+
+func TestRunRequestResolveErrors(t *testing.T) {
+	for name, req := range map[string]RunRequest{
+		"empty":              {},
+		"unknown workflow":   {Workflow: "9deg"},
+		"both selectors":     {Workflow: "1deg", Degrees: 2},
+		"bad mode":           {Workflow: "1deg", Mode: "sideways"},
+		"bad billing":        {Workflow: "1deg", Billing: "prepaid"},
+		"negative procs":     {Workflow: "1deg", Processors: -1},
+		"negative bandwidth": {Workflow: "1deg", BandwidthMbps: -10},
+		"oversized degrees":  {Degrees: 500},
+	} {
+		if _, _, err := req.Resolve(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCanonicalRunKeyStability(t *testing.T) {
+	specA, planA, err := RunRequest{Workflow: "1deg"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB, planB, err := RunRequest{Workflow: "1deg", Mode: "regular", BandwidthMbps: 10}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicit default and an elided one are the same run, so they
+	// must share a cache key.
+	if CanonicalRunKey(specA, planA) != CanonicalRunKey(specB, planB) {
+		t.Error("equivalent requests got distinct keys")
+	}
+	_, planC, err := RunRequest{Workflow: "1deg", Processors: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalRunKey(specA, planA) == CanonicalRunKey(specA, planC) {
+		t.Error("distinct plans share a key")
+	}
+	specD, planD, err := RunRequest{Workflow: "2deg"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalRunKey(specA, planA) == CanonicalRunKey(specD, planD) {
+		t.Error("distinct specs share a key")
+	}
+}
+
+func TestRunDocumentEncodeDeterministic(t *testing.T) {
+	spec, plan, err := RunRequest{Workflow: "1deg", Processors: 8, Billing: "provisioned"}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := GenerateCached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewRunDocument(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunDocument(res2).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("re-running the same plan produced different documents")
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Error("document not newline-terminated")
+	}
+	doc := NewRunDocument(res)
+	if doc.Workflow != "montage-1deg" || doc.Tasks != 203 {
+		t.Errorf("document header wrong: %s, %d tasks", doc.Workflow, doc.Tasks)
+	}
+	if doc.Plan.Billing != "provisioned" || doc.Plan.Processors != 8 || doc.Plan.BandwidthMbps != 10 {
+		t.Errorf("plan document wrong: %+v", doc.Plan)
+	}
+	if doc.Total != doc.Cost.Total() {
+		t.Errorf("total %v != cost total %v", doc.Total, doc.Cost.Total())
+	}
+}
