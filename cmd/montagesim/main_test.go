@@ -13,7 +13,7 @@ func TestRunExperimentList(t *testing.T) {
 	if err := runExperiment(context.Background(), "list", "text", &b); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"fig4", "fig10", "q2b", "ablation-outage"} {
+	for _, want := range []string{"fig4", "fig10", "q2b", "ablation-outage", "spot-frontier"} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("list missing %q", want)
 		}

@@ -138,6 +138,58 @@ func Recommend(opts []Option, costSlack float64) (Option, error) {
 	return best, nil
 }
 
+// SpotChoice is one measured spot configuration on the cost-reliability
+// frontier: a pool size and checkpoint interval with the run's dollar
+// cost and turnaround under a sampled revocation schedule.
+type SpotChoice struct {
+	Processors         int
+	CheckpointInterval units.Duration // 0 means restart from scratch
+	Cost               units.Money
+	Makespan           units.Duration
+}
+
+// SpotAdvice is RecommendSpot's outcome: whether to buy interruptible
+// capacity at all, and if so which frontier point.
+type SpotAdvice struct {
+	UseSpot  bool
+	Choice   SpotChoice // meaningful only when UseSpot
+	Baseline Option
+	// Savings is the fraction of the baseline bill the chosen spot
+	// configuration saves (0 when UseSpot is false).
+	Savings float64
+}
+
+// RecommendSpot picks the cheapest spot configuration that undercuts
+// the on-demand baseline while keeping its makespan within maxSlowdown
+// times the baseline turnaround (ties go to the faster choice).  When
+// no choice does both, the advice is to stay on demand: a discount that
+// arrives later than tolerated, or that wasted work has eaten, is no
+// discount.
+func RecommendSpot(baseline Option, choices []SpotChoice, maxSlowdown float64) (SpotAdvice, error) {
+	if baseline.Time <= 0 {
+		return SpotAdvice{}, fmt.Errorf("advisor: non-positive baseline turnaround %v", baseline.Time)
+	}
+	if maxSlowdown < 1 {
+		return SpotAdvice{}, fmt.Errorf("advisor: max slowdown %v below 1", maxSlowdown)
+	}
+	advice := SpotAdvice{Baseline: baseline}
+	limit := units.Duration(float64(baseline.Time) * maxSlowdown)
+	for _, c := range choices {
+		if c.Cost >= baseline.Cost || c.Makespan > limit {
+			continue
+		}
+		if !advice.UseSpot || c.Cost < advice.Choice.Cost ||
+			(c.Cost == advice.Choice.Cost && c.Makespan < advice.Choice.Makespan) {
+			advice.UseSpot = true
+			advice.Choice = c
+		}
+	}
+	if advice.UseSpot && baseline.Cost > 0 {
+		advice.Savings = float64((baseline.Cost - advice.Choice.Cost) / baseline.Cost)
+	}
+	return advice, nil
+}
+
 // Provider is a named fee schedule, for the paper's closing speculation
 // that "some providers will have a cheaper rate for compute resources
 // while others will have a cheaper rate for storage".

@@ -156,6 +156,49 @@ func sampleMetrics() exec.Metrics {
 	}
 }
 
+func TestRecommendSpot(t *testing.T) {
+	baseline := Option{Processors: 16, Cost: 1.00, Time: 3600}
+	choices := []SpotChoice{
+		{Processors: 16, CheckpointInterval: 0, Cost: 0.80, Makespan: 7200},    // cheap but 2x slower
+		{Processors: 16, CheckpointInterval: 600, Cost: 0.55, Makespan: 4500},  // best: cheapest within bound
+		{Processors: 32, CheckpointInterval: 600, Cost: 0.70, Makespan: 3900},  // within bound, pricier
+		{Processors: 32, CheckpointInterval: 0, Cost: 1.20, Makespan: 3700},    // not cheaper at all
+		{Processors: 16, CheckpointInterval: 1800, Cost: 0.55, Makespan: 5000}, // ties on cost, slower
+	}
+	advice, err := RecommendSpot(baseline, choices, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !advice.UseSpot {
+		t.Fatal("spot not recommended despite a 45% saving within the slowdown bound")
+	}
+	if advice.Choice.CheckpointInterval != 600 || advice.Choice.Processors != 16 {
+		t.Errorf("chose %+v, want the 16-proc 600 s-checkpoint run", advice.Choice)
+	}
+	if advice.Savings < 0.44 || advice.Savings > 0.46 {
+		t.Errorf("savings = %v, want 0.45", advice.Savings)
+	}
+
+	// With a tight slowdown bound nothing qualifies: stay on demand.
+	advice, err = RecommendSpot(baseline, choices, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.UseSpot {
+		t.Errorf("recommended %+v despite no choice within a 5%% slowdown", advice.Choice)
+	}
+	if advice.Savings != 0 {
+		t.Errorf("savings = %v without a recommendation", advice.Savings)
+	}
+
+	if _, err := RecommendSpot(Option{Cost: 1}, choices, 1.5); err == nil {
+		t.Error("zero baseline turnaround accepted")
+	}
+	if _, err := RecommendSpot(baseline, choices, 0.5); err == nil {
+		t.Error("sub-1 max slowdown accepted")
+	}
+}
+
 func TestRankProviders(t *testing.T) {
 	cheapCompute := cost.Amazon2008()
 	cheapCompute.CPUPerHour = 0.01

@@ -234,6 +234,55 @@ func TestClusterAccounting(t *testing.T) {
 	}
 }
 
+func TestClusterRevokeRestore(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Acquire(0) || !c.Acquire(0) {
+		t.Fatal("acquires failed")
+	}
+	// Two idle slots can go; a third would strand a busy task.
+	if err := c.Revoke(5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 2 || c.Provisioned() != 4 || c.Free() != 0 {
+		t.Errorf("total/provisioned/free = %d/%d/%d, want 2/4/0", c.Total(), c.Provisioned(), c.Free())
+	}
+	if err := c.Revoke(5, 1); err == nil {
+		t.Error("revoking a busy slot accepted")
+	}
+	if c.Acquire(5) {
+		t.Error("acquire succeeded on a fully revoked pool")
+	}
+	if err := c.Restore(10, 3); err == nil {
+		t.Error("restore past the provisioned size accepted")
+	}
+	if err := c.Restore(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 4 || c.Free() != 2 {
+		t.Errorf("after restore total/free = %d/%d, want 4/2", c.Total(), c.Free())
+	}
+	if err := c.Revoke(10, -1); err == nil {
+		t.Error("negative revoke accepted")
+	}
+	if err := c.Revoke(10, 5); err == nil {
+		t.Error("revoking more than present accepted")
+	}
+	// The busy integral is unaffected by capacity changes: 2 busy the
+	// whole [0,15) window.
+	if err := c.Release(15); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(15); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.BusyProcSeconds(15); got != 30 {
+		t.Errorf("BusyProcSeconds = %v, want 30", got)
+	}
+}
+
 func TestClusterValidation(t *testing.T) {
 	if _, err := NewCluster(0); err == nil {
 		t.Error("zero-processor cluster accepted")

@@ -14,8 +14,9 @@ import (
 // Besides slot management it integrates busy-processor-seconds, which
 // gives CPU utilization and the on-demand CPU bill.
 type Cluster struct {
-	total int
-	busy  int
+	provisioned int // slots originally provisioned
+	total       int // slots currently present (provisioned minus revoked)
+	busy        int
 
 	lastTime        units.Duration
 	busyProcSeconds float64
@@ -28,7 +29,7 @@ func NewCluster(n int) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cloudsim: cluster needs at least 1 processor, got %d", n)
 	}
-	return &Cluster{total: n}, nil
+	return &Cluster{provisioned: n, total: n}, nil
 }
 
 func (c *Cluster) advance(now units.Duration) {
@@ -63,7 +64,38 @@ func (c *Cluster) Release(now units.Duration) error {
 	return nil
 }
 
-// Total returns the processor count.
+// Revoke removes k idle processors from the pool (a spot capacity
+// reclaim).  The caller must evict enough running tasks first: revoking
+// below the busy count is a simulation bug.
+func (c *Cluster) Revoke(now units.Duration, k int) error {
+	if k < 0 || k > c.total {
+		return fmt.Errorf("cloudsim: cannot revoke %d of %d processors", k, c.total)
+	}
+	if c.total-k < c.busy {
+		return fmt.Errorf("cloudsim: revoking %d processors would strand %d busy tasks on %d slots",
+			k, c.busy, c.total-k)
+	}
+	c.advance(now)
+	c.total -= k
+	return nil
+}
+
+// Restore returns k previously revoked processors to the pool.
+func (c *Cluster) Restore(now units.Duration, k int) error {
+	if k < 0 || c.total+k > c.provisioned {
+		return fmt.Errorf("cloudsim: cannot restore %d processors to %d of %d provisioned",
+			k, c.total, c.provisioned)
+	}
+	c.advance(now)
+	c.total += k
+	return nil
+}
+
+// Provisioned returns the originally provisioned processor count,
+// regardless of revocations.
+func (c *Cluster) Provisioned() int { return c.provisioned }
+
+// Total returns the processors currently present in the pool.
 func (c *Cluster) Total() int { return c.total }
 
 // Busy returns the processors currently in use.

@@ -75,6 +75,12 @@ type Plan struct {
 	// paper).  FailureSeed makes the sampling deterministic.
 	FailureProb float64
 	FailureSeed int64
+	// Preemptions are spot capacity-reclaim events (a post-paper
+	// extension); empty reproduces the paper's reliable capacity.
+	Preemptions []exec.Preemption
+	// Recovery decides how preempted tasks resume (from scratch by
+	// default, or checkpoint/restart).
+	Recovery exec.Recovery
 }
 
 // DefaultPlan returns the paper's baseline setup: regular data
@@ -156,6 +162,8 @@ func RunContext(ctx context.Context, wf *dag.Workflow, plan Plan) (Result, error
 		Policy:      p.Policy,
 		FailureProb: p.FailureProb,
 		FailureSeed: p.FailureSeed,
+		Preemptions: p.Preemptions,
+		Recovery:    p.Recovery,
 	})
 	if err != nil {
 		return Result{}, err

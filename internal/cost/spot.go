@@ -1,0 +1,46 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Spot is a spot-market model layered on a base fee schedule: the same
+// capacity at a discounted CPU rate, in exchange for the provider's
+// right to reclaim it.  Amazon introduced spot instances in 2009, one
+// year after the paper; this captures the trade its §8 reliability
+// discussion anticipates.  Storage and transfer rates are unaffected --
+// only compute is sold on the spot market.
+type Spot struct {
+	// Discount is the fraction taken off the on-demand CPU rate, in
+	// [0, 1): 0.65 means spot CPU costs 35% of on-demand.
+	Discount float64
+	// RevocationsPerHour is the expected rate of capacity reclaims
+	// while running (the Poisson intensity SpotSchedule samples from).
+	RevocationsPerHour float64
+}
+
+// Validate rejects degenerate spot models.
+func (s Spot) Validate() error {
+	if s.Discount < 0 || s.Discount >= 1 {
+		return fmt.Errorf("cost: spot discount %v outside [0,1)", s.Discount)
+	}
+	if s.RevocationsPerHour < 0 {
+		return fmt.Errorf("cost: negative spot revocation rate %v/hour", s.RevocationsPerHour)
+	}
+	return nil
+}
+
+// Apply returns the fee schedule with the CPU rate discounted to the
+// spot price; every other rate is unchanged.
+func (s Spot) Apply(p Pricing) Pricing {
+	p.CPUPerHour *= units.Money(1 - s.Discount)
+	return p
+}
+
+// ExpectedRevocations returns how many capacity reclaims a run of the
+// given length should expect under this model.
+func (s Spot) ExpectedRevocations(d units.Duration) float64 {
+	return s.RevocationsPerHour * d.Hours()
+}

@@ -67,6 +67,75 @@ func Commodity2008(processors int) Cluster {
 	}
 }
 
+// SpotVerdict says which capacity market a spot comparison favors.
+type SpotVerdict int
+
+const (
+	// OnDemandWins means reliable on-demand capacity is the better buy.
+	OnDemandWins SpotVerdict = iota
+	// SpotWins means the discounted interruptible capacity is cheaper
+	// and its delay stays within the tolerated slowdown.
+	SpotWins
+	// SpotTooSlow means spot is cheaper but revocations stretch the run
+	// past the tolerated slowdown.
+	SpotTooSlow
+)
+
+// String names the spot verdict.
+func (v SpotVerdict) String() string {
+	switch v {
+	case SpotWins:
+		return "spot-wins"
+	case SpotTooSlow:
+		return "spot-too-slow"
+	default:
+		return "on-demand-wins"
+	}
+}
+
+// SpotComparison weighs a measured spot run against the same request on
+// reliable on-demand capacity.
+type SpotComparison struct {
+	OnDemandCost units.Money
+	SpotCost     units.Money
+	// Savings is the fraction of the on-demand bill the spot run saves;
+	// negative when wasted work eats the whole discount.
+	Savings float64
+	// Slowdown is spot makespan over on-demand makespan (>= 1 in
+	// practice: revocations only ever delay).
+	Slowdown float64
+	Verdict  SpotVerdict
+}
+
+// CompareSpot renders the verdict on two measured runs of the same
+// request: spot wins when it is strictly cheaper and its slowdown stays
+// within maxSlowdown (e.g. 1.5 tolerates a 50% longer turnaround).
+func CompareSpot(onDemand, spot cost.Breakdown, onDemandMakespan, spotMakespan units.Duration, maxSlowdown float64) (SpotComparison, error) {
+	if onDemandMakespan <= 0 || spotMakespan <= 0 {
+		return SpotComparison{}, fmt.Errorf("econ: non-positive makespan in spot comparison (%v, %v)", onDemandMakespan, spotMakespan)
+	}
+	if maxSlowdown < 1 {
+		return SpotComparison{}, fmt.Errorf("econ: max slowdown %v below 1; even on-demand could not satisfy it", maxSlowdown)
+	}
+	cmp := SpotComparison{
+		OnDemandCost: onDemand.Total(),
+		SpotCost:     spot.Total(),
+		Slowdown:     float64(spotMakespan / onDemandMakespan),
+	}
+	if cmp.OnDemandCost > 0 {
+		cmp.Savings = float64((cmp.OnDemandCost - cmp.SpotCost) / cmp.OnDemandCost)
+	}
+	switch {
+	case cmp.SpotCost >= cmp.OnDemandCost:
+		cmp.Verdict = OnDemandWins
+	case cmp.Slowdown > maxSlowdown:
+		cmp.Verdict = SpotTooSlow
+	default:
+		cmp.Verdict = SpotWins
+	}
+	return cmp, nil
+}
+
 // Verdict says which option a comparison favors.
 type Verdict int
 

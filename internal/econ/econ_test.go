@@ -136,6 +136,66 @@ func TestFreeCloudBreakEvenInfinite(t *testing.T) {
 	}
 }
 
+func TestCompareSpot(t *testing.T) {
+	onDemand := cost.Breakdown{CPU: 0.56, TransferIn: 0.0136, TransferOut: 0.0278}
+	// Spot at 35% of the CPU rate, with some wasted work re-billed.
+	spot := cost.Breakdown{CPU: 0.25, TransferIn: 0.0136, TransferOut: 0.0278}
+	cmp, err := CompareSpot(onDemand, spot, 3600, 4500, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != SpotWins {
+		t.Errorf("verdict = %v, want spot-wins", cmp.Verdict)
+	}
+	if math.Abs(cmp.Slowdown-1.25) > 1e-12 {
+		t.Errorf("slowdown = %v, want 1.25", cmp.Slowdown)
+	}
+	if cmp.Savings <= 0.5 || cmp.Savings >= 0.52 {
+		t.Errorf("savings = %v, want ~0.516", cmp.Savings)
+	}
+
+	// Same prices but a 2x delay: cheaper, yet too slow.
+	cmp, err = CompareSpot(onDemand, spot, 3600, 7200, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != SpotTooSlow {
+		t.Errorf("verdict = %v, want spot-too-slow", cmp.Verdict)
+	}
+
+	// Wasted work eating the whole discount: on demand wins.
+	waste := cost.Breakdown{CPU: 0.60, TransferIn: 0.0136, TransferOut: 0.0278}
+	cmp, err = CompareSpot(onDemand, waste, 3600, 4000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Verdict != OnDemandWins {
+		t.Errorf("verdict = %v, want on-demand-wins", cmp.Verdict)
+	}
+	if cmp.Savings >= 0 {
+		t.Errorf("savings = %v, want negative", cmp.Savings)
+	}
+
+	if _, err := CompareSpot(onDemand, spot, 0, 3600, 1.5); err == nil {
+		t.Error("zero on-demand makespan accepted")
+	}
+	if _, err := CompareSpot(onDemand, spot, 3600, 3600, 0.9); err == nil {
+		t.Error("sub-1 max slowdown accepted")
+	}
+}
+
+func TestSpotVerdictStrings(t *testing.T) {
+	for v, want := range map[SpotVerdict]string{
+		OnDemandWins: "on-demand-wins",
+		SpotWins:     "spot-wins",
+		SpotTooSlow:  "spot-too-slow",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
 func TestVerdictStrings(t *testing.T) {
 	if CloudWins.String() != "cloud-wins" || ClusterWins.String() != "cluster-wins" ||
 		ClusterInsufficient.String() != "cluster-insufficient" {

@@ -78,6 +78,18 @@ type Config struct {
 	FailureProb float64
 	// FailureSeed drives the deterministic failure sampling.
 	FailureSeed int64
+
+	// Preemptions are spot capacity-reclaim events (a post-paper
+	// extension: Amazon introduced spot instances in 2009).  Each one
+	// revokes processors at a scheduled instant, killing the most
+	// recently started tasks when idle slots do not cover it.  Events
+	// must be sorted by reclaim time; empty reproduces the paper's
+	// reliable capacity.
+	Preemptions []Preemption
+	// Recovery decides how a preempted task resumes: the zero value
+	// re-runs it from scratch, Checkpoint restarts it from its last
+	// durable checkpoint.
+	Recovery Recovery
 }
 
 // Policy selects the ready-queue order of the list scheduler.
@@ -158,13 +170,16 @@ func validateOutages(outages []Outage) error {
 }
 
 // nextAvailable returns the earliest time >= now outside every outage.
+// Windows may be back-to-back (Start == prev.End), so leaving one window
+// can land exactly inside the next; the scan must continue until a time
+// falls strictly before the next window's start.
 func nextAvailable(outages []Outage, now units.Duration) units.Duration {
 	for _, o := range outages {
 		if now < o.Start {
 			return now
 		}
 		if now < o.End {
-			return o.End
+			now = o.End
 		}
 	}
 	return now
@@ -206,6 +221,14 @@ type Metrics struct {
 	TasksRun int
 	// Retries counts failed task attempts that were re-run.
 	Retries int
+	// Preempted counts task attempts killed by capacity reclaims.
+	Preempted int
+	// WastedCPUSeconds is the busy processor time burned by preempted
+	// attempts that did not survive as banked progress: billed, lost.
+	WastedCPUSeconds float64
+	// Checkpoints counts durable checkpoints written (periodic plus
+	// warning-window emergency ones).
+	Checkpoints int
 	// Curve is the storage usage curve (only when Config.RecordCurve).
 	Curve []cloudsim.UsagePoint
 	// Schedule is the per-task Gantt trace in completion order (only
@@ -258,9 +281,15 @@ func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, err
 	if cfg.FailureProb < 0 || cfg.FailureProb >= 1 {
 		return Metrics{}, fmt.Errorf("exec: failure probability %v outside [0,1)", cfg.FailureProb)
 	}
+	if err := cfg.Recovery.validate(); err != nil {
+		return Metrics{}, err
+	}
 	procs := cfg.Processors
 	if procs == 0 {
 		procs = wf.MaxParallelism()
+	}
+	if err := validatePreemptions(cfg.Preemptions, procs); err != nil {
+		return Metrics{}, err
 	}
 	bw := cfg.Bandwidth
 	if bw == 0 {
@@ -322,9 +351,23 @@ type runner struct {
 	makespan         units.Duration
 	dispatchDeferred bool
 	schedule         []TaskSpan
+	spanOf           map[dag.TaskID]int // running task -> its schedule index
 	failRNG          *rand.Rand
 	retries          int
-	err              error
+
+	// Preemption bookkeeping, all indexed by task ID: the attempt
+	// counter disarms stale completion events, banked is the useful work
+	// preserved across kills, runStart/runRem describe the attempt in
+	// flight.
+	attempt     []uint32
+	banked      []units.Duration
+	runStart    []units.Duration
+	runRem      []units.Duration
+	preempted   int
+	wasted      float64
+	checkpoints int
+
+	err error
 }
 
 func (r *runner) fail(err error) {
@@ -354,6 +397,13 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 	n := r.wf.NumTasks()
 	r.phase = make([]taskPhase, n)
 	r.depsLeft = make([]int, n)
+	r.attempt = make([]uint32, n)
+	r.banked = make([]units.Duration, n)
+	r.runStart = make([]units.Duration, n)
+	r.runRem = make([]units.Duration, n)
+	if r.cfg.RecordSchedule {
+		r.spanOf = make(map[dag.TaskID]int)
+	}
 	for _, t := range r.wf.Tasks() {
 		r.depsLeft[t.ID] = len(t.Parents())
 	}
@@ -369,6 +419,13 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 		}
 	})
 
+	// Capacity reclaims fire on the absolute simulation clock, like
+	// outages.
+	for _, p := range r.cfg.Preemptions {
+		p := p
+		r.eng.Schedule(p.Reclaim, func(now units.Duration) { r.reclaim(p, now) })
+	}
+
 	if _, err := r.eng.RunContext(ctx); err != nil {
 		return Metrics{}, fmt.Errorf("exec: %w", err)
 	}
@@ -382,7 +439,7 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 	m := Metrics{
 		Workflow:           r.wf.Name,
 		Mode:               r.cfg.Mode,
-		Processors:         r.cluster.Total(),
+		Processors:         r.cluster.Provisioned(),
 		ExecTime:           r.execEnd,
 		Makespan:           r.makespan,
 		BytesIn:            r.link.BytesIn(),
@@ -392,15 +449,17 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 		CPUSeconds:         r.cluster.BusyProcSeconds(r.makespan),
 		TasksRun:           r.doneTasks,
 		Retries:            r.retries,
+		Preempted:          r.preempted,
+		WastedCPUSeconds:   r.wasted,
+		Checkpoints:        r.checkpoints,
 		Curve:              r.storage.Curve(),
 		Schedule:           r.schedule,
 	}
-	if m.ExecTime > 0 && m.Processors > 0 {
-		m.Utilization = m.CPUSeconds / (float64(m.Processors) * m.ExecTime.Seconds())
-	}
-	// Without failures, the consumed CPU must equal the workflow's total
-	// runtime exactly; a mismatch means a double-booked processor.
-	if r.failRNG == nil {
+	m.Utilization = utilization(m.CPUSeconds, m.Processors, m.ExecTime)
+	// Without failures, preemptions or checkpoint overhead, the consumed
+	// CPU must equal the workflow's total runtime exactly; a mismatch
+	// means a double-booked processor.
+	if r.failRNG == nil && len(r.cfg.Preemptions) == 0 && !r.cfg.Recovery.Checkpoint {
 		want := r.wf.TotalRuntime().Seconds()
 		if diff := m.CPUSeconds - want; diff > 1e-6*want+1e-6 || diff < -(1e-6*want+1e-6) {
 			return Metrics{}, fmt.Errorf("exec: CPU accounting mismatch: cluster %v vs workflow %v", m.CPUSeconds, want)
@@ -408,11 +467,20 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 		// Report the exact value so costs reproduce the paper's figures
 		// without float drift.
 		m.CPUSeconds = want
-		if m.ExecTime > 0 && m.Processors > 0 {
-			m.Utilization = want / (float64(m.Processors) * m.ExecTime.Seconds())
-		}
+		m.Utilization = utilization(want, m.Processors, m.ExecTime)
 	}
 	return m, nil
+}
+
+// utilization guards the CPUSeconds / (processors x window) division: a
+// zero-processor or zero-width run reports 0 utilization, never NaN or
+// Inf -- either would poison the JSON encoding of every result document
+// downstream (encoding/json rejects non-finite floats).
+func utilization(cpuSeconds float64, procs int, window units.Duration) float64 {
+	if procs <= 0 || window <= 0 {
+		return 0
+	}
+	return cpuSeconds / (float64(procs) * window.Seconds())
 }
 
 // ---- Regular / Cleanup ----
@@ -629,13 +697,26 @@ func (r *runner) dispatch(now units.Duration) {
 		r.ready = r.ready[1:]
 		r.phase[id] = phaseRunning
 		t := r.wf.Task(id)
+		// The attempt resumes from the banked progress and pays the
+		// recovery policy's checkpoint overhead along the way.
+		rem := t.Runtime - r.banked[id]
+		wall := r.cfg.Recovery.attemptWall(rem)
+		r.runStart[id] = now
+		r.runRem[id] = rem
 		if r.cfg.RecordSchedule {
+			r.spanOf[id] = len(r.schedule)
 			r.schedule = append(r.schedule, TaskSpan{
 				Task: id, Name: t.Name, Type: t.Type,
-				Start: now, Finish: now + t.Runtime,
+				Start: now, Finish: now + wall,
 			})
 		}
-		r.eng.Schedule(now+t.Runtime, func(at units.Duration) {
+		att := r.attempt[id]
+		r.eng.Schedule(now+wall, func(at units.Duration) {
+			// A preemption between dispatch and completion bumps the
+			// attempt counter; this event then belongs to a dead attempt.
+			if r.attempt[id] != att {
+				return
+			}
 			r.completeTask(id, at)
 		})
 	}
@@ -646,15 +727,20 @@ func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
 		r.fail(err)
 		return
 	}
+	if r.cfg.RecordSchedule {
+		delete(r.spanOf, id)
+	}
 	// Reliability extension: the attempt may fail, in which case the
 	// task goes back to the ready queue and the burned CPU time stays on
-	// the bill.
+	// the bill.  An application failure discards the whole attempt,
+	// checkpoints included: the crash is presumed to have poisoned them.
 	if r.failRNG != nil && r.failRNG.Float64() < r.cfg.FailureProb {
 		r.retries++
 		r.enqueueReady(id)
 		r.dispatch(now)
 		return
 	}
+	r.checkpoints += r.cfg.Recovery.checkpointsFor(r.runRem[id])
 	r.phase[id] = phaseDone
 	r.doneTasks++
 	t := r.wf.Task(id)

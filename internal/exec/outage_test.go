@@ -160,6 +160,50 @@ func TestPropOutageMonotone(t *testing.T) {
 	}
 }
 
+// TestNextAvailableAdjacentWindows is the regression test for the
+// back-to-back-window bug: validateOutages permits Start == prev.End, so
+// escaping one window can land exactly at the start of the next; the
+// scan must keep going instead of returning a time inside an outage.
+func TestNextAvailableAdjacentWindows(t *testing.T) {
+	adjacent := []Outage{{Start: 0, End: 10}, {Start: 10, End: 20}, {Start: 20, End: 30}}
+	cases := []struct{ now, want units.Duration }{
+		{0, 30}, {5, 30}, {10, 30}, {19, 30}, {29, 30}, {30, 30}, {31, 31},
+	}
+	for _, tc := range cases {
+		if got := nextAvailable(adjacent, tc.now); got != tc.want {
+			t.Errorf("nextAvailable(adjacent, %v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	// A gap between windows that is itself swallowed by a later window
+	// must not stop the scan early.
+	gapped := []Outage{{Start: 0, End: 10}, {Start: 10, End: 20}, {Start: 25, End: 30}}
+	if got := nextAvailable(gapped, 5); got != 20 {
+		t.Errorf("nextAvailable(gapped, 5) = %v, want 20", got)
+	}
+	// End-to-end: with adjacent windows covering [0,50)+[50,100), nothing
+	// may start before 100; the run must behave exactly like one [0,100)
+	// outage, not dispatch into the second window.
+	w := tiny(t)
+	split, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Outages: []Outage{{Start: 0, End: 50}, {Start: 50, End: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Outages: []Outage{{Start: 0, End: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Makespan != merged.Makespan || split.ExecTime != merged.ExecTime {
+		t.Errorf("adjacent windows ran (exec %v, makespan %v), merged window (exec %v, makespan %v)",
+			split.ExecTime, split.Makespan, merged.ExecTime, merged.Makespan)
+	}
+}
+
 func TestNextAvailable(t *testing.T) {
 	outages := []Outage{{Start: 10, End: 20}, {Start: 30, End: 40}}
 	cases := []struct{ now, want units.Duration }{

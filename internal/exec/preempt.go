@@ -1,0 +1,297 @@
+// Preemption support: spot "capacity reclaim" events and the recovery
+// policies that decide how much of a killed attempt survives.
+//
+// The paper's §8 treats rented capacity as reliable except for storage
+// outages; spot markets (introduced by Amazon in 2009, a year after the
+// paper) rent the same capacity cheaper in exchange for the right to
+// revoke it mid-run with a short warning.  This file models exactly
+// that: at a scheduled instant some processors disappear, running tasks
+// on them are killed, and each task resumes either from scratch or from
+// its last durable checkpoint.  Everything is deterministic: the same
+// revocation schedule and recovery policy always reproduce the same
+// metrics, so spot scenarios stay cacheable and sweep-safe.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+// Preemption is one capacity-reclaim event: at Reclaim, Processors slots
+// are revoked from the pool (clamped to what is present).  Idle slots
+// are taken first; if that is not enough, the most recently started
+// tasks are killed.  Warning is the notice lead time (EC2's two-minute
+// spot warning): with checkpointing enabled and Warning >= the
+// checkpoint overhead, a victim cuts one final checkpoint during the
+// warning window.  Restore, when positive, is when the reclaimed
+// capacity comes back (replacement capacity won at the spot price);
+// zero means it never returns.
+type Preemption struct {
+	Reclaim    units.Duration
+	Processors int
+	Warning    units.Duration
+	Restore    units.Duration
+}
+
+// validatePreemptions checks ordering and well-formedness.
+func validatePreemptions(pre []Preemption, procs int) error {
+	permanent := 0
+	for i, p := range pre {
+		switch {
+		case p.Reclaim < 0:
+			return fmt.Errorf("exec: preemption %d reclaims at negative time %v", i, p.Reclaim)
+		case p.Processors < 1:
+			return fmt.Errorf("exec: preemption %d reclaims %d processors", i, p.Processors)
+		case p.Warning < 0 || p.Warning > p.Reclaim:
+			return fmt.Errorf("exec: preemption %d warning %v outside [0, %v]", i, p.Warning, p.Reclaim)
+		case p.Restore != 0 && p.Restore <= p.Reclaim:
+			return fmt.Errorf("exec: preemption %d restores at %v, before its reclaim at %v", i, p.Restore, p.Reclaim)
+		}
+		if i > 0 && p.Reclaim < pre[i-1].Reclaim {
+			return fmt.Errorf("exec: preemptions unsorted at index %d", i)
+		}
+		if p.Restore == 0 {
+			permanent += p.Processors
+		}
+	}
+	if permanent >= procs && procs > 0 {
+		return fmt.Errorf("exec: preemptions permanently revoke all %d processors; the workflow could never finish", procs)
+	}
+	return nil
+}
+
+// Recovery says how a preempted task resumes.  The zero value re-runs
+// it from scratch, losing the whole attempt.  With Checkpoint set, the
+// task writes a durable checkpoint after every Interval seconds of
+// useful compute, each costing Overhead extra wall-clock seconds on the
+// processor; a killed attempt restarts from its last completed
+// checkpoint instead of from zero.
+type Recovery struct {
+	Checkpoint bool
+	// Interval is the useful compute between checkpoints (> 0 when
+	// Checkpoint is set).
+	Interval units.Duration
+	// Overhead is the wall-clock cost of writing one checkpoint (>= 0).
+	Overhead units.Duration
+}
+
+// validate rejects inconsistent recovery policies.
+func (rec Recovery) validate() error {
+	if !rec.Checkpoint {
+		if rec.Interval != 0 || rec.Overhead != 0 {
+			return fmt.Errorf("exec: checkpoint interval/overhead set without Checkpoint")
+		}
+		return nil
+	}
+	if rec.Interval <= 0 {
+		return fmt.Errorf("exec: non-positive checkpoint interval %v", rec.Interval)
+	}
+	if rec.Overhead < 0 {
+		return fmt.Errorf("exec: negative checkpoint overhead %v", rec.Overhead)
+	}
+	return nil
+}
+
+// checkpointsFor returns how many checkpoints an attempt with rem
+// seconds of useful work writes when it runs to completion.  A
+// checkpoint that would coincide with completion is skipped: finishing
+// is durable by itself.
+func (rec Recovery) checkpointsFor(rem units.Duration) int {
+	if !rec.Checkpoint || rem <= 0 {
+		return 0
+	}
+	n := int(math.Ceil(float64(rem)/float64(rec.Interval))) - 1
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// attemptWall returns the wall-clock length of an attempt that must
+// complete rem seconds of useful work: the work itself plus every
+// checkpoint written along the way.
+func (rec Recovery) attemptWall(rem units.Duration) units.Duration {
+	return rem + units.Duration(rec.checkpointsFor(rem))*rec.Overhead
+}
+
+// usefulDuring returns the useful compute finished elapsed wall seconds
+// into an attempt of rem total useful work (checkpoint windows produce
+// no useful work).
+func (rec Recovery) usefulDuring(elapsed, rem units.Duration) units.Duration {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := elapsed
+	if rec.Checkpoint {
+		cycle := rec.Interval + rec.Overhead
+		full := math.Floor(float64(elapsed) / float64(cycle))
+		partial := elapsed - units.Duration(full)*cycle
+		if partial > rec.Interval {
+			partial = rec.Interval
+		}
+		u = units.Duration(full)*rec.Interval + partial
+	}
+	if u > rem {
+		u = rem
+	}
+	return u
+}
+
+// bankedDuring returns the useful work durably checkpointed elapsed
+// wall seconds into an attempt of rem total useful work, and how many
+// checkpoints that is: only fully written checkpoints count.
+func (rec Recovery) bankedDuring(elapsed, rem units.Duration) (units.Duration, int) {
+	if !rec.Checkpoint || elapsed <= 0 {
+		return 0, 0
+	}
+	cycle := rec.Interval + rec.Overhead
+	n := int(math.Floor(float64(elapsed) / float64(cycle)))
+	if max := rec.checkpointsFor(rem); n > max {
+		n = max
+	}
+	return units.Duration(n) * rec.Interval, n
+}
+
+// reclaim executes one capacity-reclaim event: kill as many running
+// tasks as the revocation requires (most recently started first, the
+// youngest work), shrink the pool, and schedule the capacity's return.
+func (r *runner) reclaim(p Preemption, now units.Duration) {
+	if r.doneTasks == r.wf.NumTasks() {
+		return // all compute finished; a late reclaim has nothing to take
+	}
+	k := p.Processors
+	if k > r.cluster.Total() {
+		k = r.cluster.Total()
+	}
+	if k <= 0 {
+		return // an earlier, still-open reclaim already took the whole pool
+	}
+	if need := k - r.cluster.Free(); need > 0 {
+		for _, id := range r.pickVictims(need) {
+			r.preemptTask(id, now, p.Warning)
+			if r.err != nil {
+				return
+			}
+		}
+	}
+	if err := r.cluster.Revoke(now, k); err != nil {
+		r.fail(err)
+		return
+	}
+	if p.Restore > 0 {
+		r.eng.Schedule(p.Restore, func(at units.Duration) {
+			if r.doneTasks == r.wf.NumTasks() {
+				return // run already complete; leave the clock untouched
+			}
+			if err := r.cluster.Restore(at, k); err != nil {
+				r.fail(err)
+				return
+			}
+			r.dispatch(at)
+		})
+	}
+}
+
+// pickVictims selects need running tasks to kill: latest start first
+// (the least sunk work), task ID descending as the deterministic
+// tie-break.
+func (r *runner) pickVictims(need int) []dag.TaskID {
+	var running []dag.TaskID
+	for id, ph := range r.phase {
+		if ph == phaseRunning {
+			running = append(running, dag.TaskID(id))
+		}
+	}
+	sort.Slice(running, func(i, j int) bool {
+		a, b := running[i], running[j]
+		if r.runStart[a] != r.runStart[b] {
+			return r.runStart[a] > r.runStart[b]
+		}
+		return a > b
+	})
+	if need > len(running) {
+		need = len(running)
+	}
+	return running[:need]
+}
+
+// preemptTask kills one running attempt: bank whatever the recovery
+// policy preserved, put the task back on the ready queue, and free its
+// processor.  The pending completion event is disarmed by the attempt
+// counter.
+func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Duration) {
+	rec := r.cfg.Recovery
+	elapsed := now - r.runStart[id]
+	rem := r.runRem[id]
+	saved, ckpts := rec.bankedDuring(elapsed, rem)
+	// The warning window lets a checkpointing task cut one final
+	// checkpoint before the capacity disappears, preserving all useful
+	// work finished by notice time -- provided the write fits in the
+	// window.
+	if rec.Checkpoint && warning >= rec.Overhead {
+		if u := rec.usefulDuring(elapsed-warning, rem); u > saved {
+			saved = u
+			ckpts++
+		}
+	}
+	r.banked[id] += saved
+	r.checkpoints += ckpts
+	r.wasted += (elapsed - saved).Seconds()
+	r.preempted++
+	r.attempt[id]++
+	if r.cfg.RecordSchedule {
+		if i, ok := r.spanOf[id]; ok {
+			r.schedule[i].Finish = now // the Gantt shows the killed attempt
+		}
+	}
+	if err := r.cluster.Release(now); err != nil {
+		r.fail(err)
+		return
+	}
+	r.enqueueReady(id)
+}
+
+// SpotSchedule samples a deterministic spot revocation schedule over a
+// horizon: whole-pool capacity reclaims arriving as a Poisson process
+// at ratePerHour, each announced warning ahead and healed down later
+// (replacement capacity won back at the spot price).  The same seed
+// always yields the same schedule, so spot runs stay reproducible and
+// cacheable; ratePerHour == 0 returns an empty schedule.
+func SpotSchedule(horizon units.Duration, procs int, ratePerHour float64, warning, down units.Duration, seed int64) ([]Preemption, error) {
+	switch {
+	case horizon <= 0:
+		return nil, fmt.Errorf("exec: non-positive spot horizon %v", horizon)
+	case procs < 1:
+		return nil, fmt.Errorf("exec: spot schedule needs at least 1 processor, got %d", procs)
+	case ratePerHour < 0:
+		return nil, fmt.Errorf("exec: negative revocation rate %v/hour", ratePerHour)
+	case warning < 0:
+		return nil, fmt.Errorf("exec: negative spot warning %v", warning)
+	case down <= 0:
+		return nil, fmt.Errorf("exec: non-positive spot downtime %v", down)
+	}
+	if ratePerHour == 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []Preemption
+	var t units.Duration
+	for {
+		gap := units.Duration(rng.ExpFloat64() / ratePerHour * units.SecondsPerHour)
+		t += gap
+		if t >= horizon {
+			return out, nil
+		}
+		w := warning
+		if w > t {
+			w = t
+		}
+		out = append(out, Preemption{Reclaim: t, Processors: procs, Warning: w, Restore: t + down})
+		t += down
+	}
+}

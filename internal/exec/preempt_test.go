@@ -1,0 +1,274 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datamgmt"
+	"repro/internal/montage"
+)
+
+// Baseline for tiny (see TestRegularTinyExact): stage-in [0,10],
+// A [10,20], B [20,40], stage-out [40,60].
+
+func TestPreemptRestartFromScratch(t *testing.T) {
+	// Reclaiming the single processor at 25 kills B 5 s in; the capacity
+	// returns at 35 and B re-runs from scratch: B [35,55], out [55,75].
+	w := tiny(t)
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Preemptions: []Preemption{{Reclaim: 25, Processors: 1, Restore: 35}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != 55 {
+		t.Errorf("ExecTime = %v, want 55", m.ExecTime)
+	}
+	if m.Makespan != 75 {
+		t.Errorf("Makespan = %v, want 75", m.Makespan)
+	}
+	// A (10) + B's burned 5 + B's full re-run (20).
+	if !almost(m.CPUSeconds, 35) {
+		t.Errorf("CPUSeconds = %v, want 35", m.CPUSeconds)
+	}
+	if m.Preempted != 1 || m.Checkpoints != 0 {
+		t.Errorf("Preempted/Checkpoints = %d/%d, want 1/0", m.Preempted, m.Checkpoints)
+	}
+	if !almost(m.WastedCPUSeconds, 5) {
+		t.Errorf("WastedCPUSeconds = %v, want 5", m.WastedCPUSeconds)
+	}
+}
+
+func TestPreemptCheckpointRestart(t *testing.T) {
+	// With 5 s checkpoint intervals costing 1 s each, A's wall is 11
+	// (one checkpoint) and B's is 23 (three): A [10,21], B [21,44].
+	// Reclaiming at 34 catches B 13 s in, past two complete 6 s
+	// checkpoint cycles: 10 s of work survives, 3 s burn.  The second
+	// attempt needs 10 s of work plus one checkpoint: B [40,51].
+	w := tiny(t)
+	rec := Recovery{Checkpoint: true, Interval: 5, Overhead: 1}
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW, Recovery: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ExecTime != 44 || base.Makespan != 64 {
+		t.Errorf("checkpointed baseline exec/makespan = %v/%v, want 44/64", base.ExecTime, base.Makespan)
+	}
+	if base.Checkpoints != 4 {
+		t.Errorf("baseline Checkpoints = %d, want 4", base.Checkpoints)
+	}
+	if !almost(base.CPUSeconds, 34) {
+		t.Errorf("baseline CPUSeconds = %v, want 34", base.CPUSeconds)
+	}
+
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW, Recovery: rec,
+		Preemptions: []Preemption{{Reclaim: 34, Processors: 1, Restore: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != 51 {
+		t.Errorf("ExecTime = %v, want 51", m.ExecTime)
+	}
+	if m.Makespan != 71 {
+		t.Errorf("Makespan = %v, want 71", m.Makespan)
+	}
+	if !almost(m.CPUSeconds, 35) { // A 11 + B 13 burned + B 11 resumed
+		t.Errorf("CPUSeconds = %v, want 35", m.CPUSeconds)
+	}
+	if !almost(m.WastedCPUSeconds, 3) {
+		t.Errorf("WastedCPUSeconds = %v, want 3", m.WastedCPUSeconds)
+	}
+	if m.Preempted != 1 {
+		t.Errorf("Preempted = %d, want 1", m.Preempted)
+	}
+	if m.Checkpoints != 4 { // A 1 + B's two surviving + 1 in the resumed attempt
+		t.Errorf("Checkpoints = %d, want 4", m.Checkpoints)
+	}
+}
+
+func TestPreemptWarningCheckpoint(t *testing.T) {
+	// A 2 s warning (>= the 1 s overhead) lets B cut an emergency
+	// checkpoint at notice time: reclaimed at 37 (16 s in), it banks the
+	// 12 s of useful work finished by 35 instead of the 10 s from its
+	// last periodic checkpoint.  Resume needs 8 s + one checkpoint.
+	w := tiny(t)
+	rec := Recovery{Checkpoint: true, Interval: 5, Overhead: 1}
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW, Recovery: rec,
+		Preemptions: []Preemption{{Reclaim: 37, Processors: 1, Warning: 2, Restore: 40}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != 49 {
+		t.Errorf("ExecTime = %v, want 49", m.ExecTime)
+	}
+	if m.Makespan != 69 {
+		t.Errorf("Makespan = %v, want 69", m.Makespan)
+	}
+	if !almost(m.WastedCPUSeconds, 4) {
+		t.Errorf("WastedCPUSeconds = %v, want 4", m.WastedCPUSeconds)
+	}
+	if m.Checkpoints != 5 { // A 1 + B 2 periodic + 1 emergency + 1 resumed
+		t.Errorf("Checkpoints = %d, want 5", m.Checkpoints)
+	}
+}
+
+func TestPreemptIdleSlotsSpareRunningTasks(t *testing.T) {
+	// tiny is a serial chain, so on 2 processors one slot is always
+	// idle: reclaiming one processor mid-run must kill nothing and
+	// change nothing.
+	w := tiny(t)
+	base, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 2, Bandwidth: tinyBW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(w, Config{
+		Mode: datamgmt.Regular, Processors: 2, Bandwidth: tinyBW,
+		Preemptions: []Preemption{{Reclaim: 15, Processors: 1, Restore: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preempted != 0 {
+		t.Errorf("Preempted = %d, want 0", m.Preempted)
+	}
+	if m.Makespan != base.Makespan || !almost(m.CPUSeconds, base.CPUSeconds) {
+		t.Errorf("idle-slot reclaim changed the run: makespan %v vs %v", m.Makespan, base.Makespan)
+	}
+}
+
+func TestPreemptValidation(t *testing.T) {
+	w := tiny(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero processors", Config{Preemptions: []Preemption{{Reclaim: 5, Processors: 0}}}},
+		{"negative reclaim", Config{Preemptions: []Preemption{{Reclaim: -1, Processors: 1}}}},
+		{"warning past reclaim", Config{Preemptions: []Preemption{{Reclaim: 5, Processors: 1, Warning: 6}}}},
+		{"restore before reclaim", Config{Preemptions: []Preemption{{Reclaim: 5, Processors: 1, Restore: 5}}}},
+		{"unsorted", Config{Preemptions: []Preemption{
+			{Reclaim: 50, Processors: 1, Restore: 60}, {Reclaim: 5, Processors: 1, Restore: 10}}}},
+		{"permanent total revocation", Config{Processors: 2,
+			Preemptions: []Preemption{{Reclaim: 5, Processors: 2}}}},
+		{"interval without checkpoint", Config{Recovery: Recovery{Interval: 10}}},
+		{"zero interval", Config{Recovery: Recovery{Checkpoint: true}}},
+		{"negative overhead", Config{Recovery: Recovery{Checkpoint: true, Interval: 10, Overhead: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Mode = datamgmt.Regular
+			if cfg.Processors == 0 {
+				cfg.Processors = 1
+			}
+			cfg.Bandwidth = tinyBW
+			if _, err := Run(w, cfg); err == nil {
+				t.Error("invalid preemption config accepted")
+			}
+		})
+	}
+}
+
+// TestPreemptDeterministic pins the subsystem's reproducibility on a
+// real workflow: the same revocation schedule yields byte-identical
+// metrics on every run.
+func TestPreemptDeterministic(t *testing.T) {
+	w, err := montage.Generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := SpotSchedule(2*3600, 16, 1.5, 120, 600, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) == 0 {
+		t.Fatal("spot schedule sampled no revocations")
+	}
+	cfg := Config{
+		Mode: datamgmt.Regular, Processors: 16,
+		Preemptions: sched,
+		Recovery:    Recovery{Checkpoint: true, Interval: 300, Overhead: 5},
+	}
+	a, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two runs of the same preemption schedule differ:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Preempted == 0 {
+		t.Error("schedule preempted no tasks; the scenario is vacuous")
+	}
+	if a.Makespan <= 0 || a.CPUSeconds <= 0 {
+		t.Errorf("degenerate metrics: %+v", a)
+	}
+}
+
+func TestSpotSchedule(t *testing.T) {
+	a, err := SpotSchedule(24*3600, 8, 0.5, 120, 900, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpotSchedule(24*3600, 8, 0.5, 120, 900, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed sampled different schedules")
+	}
+	if err := validatePreemptions(a, 9); err != nil {
+		t.Errorf("sampled schedule invalid: %v", err)
+	}
+	for i, p := range a {
+		if p.Processors != 8 || p.Restore != p.Reclaim+900 {
+			t.Errorf("event %d = %+v", i, p)
+		}
+		if i > 0 && p.Reclaim < a[i-1].Restore {
+			t.Errorf("event %d reclaims at %v inside the previous downtime ending %v", i, p.Reclaim, a[i-1].Restore)
+		}
+	}
+	c, err := SpotSchedule(24*3600, 8, 0.5, 120, 900, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds sampled identical schedules")
+	}
+	if empty, err := SpotSchedule(3600, 8, 0, 120, 900, 1); err != nil || empty != nil {
+		t.Errorf("zero rate = (%v, %v), want empty", empty, err)
+	}
+	for name, call := range map[string]func() ([]Preemption, error){
+		"zero horizon":  func() ([]Preemption, error) { return SpotSchedule(0, 8, 1, 0, 60, 1) },
+		"zero procs":    func() ([]Preemption, error) { return SpotSchedule(3600, 0, 1, 0, 60, 1) },
+		"negative rate": func() ([]Preemption, error) { return SpotSchedule(3600, 8, -1, 0, 60, 1) },
+		"zero down":     func() ([]Preemption, error) { return SpotSchedule(3600, 8, 1, 0, 0, 1) },
+	} {
+		if _, err := call(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestUtilizationNeverNaN guards the Utilization division: a zero-width
+// run (all runtimes and sizes zero) must report 0, not NaN/Inf, so the
+// result document stays JSON-encodable.
+func TestUtilizationNeverNaN(t *testing.T) {
+	if u := utilization(0, 0, 0); u != 0 {
+		t.Errorf("utilization(0,0,0) = %v, want 0", u)
+	}
+	if u := utilization(5, 0, 10); u != 0 {
+		t.Errorf("utilization(5,0,10) = %v, want 0", u)
+	}
+	if u := utilization(5, 2, 0); u != 0 {
+		t.Errorf("utilization(5,2,0) = %v, want 0", u)
+	}
+}

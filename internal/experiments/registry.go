@@ -63,6 +63,18 @@ func Registry() []Experiment {
 				}
 				return []*report.Table{r.Table()}, nil
 			}},
+		{"spot-frontier", "spot vs on-demand cost-reliability frontier (?seed= reseeds the revocations)",
+			func(ctx context.Context, p Params) ([]*report.Table, error) {
+				seed := DefaultSpotSeed
+				if p.Seed != nil {
+					seed = *p.Seed
+				}
+				r, err := SpotFrontierSeeded(ctx, seed)
+				if err != nil {
+					return nil, err
+				}
+				return r.Tables(), nil
+			}},
 	}
 }
 

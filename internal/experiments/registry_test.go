@@ -21,7 +21,7 @@ func TestRegistryNamesUniqueAndComplete(t *testing.T) {
 		}
 		seen[e.Name] = true
 	}
-	for _, want := range []string{"ccr-table", "fig4", "fig10", "q2b", "overload", "ablation-outage"} {
+	for _, want := range []string{"ccr-table", "fig4", "fig10", "q2b", "overload", "ablation-outage", "spot-frontier"} {
 		if !seen[want] {
 			t.Errorf("registry missing %q", want)
 		}

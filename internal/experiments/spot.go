@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/econ"
+	"repro/internal/exec"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// The spot frontier is the post-paper scenario the §8 reliability
+// discussion points straight at: Amazon's 2009 spot market sells the
+// same processors at a deep discount in exchange for the right to
+// reclaim them mid-run.  Whether the discount survives contact with the
+// revocations depends on how much killed work gets re-billed -- which
+// checkpointing trades against its own overhead.  The experiment maps
+// that frontier: on-demand baselines versus spot runs across pool sizes
+// and checkpoint intervals, all under one seeded revocation schedule.
+
+// DefaultSpotSeed is the published revocation-schedule seed;
+// SpotFrontierSeeded reproduces any other schedule on demand.
+const DefaultSpotSeed int64 = 2009
+
+// DefaultSpotMarket is the frontier's market model: spot capacity at
+// 35% of the on-demand CPU rate, reclaimed 1.5 times per hour on
+// average -- aggressive enough that an unprotected run visibly bleeds.
+func DefaultSpotMarket() cost.Spot {
+	return cost.Spot{Discount: 0.65, RevocationsPerHour: 1.5}
+}
+
+// SpotBaselineRow is one on-demand reference run.
+type SpotBaselineRow struct {
+	Processors int
+	Makespan   units.Duration
+	Cost       units.Money
+}
+
+// SpotFrontierRow is one spot configuration's measured outcome.
+type SpotFrontierRow struct {
+	Processors int
+	// Checkpoint is the checkpoint interval; 0 re-runs preempted tasks
+	// from scratch.
+	Checkpoint  units.Duration
+	Makespan    units.Duration
+	Preempted   int
+	WastedCPU   float64
+	Checkpoints int
+	SpotCost    units.Money
+	Comparison  econ.SpotComparison
+}
+
+// SpotFrontierResult is the full cost-reliability frontier.
+type SpotFrontierResult struct {
+	Spec        montage.Spec
+	Seed        int64
+	Market      cost.Spot
+	Warning     units.Duration
+	Downtime    units.Duration
+	Overhead    units.Duration
+	MaxSlowdown float64
+	Baselines   []SpotBaselineRow
+	Rows        []SpotFrontierRow
+	Advice      advisor.SpotAdvice
+}
+
+// SpotFrontier maps the frontier under the published seed.
+func SpotFrontier(ctx context.Context) (SpotFrontierResult, error) {
+	return SpotFrontierSeeded(ctx, DefaultSpotSeed)
+}
+
+// SpotFrontierSeeded is SpotFrontier with an explicit revocation seed:
+// the schedule is the scenario's only stochastic input, sampled once
+// per pool size through exec.SpotSchedule, so any server or CLI caller
+// can replay the exact same revocations or explore fresh ones.
+func SpotFrontierSeeded(ctx context.Context, seed int64) (SpotFrontierResult, error) {
+	spec := montage.OneDegree()
+	w, err := generate(spec)
+	if err != nil {
+		return SpotFrontierResult{}, err
+	}
+	res := SpotFrontierResult{
+		Spec:        spec,
+		Seed:        seed,
+		Market:      DefaultSpotMarket(),
+		Warning:     120, // EC2's two-minute reclaim notice
+		Downtime:    600,
+		Overhead:    10,
+		MaxSlowdown: 1.5,
+	}
+	procsAxis := []int{8, 16, 32}
+	intervals := []units.Duration{0, 300, 900}
+	// The revocation horizon covers even a badly stretched run; events
+	// past the makespan are simply never reached.
+	const horizon = units.Duration(4 * units.SecondsPerHour)
+
+	baselineRuns, err := Sweep[int, core.Result]{
+		Name:   "spot-baselines",
+		Points: procsAxis,
+		Run: func(ctx context.Context, procs int) (core.Result, error) {
+			plan := core.DefaultPlan()
+			plan.Processors = procs
+			return core.RunContext(ctx, w, plan)
+		},
+	}.Do(ctx)
+	if err != nil {
+		return SpotFrontierResult{}, err
+	}
+	baseline := make(map[int]core.Result, len(procsAxis))
+	for i, procs := range procsAxis {
+		baseline[procs] = baselineRuns[i]
+		res.Baselines = append(res.Baselines, SpotBaselineRow{
+			Processors: procs,
+			Makespan:   baselineRuns[i].Metrics.Makespan,
+			Cost:       baselineRuns[i].Cost.Total(),
+		})
+	}
+	// One schedule per pool size, shared by every checkpoint interval in
+	// that column: the reclaim instants are identical across columns, so
+	// differences within a column are purely the recovery policy's.
+	schedules := make(map[int][]exec.Preemption, len(procsAxis))
+	for _, procs := range procsAxis {
+		sched, err := exec.SpotSchedule(horizon, procs, res.Market.RevocationsPerHour, res.Warning, res.Downtime, seed)
+		if err != nil {
+			return SpotFrontierResult{}, err
+		}
+		schedules[procs] = sched
+	}
+
+	type cell struct {
+		procs    int
+		interval units.Duration
+	}
+	var grid []cell
+	for _, procs := range procsAxis {
+		for _, iv := range intervals {
+			grid = append(grid, cell{procs, iv})
+		}
+	}
+	res.Rows, err = Sweep[cell, SpotFrontierRow]{
+		Name:   "spot-frontier",
+		Points: grid,
+		Run: func(ctx context.Context, c cell) (SpotFrontierRow, error) {
+			plan := core.DefaultPlan()
+			plan.Processors = c.procs
+			plan.Pricing = res.Market.Apply(cost.Amazon2008())
+			plan.Preemptions = schedules[c.procs]
+			if c.interval > 0 {
+				plan.Recovery = exec.Recovery{Checkpoint: true, Interval: c.interval, Overhead: res.Overhead}
+			}
+			r, err := core.RunContext(ctx, w, plan)
+			if err != nil {
+				return SpotFrontierRow{}, err
+			}
+			base := baseline[c.procs]
+			cmp, err := econ.CompareSpot(base.Cost, r.Cost, base.Metrics.Makespan, r.Metrics.Makespan, res.MaxSlowdown)
+			if err != nil {
+				return SpotFrontierRow{}, err
+			}
+			return SpotFrontierRow{
+				Processors:  c.procs,
+				Checkpoint:  c.interval,
+				Makespan:    r.Metrics.Makespan,
+				Preempted:   r.Metrics.Preempted,
+				WastedCPU:   r.Metrics.WastedCPUSeconds,
+				Checkpoints: r.Metrics.Checkpoints,
+				SpotCost:    r.Cost.Total(),
+				Comparison:  cmp,
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return SpotFrontierResult{}, err
+	}
+
+	// The advice weighs every frontier point against the cheapest
+	// baseline (ties to the faster one): the decision a portal operator
+	// actually faces.
+	best := advisor.Option{}
+	for i, b := range res.Baselines {
+		o := advisor.Option{Processors: b.Processors, Cost: b.Cost, Time: b.Makespan}
+		if i == 0 || o.Cost < best.Cost || (o.Cost == best.Cost && o.Time < best.Time) {
+			best = o
+		}
+	}
+	choices := make([]advisor.SpotChoice, len(res.Rows))
+	for i, r := range res.Rows {
+		choices[i] = advisor.SpotChoice{
+			Processors:         r.Processors,
+			CheckpointInterval: r.Checkpoint,
+			Cost:               r.SpotCost,
+			Makespan:           r.Makespan,
+		}
+	}
+	res.Advice, err = advisor.RecommendSpot(best, choices, res.MaxSlowdown)
+	if err != nil {
+		return SpotFrontierResult{}, err
+	}
+	return res, nil
+}
+
+// Tables renders the frontier: baselines, the grid, and the advice.
+func (r SpotFrontierResult) Tables() []*report.Table {
+	base := report.New(
+		fmt.Sprintf("Spot frontier: on-demand baselines on %s", r.Spec.Name),
+		"procs", "makespan", "total$")
+	for _, b := range r.Baselines {
+		base.MustAdd(fmt.Sprint(b.Processors), b.Makespan.String(), report.F(b.Cost.Dollars(), 4))
+	}
+
+	grid := report.New(
+		fmt.Sprintf("Spot frontier on %s: %.0f%% CPU discount, %.1f reclaims/hour, seed %d",
+			r.Spec.Name, r.Market.Discount*100, r.Market.RevocationsPerHour, r.Seed),
+		"procs", "checkpoint", "makespan", "slowdown", "preempted", "wasted-cpu-s", "ckpts", "spot$", "on-demand$", "verdict")
+	for _, row := range r.Rows {
+		ck := "none"
+		if row.Checkpoint > 0 {
+			ck = row.Checkpoint.String()
+		}
+		grid.MustAdd(fmt.Sprint(row.Processors), ck, row.Makespan.String(),
+			report.F(row.Comparison.Slowdown, 2), fmt.Sprint(row.Preempted),
+			report.F(row.WastedCPU, 0), fmt.Sprint(row.Checkpoints),
+			report.F(row.SpotCost.Dollars(), 4),
+			report.F(row.Comparison.OnDemandCost.Dollars(), 4),
+			row.Comparison.Verdict.String())
+	}
+
+	advice := report.New("Spot advice (cheapest baseline, max slowdown "+report.F(r.MaxSlowdown, 2)+"x)",
+		"use-spot", "procs", "checkpoint", "spot$", "baseline$", "saving")
+	if r.Advice.UseSpot {
+		ck := "none"
+		if r.Advice.Choice.CheckpointInterval > 0 {
+			ck = r.Advice.Choice.CheckpointInterval.String()
+		}
+		advice.MustAdd("yes", fmt.Sprint(r.Advice.Choice.Processors), ck,
+			report.F(r.Advice.Choice.Cost.Dollars(), 4),
+			report.F(r.Advice.Baseline.Cost.Dollars(), 4),
+			fmt.Sprintf("%.0f%%", r.Advice.Savings*100))
+	} else {
+		advice.MustAdd("no", fmt.Sprint(r.Advice.Baseline.Processors), "-",
+			"-", report.F(r.Advice.Baseline.Cost.Dollars(), 4), "-")
+	}
+	return []*report.Table{base, grid, advice}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/econ"
+	"repro/internal/exec"
+	"repro/internal/montage"
+	"repro/internal/units"
+)
+
+func TestSpotFrontierScenario(t *testing.T) {
+	r, err := SpotFrontier(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baselines) != 3 || len(r.Rows) != 9 {
+		t.Fatalf("frontier shape = %d baselines, %d rows; want 3, 9", len(r.Baselines), len(r.Rows))
+	}
+	if r.Seed != DefaultSpotSeed {
+		t.Errorf("seed not recorded: %d", r.Seed)
+	}
+	byKey := map[[2]int]SpotFrontierRow{}
+	for _, row := range r.Rows {
+		if row.SpotCost <= 0 || row.Makespan <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+		if row.Comparison.Slowdown < 1 {
+			t.Errorf("spot run faster than reliable capacity: %+v", row)
+		}
+		byKey[[2]int{row.Processors, int(row.Checkpoint)}] = row
+	}
+	// Under the published seed the 8-processor pool is hit repeatedly:
+	// unprotected it bleeds far more CPU than with 5-minute checkpoints.
+	raw, ok := byKey[[2]int{8, 0}]
+	ck, ok2 := byKey[[2]int{8, 300}]
+	if !ok || !ok2 {
+		t.Fatal("expected grid points missing")
+	}
+	if raw.Preempted == 0 {
+		t.Error("published seed preempted nothing at 8 processors; the frontier is vacuous")
+	}
+	if ck.WastedCPU >= raw.WastedCPU {
+		t.Errorf("checkpointing did not cut waste: %v vs %v", ck.WastedCPU, raw.WastedCPU)
+	}
+	if ck.Checkpoints == 0 {
+		t.Error("checkpointed run wrote no checkpoints")
+	}
+	// The 65% discount survives the revocations comfortably here.
+	if !r.Advice.UseSpot {
+		t.Errorf("advice = %+v, want spot recommended", r.Advice)
+	}
+	if r.Advice.Savings < 0.3 {
+		t.Errorf("savings = %v, want > 0.3", r.Advice.Savings)
+	}
+
+	tables := r.Tables()
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3", len(tables))
+	}
+	var b strings.Builder
+	for _, tb := range tables {
+		if err := tb.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"seed 2009", "spot-wins", "use-spot"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("rendered frontier missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSpotFrontierSeedThreading(t *testing.T) {
+	ctx := context.Background()
+	a, err := SpotFrontierSeeded(ctx, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpotFrontierSeeded(ctx, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different frontiers")
+	}
+	c, err := SpotFrontierSeeded(ctx, DefaultSpotSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rows, c.Rows) {
+		t.Error("different seeds produced identical frontier rows")
+	}
+}
+
+// TestSpotSweepSerialMatchesParallel is the preemption determinism
+// pin: the same seed and revocation schedule must yield byte-identical
+// metrics whether the sweep engine runs the grid on one worker or on
+// GOMAXPROCS workers.
+func TestSpotSweepSerialMatchesParallel(t *testing.T) {
+	w, err := generate(montage.OneDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	market := DefaultSpotMarket()
+	type cell struct {
+		procs    int
+		interval units.Duration
+	}
+	var grid []cell
+	for _, procs := range []int{8, 16, 32} {
+		for _, iv := range []units.Duration{0, 300, 900} {
+			grid = append(grid, cell{procs, iv})
+		}
+	}
+	run := func(ctx context.Context, c cell) (exec.Metrics, error) {
+		sched, err := exec.SpotSchedule(4*3600, c.procs, market.RevocationsPerHour, 120, 600, DefaultSpotSeed)
+		if err != nil {
+			return exec.Metrics{}, err
+		}
+		plan := core.DefaultPlan()
+		plan.Processors = c.procs
+		plan.Pricing = market.Apply(cost.Amazon2008())
+		plan.Preemptions = sched
+		if c.interval > 0 {
+			plan.Recovery = exec.Recovery{Checkpoint: true, Interval: c.interval, Overhead: 10}
+		}
+		r, err := core.RunContext(ctx, w, plan)
+		return r.Metrics, err
+	}
+	serial, err := Sweep[cell, exec.Metrics]{Name: "spot-serial", Points: grid, Workers: 1, Run: run}.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep[cell, exec.Metrics]{Name: "spot-parallel", Points: grid, Run: run}.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("serial and parallel spot sweeps diverge")
+	}
+	preempted := 0
+	for _, m := range serial {
+		preempted += m.Preempted
+	}
+	if preempted == 0 {
+		t.Error("no grid point was preempted; the determinism pin is vacuous")
+	}
+}
+
+// TestCompareSpotConsistency cross-checks the experiment's verdicts
+// against a direct econ computation on one grid point.
+func TestCompareSpotConsistency(t *testing.T) {
+	r, err := SpotFrontier(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[int]SpotBaselineRow{}
+	for _, b := range r.Baselines {
+		base[b.Processors] = b
+	}
+	for _, row := range r.Rows {
+		b := base[row.Processors]
+		if row.Comparison.OnDemandCost != b.Cost {
+			t.Errorf("row %+v compares against %v, baseline says %v", row, row.Comparison.OnDemandCost, b.Cost)
+		}
+		wantVerdict := econ.OnDemandWins
+		switch {
+		case row.SpotCost < b.Cost && float64(row.Makespan/b.Makespan) <= r.MaxSlowdown:
+			wantVerdict = econ.SpotWins
+		case row.SpotCost < b.Cost:
+			wantVerdict = econ.SpotTooSlow
+		}
+		if row.Comparison.Verdict != wantVerdict {
+			t.Errorf("row procs=%d ck=%v verdict %v, want %v", row.Processors, row.Checkpoint, row.Comparison.Verdict, wantVerdict)
+		}
+	}
+}

@@ -136,11 +136,32 @@ type SweepRequest struct {
 	CCRs       []float64 `json:"ccrs,omitempty"`
 }
 
-// sweepRow is one NDJSON line of a sweep response.
+// sweepRow is one grid point's result within a sweep envelope.
 type sweepRow struct {
 	Index int     `json:"index"`
 	CCR   float64 `json:"ccr,omitempty"`
 	repro.RunDocument
+}
+
+// sweepEnvelope is one NDJSON line of a sweep response.  Exactly one
+// field is set, so a client can always tell what it is reading:
+//
+//	{"row": {...}}          one grid point, in grid order
+//	{"done": {"rows": N}}   terminal: the grid completed
+//	{"error": "..."}        terminal: the sweep failed mid-stream
+//
+// The terminal line is the truncation detector -- the HTTP status line
+// is long gone by the time a mid-grid point fails, so a stream that
+// ends without "done" or "error" was cut off.
+type sweepEnvelope struct {
+	Row   *sweepRow  `json:"row,omitempty"`
+	Done  *sweepDone `json:"done,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// sweepDone is the success sentinel: how many rows were streamed.
+type sweepDone struct {
+	Rows int `json:"rows"`
 }
 
 type gridPoint struct {
@@ -233,12 +254,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	streamed := false
+	rows := 0
 	// Rows stream in grid order as soon as each point (and every earlier
 	// one) finishes; r.Context() cancellation -- the client hanging up --
 	// drains the whole grid.
 	err = sweep.Stream(r.Context(), 0, grid,
-		func(ctx context.Context, _ int, p gridPoint) (repro.RunDocument, error) {
+		func(ctx context.Context, i int, p gridPoint) (repro.RunDocument, error) {
+			if s.testHookSweepPoint != nil {
+				if err := s.testHookSweepPoint(i); err != nil {
+					return repro.RunDocument{}, err
+				}
+			}
 			pointPlan := plan
 			pointPlan.Processors = p.procs
 			pointPlan.Mode = p.mode
@@ -253,26 +279,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return repro.NewRunDocument(res), nil
 		},
 		func(i int, doc repro.RunDocument) error {
-			streamed = true
-			if err := enc.Encode(sweepRow{Index: i, CCR: grid[i].ccr, RunDocument: doc}); err != nil {
+			row := sweepRow{Index: i, CCR: grid[i].ccr, RunDocument: doc}
+			if err := enc.Encode(sweepEnvelope{Row: &row}); err != nil {
 				return err
 			}
+			rows++
 			if flusher != nil {
 				flusher.Flush()
 			}
 			return nil
 		})
 	if err != nil {
-		if !streamed {
+		if rows == 0 {
 			s.fail(w, r, statusFor(err), err)
 			return
 		}
-		// Mid-stream the status line is gone; emit a terminal error row.
+		// Mid-stream the status line is gone; emit the terminal error
+		// envelope instead (unless the client already hung up).
 		s.metrics.errors.Add(1)
 		if r.Context().Err() == nil {
-			enc.Encode(errorDoc{Error: err.Error()}) //nolint:errcheck
+			enc.Encode(sweepEnvelope{Error: err.Error()}) //nolint:errcheck
 		}
+		return
 	}
+	enc.Encode(sweepEnvelope{Done: &sweepDone{Rows: rows}}) //nolint:errcheck
 }
 
 // ---- GET /v1/experiments and /v1/experiments/{name} ----

@@ -42,8 +42,17 @@ func (m *metrics) count(endpoint string) {
 	c.Add(1)
 }
 
-// write renders the counters in the Prometheus text exposition format,
-// alongside the result-cache and workflow-generation-cache stats.
+// header writes the # HELP and # TYPE lines a conforming Prometheus
+// exposition puts before each metric family's samples.
+func header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// write renders the counters in the Prometheus text exposition format
+// (HELP/TYPE headers included, so scrapers ingest the families with the
+// right semantics), alongside the result-cache and
+// workflow-generation-cache stats.
 func (m *metrics) write(w io.Writer, cache CacheStats, wf montage.CacheStats) {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.requests))
@@ -57,21 +66,30 @@ func (m *metrics) write(w io.Writer, cache CacheStats, wf montage.CacheStats) {
 	}
 	m.mu.Unlock()
 
+	header(w, "reprosrv_requests_total", "counter", "Requests received, by endpoint.")
 	for _, e := range endpoints {
 		fmt.Fprintf(w, "reprosrv_requests_total{endpoint=%q} %d\n", e, counts[e])
 	}
-	fmt.Fprintf(w, "reprosrv_simulations_total %d\n", m.simulations.Load())
-	fmt.Fprintf(w, "reprosrv_coalesced_requests_total %d\n", m.coalesced.Load())
-	fmt.Fprintf(w, "reprosrv_rejected_total %d\n", m.rejected.Load())
-	fmt.Fprintf(w, "reprosrv_errors_total %d\n", m.errors.Load())
-	fmt.Fprintf(w, "reprosrv_in_flight %d\n", m.inflight.Load())
-	fmt.Fprintf(w, "reprosrv_queue_depth %d\n", m.queued.Load())
-	fmt.Fprintf(w, "reprosrv_result_cache_hits_total %d\n", cache.Hits)
-	fmt.Fprintf(w, "reprosrv_result_cache_misses_total %d\n", cache.Misses)
-	fmt.Fprintf(w, "reprosrv_result_cache_evictions_total %d\n", cache.Evictions)
-	fmt.Fprintf(w, "reprosrv_result_cache_entries %d\n", cache.Entries)
-	fmt.Fprintf(w, "reprosrv_workflow_cache_hits_total %d\n", wf.Hits)
-	fmt.Fprintf(w, "reprosrv_workflow_cache_misses_total %d\n", wf.Misses)
-	fmt.Fprintf(w, "reprosrv_workflow_cache_evictions_total %d\n", wf.Evictions)
-	fmt.Fprintf(w, "reprosrv_workflow_cache_entries %d\n", wf.Entries)
+	counter := func(name, help string, v uint64) {
+		header(w, name, "counter", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		header(w, name, "gauge", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	counter("reprosrv_simulations_total", "Simulations actually executed.", m.simulations.Load())
+	counter("reprosrv_coalesced_requests_total", "Requests that joined another request's in-flight simulation.", m.coalesced.Load())
+	counter("reprosrv_rejected_total", "Requests refused at the admission queue.", m.rejected.Load())
+	counter("reprosrv_errors_total", "Requests that failed.", m.errors.Load())
+	gauge("reprosrv_in_flight", "Requests currently holding a worker slot.", m.inflight.Load())
+	gauge("reprosrv_queue_depth", "Requests waiting for a worker slot.", m.queued.Load())
+	counter("reprosrv_result_cache_hits_total", "Result-cache hits.", cache.Hits)
+	counter("reprosrv_result_cache_misses_total", "Result-cache misses.", cache.Misses)
+	counter("reprosrv_result_cache_evictions_total", "Result-cache LRU evictions.", cache.Evictions)
+	gauge("reprosrv_result_cache_entries", "Result-cache resident entries.", int64(cache.Entries))
+	counter("reprosrv_workflow_cache_hits_total", "Workflow-generation-cache hits.", wf.Hits)
+	counter("reprosrv_workflow_cache_misses_total", "Workflow-generation-cache misses.", wf.Misses)
+	counter("reprosrv_workflow_cache_evictions_total", "Workflow-generation-cache LRU evictions.", wf.Evictions)
+	gauge("reprosrv_workflow_cache_entries", "Workflow-generation-cache resident entries.", int64(wf.Entries))
 }

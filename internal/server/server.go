@@ -92,6 +92,10 @@ type Server struct {
 	// testHookPreSim, when set by tests in this package, runs inside the
 	// worker slot just before a /v1/run simulation starts.
 	testHookPreSim func()
+	// testHookSweepPoint, when set by tests in this package, runs before
+	// each sweep grid point simulates; returning an error fails that
+	// point, which is how tests force a mid-stream failure.
+	testHookSweepPoint func(index int) error
 }
 
 // New builds a server from the config.

@@ -250,28 +250,112 @@ func TestSweepStreamsNDJSONInGridOrder(t *testing.T) {
 			Processors int `json:"processors"`
 		} `json:"plan"`
 	}
+	type envelope struct {
+		Row  *row `json:"row"`
+		Done *struct {
+			Rows int `json:"rows"`
+		} `json:"done"`
+		Error string `json:"error"`
+	}
 	wantProcs := []int{1, 2, 4}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var rows int
+	var done bool
 	for sc.Scan() {
-		var r row
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			t.Fatalf("row %d: %v: %s", rows, err, sc.Text())
+		var e envelope
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v: %s", rows, err, sc.Text())
 		}
-		if r.Index != rows {
-			t.Errorf("row %d has index %d: rows out of grid order", rows, r.Index)
+		switch {
+		case e.Row != nil:
+			if done {
+				t.Error("row after the done sentinel")
+			}
+			if e.Row.Index != rows {
+				t.Errorf("row %d has index %d: rows out of grid order", rows, e.Row.Index)
+			}
+			if e.Row.Plan.Processors != wantProcs[rows] {
+				t.Errorf("row %d ran %d processors, want %d", rows, e.Row.Plan.Processors, wantProcs[rows])
+			}
+			rows++
+		case e.Done != nil:
+			done = true
+			if e.Done.Rows != len(wantProcs) {
+				t.Errorf("done sentinel counts %d rows, want %d", e.Done.Rows, len(wantProcs))
+			}
+		default:
+			t.Errorf("line is neither row nor done: %s", sc.Text())
 		}
-		if r.Plan.Processors != wantProcs[rows] {
-			t.Errorf("row %d ran %d processors, want %d", rows, r.Plan.Processors, wantProcs[rows])
-		}
-		rows++
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
 	if rows != len(wantProcs) {
 		t.Errorf("got %d rows, want %d", rows, len(wantProcs))
+	}
+	if !done {
+		t.Error("stream ended without the done sentinel")
+	}
+}
+
+// TestSweepMidStreamFailureEmitsErrorEnvelope pins the wire contract
+// for a grid that fails after rows have streamed: the 200 status line
+// is long gone, so the stream must end with an unambiguous {"error"}
+// envelope -- never a bare data row, and no done sentinel.
+func TestSweepMidStreamFailureEmitsErrorEnvelope(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.testHookSweepPoint = func(index int) error {
+		if index == 2 {
+			return fmt.Errorf("injected failure at point %d", index)
+		}
+		return nil
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"workflow":"1deg","billing":"provisioned","processors":[1,2,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d; the failure was supposed to hit mid-stream", resp.StatusCode)
+	}
+	type envelope struct {
+		Row   *json.RawMessage `json:"row"`
+		Done  *json.RawMessage `json:"done"`
+		Error string           `json:"error"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rows int
+	var sawError bool
+	for sc.Scan() {
+		var e envelope
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("unparseable line: %v: %s", err, sc.Text())
+		}
+		switch {
+		case sawError:
+			t.Errorf("line after the terminal error envelope: %s", sc.Text())
+		case e.Row != nil:
+			rows++
+		case e.Error != "":
+			sawError = true
+			if !strings.Contains(e.Error, "injected failure") {
+				t.Errorf("error envelope says %q", e.Error)
+			}
+		case e.Done != nil:
+			t.Error("done sentinel on a failed sweep")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 {
+		t.Errorf("streamed %d rows before the failure, want 2", rows)
+	}
+	if !sawError {
+		t.Error("stream ended without the error envelope")
 	}
 }
 
@@ -290,20 +374,26 @@ func TestSweepModeAndCCRAxes(t *testing.T) {
 			Mode string `json:"mode"`
 		} `json:"plan"`
 	}
+	type envelope struct {
+		Row *row `json:"row"`
+	}
 	wantModes := []string{"regular", "cleanup"}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var rows int
 	for sc.Scan() {
-		var r row
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+		var e envelope
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
 			t.Fatal(err)
 		}
-		if r.CCR != 0.1 {
-			t.Errorf("row %d ccr = %v", rows, r.CCR)
+		if e.Row == nil {
+			continue // terminal sentinel
 		}
-		if r.Plan.Mode != wantModes[rows] {
-			t.Errorf("row %d mode = %q, want %q", rows, r.Plan.Mode, wantModes[rows])
+		if e.Row.CCR != 0.1 {
+			t.Errorf("row %d ccr = %v", rows, e.Row.CCR)
+		}
+		if e.Row.Plan.Mode != wantModes[rows] {
+			t.Errorf("row %d mode = %q, want %q", rows, e.Row.Plan.Mode, wantModes[rows])
 		}
 		rows++
 	}
@@ -433,6 +523,71 @@ func TestMetricsExposition(t *testing.T) {
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsPrometheusConformance checks the exposition format: every
+// sample family carries # HELP and # TYPE lines before its first
+// sample, cumulative *_total families are counters, and point-in-time
+// families are gauges -- so a real Prometheus scrape ingests them with
+// the right semantics.
+func TestMetricsPrometheusConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postRun(t, ts, `{"workflow":"1deg"}`)
+	_, body := getBody(t, ts.URL+"/metrics")
+
+	helps := map[string]bool{}
+	types := map[string]string{}
+	samples := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(fields) != 2 || fields[1] == "" {
+				t.Errorf("HELP line without text: %q", line)
+			}
+			helps[fields[0]] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if samples[fields[0]] {
+				t.Errorf("TYPE for %s after its samples", fields[0])
+			}
+			if _, dup := types[fields[0]]; dup {
+				t.Errorf("duplicate TYPE for %s", fields[0])
+			}
+			types[fields[0]] = fields[1]
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unexpected comment line: %q", line)
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			samples[name] = true
+			if !helps[name] || types[name] == "" {
+				t.Errorf("sample %s without preceding HELP/TYPE", name)
+			}
+		}
+	}
+	if len(samples) == 0 {
+		t.Fatalf("no samples in exposition:\n%s", body)
+	}
+	for name, typ := range types {
+		want := "gauge"
+		if strings.HasSuffix(name, "_total") {
+			want = "counter"
+		}
+		if typ != want {
+			t.Errorf("%s declared %s, want %s", name, typ, want)
+		}
+	}
+	for _, want := range []string{"reprosrv_requests_total", "reprosrv_simulations_total", "reprosrv_in_flight", "reprosrv_result_cache_entries"} {
+		if !samples[want] {
+			t.Errorf("exposition missing %s", want)
 		}
 	}
 }

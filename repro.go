@@ -112,7 +112,21 @@ type (
 	Mode = datamgmt.Mode
 	// Billing selects provisioned or on-demand CPU charging.
 	Billing = core.Billing
+	// Preemption is one spot capacity-reclaim event.
+	Preemption = exec.Preemption
+	// Recovery decides how a preempted task resumes (from scratch, or
+	// checkpoint/restart).
+	Recovery = exec.Recovery
+	// Spot is a spot-market model: discounted CPU, revocable capacity.
+	Spot = cost.Spot
 )
+
+// SpotSchedule samples a deterministic spot revocation schedule: the
+// same seed always reproduces the same reclaims, keeping spot runs
+// cacheable.
+func SpotSchedule(horizon Duration, procs int, ratePerHour float64, warning, down Duration, seed int64) ([]Preemption, error) {
+	return exec.SpotSchedule(horizon, procs, ratePerHour, warning, down, seed)
+}
 
 // Data-management modes (§3 of the paper).
 const (

@@ -2,8 +2,12 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/dag"
 )
 
 func TestRunRequestResolvePresets(t *testing.T) {
@@ -94,6 +98,41 @@ func TestCanonicalRunKeyStability(t *testing.T) {
 	}
 	if CanonicalRunKey(specA, planA) == CanonicalRunKey(specD, planD) {
 		t.Error("distinct specs share a key")
+	}
+}
+
+// TestRunDocumentEncodeZeroWidthRun guards the Utilization division: a
+// degenerate workflow whose runtimes and file sizes are all zero yields
+// a zero-width run, and the resulting document must still encode --
+// encoding/json rejects NaN/Inf, so a bad division here would turn
+// every /v1/run response for such a workflow into a 500.
+func TestRunDocumentEncodeZeroWidthRun(t *testing.T) {
+	w := dag.New("degenerate")
+	if _, err := w.AddFile("in", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddFile("out", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddTask("noop", "t", 0, []string{"in"}, []string{"out"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, DefaultPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.Metrics.Utilization; u != 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+		t.Errorf("zero-width run utilization = %v, want 0", u)
+	}
+	body, err := NewRunDocument(res).Encode()
+	if err != nil {
+		t.Fatalf("zero-width run document does not encode: %v", err)
+	}
+	if !json.Valid(body) {
+		t.Errorf("document not valid JSON: %s", body)
 	}
 }
 
