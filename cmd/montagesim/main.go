@@ -9,13 +9,16 @@
 //	montagesim -exp fig7 -format csv
 //	montagesim -run 2deg -mode cleanup -procs 16 -billing provisioned
 //	montagesim -run 1deg -json
+//	montagesim -run 1deg -procs 16 -spot-rate 1.5 -spot-discount 0.65 \
+//	    -spot-ondemand 4 -spot-ckpt 300 -spot-ckpt-overhead 10 -json
 //
 // The -exp flag selects a canned experiment (one per paper table or
 // figure) from the shared registry in internal/experiments -- the same
 // list the reprosrv daemon serves under /v1/experiments, so the CLI and
 // the API can never drift apart.  The -run flag instead simulates a
-// single custom configuration; with -json it emits the exact result
-// document POST /v1/run returns, byte for byte.
+// single custom configuration, including seeded spot scenarios and
+// mixed fleets via the -spot-* flags; with -json it emits the exact
+// result document POST /v1/run returns, byte for byte.
 package main
 
 import (
@@ -39,6 +42,14 @@ func main() {
 	procs := flag.Int("procs", 0, "custom run: provisioned processors (0 = full parallelism)")
 	billing := flag.String("billing", "on-demand", "custom run: provisioned or on-demand")
 	jsonOut := flag.Bool("json", false, "custom run: emit the machine-readable result document (same as the reprosrv API)")
+	spotRate := flag.Float64("spot-rate", 0, "custom run: per-instance spot reclaims per hour (0 = reliable capacity)")
+	spotWarning := flag.Float64("spot-warning", 0, "custom run: spot reclaim warning seconds (0 = 120 when reclaims are on)")
+	spotDown := flag.Float64("spot-down", 0, "custom run: spot downtime seconds (0 = 600 when reclaims are on)")
+	spotSeed := flag.Int64("spot-seed", 0, "custom run: revocation-schedule seed")
+	spotDiscount := flag.Float64("spot-discount", 0, "custom run: spot CPU discount fraction in [0,1)")
+	spotOnDemand := flag.Int("spot-ondemand", 0, "custom run: reliable on-demand processors of a mixed fleet")
+	spotCkpt := flag.Float64("spot-ckpt", 0, "custom run: checkpoint interval seconds (0 = restart preempted tasks from scratch)")
+	spotCkptOverhead := flag.Float64("spot-ckpt-overhead", 0, "custom run: wall-clock seconds per checkpoint write")
 	flag.Parse()
 
 	// Ctrl-C cancels the whole experiment grid cooperatively: in-flight
@@ -54,20 +65,39 @@ func main() {
 		}
 		fmtArg = "json"
 	}
-	if err := realMain(ctx, *exp, fmtArg, *run, *mode, *procs, *billing); err != nil {
+	req := repro.RunRequest{
+		Workflow:   *run,
+		Mode:       *mode,
+		Processors: *procs,
+		Billing:    *billing,
+	}
+	spot := repro.SpotRequest{
+		RatePerHour:               *spotRate,
+		WarningSeconds:            *spotWarning,
+		DowntimeSeconds:           *spotDown,
+		Seed:                      *spotSeed,
+		Discount:                  *spotDiscount,
+		OnDemandProcessors:        *spotOnDemand,
+		CheckpointSeconds:         *spotCkpt,
+		CheckpointOverheadSeconds: *spotCkptOverhead,
+	}
+	if spot != (repro.SpotRequest{}) {
+		req.Spot = &spot
+	}
+	if err := realMain(ctx, *exp, fmtArg, req); err != nil {
 		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(ctx context.Context, exp, format, run, mode string, procs int, billing string) error {
+func realMain(ctx context.Context, exp, format string, req repro.RunRequest) error {
 	switch {
-	case exp != "" && run != "":
+	case exp != "" && req.Workflow != "":
 		return fmt.Errorf("use either -exp or -run, not both")
 	case exp != "":
 		return runExperiment(ctx, exp, format, os.Stdout)
-	case run != "":
-		return runCustom(ctx, run, mode, procs, billing, format, os.Stdout)
+	case req.Workflow != "":
+		return runCustom(ctx, req, format, os.Stdout)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -exp or -run")
@@ -136,13 +166,7 @@ func runExperiment(ctx context.Context, name, format string, w io.Writer) error 
 	})
 }
 
-func runCustom(ctx context.Context, preset, modeStr string, procs int, billingStr, format string, w io.Writer) error {
-	req := repro.RunRequest{
-		Workflow:   preset,
-		Mode:       modeStr,
-		Processors: procs,
-		Billing:    billingStr,
-	}
+func runCustom(ctx context.Context, req repro.RunRequest, format string, w io.Writer) error {
 	spec, plan, err := req.Resolve()
 	if err != nil {
 		return err
@@ -175,6 +199,13 @@ func runCustom(ctx context.Context, preset, modeStr string, procs int, billingSt
 	tbl.MustAdd("storage GB-hours", report.F(mtr.GBHoursStorage(), 4))
 	tbl.MustAdd("peak storage", mtr.PeakStorage.String())
 	tbl.MustAdd("utilization", report.F(mtr.Utilization, 3))
+	if plan.Spot.Enabled() {
+		tbl.MustAdd("on-demand procs", fmt.Sprint(mtr.OnDemandProcessors))
+		tbl.MustAdd("spot procs", fmt.Sprint(mtr.Processors-mtr.OnDemandProcessors))
+		tbl.MustAdd("preempted", fmt.Sprint(mtr.Preempted))
+		tbl.MustAdd("wasted CPU s", report.F(mtr.WastedCPUSeconds, 0))
+		tbl.MustAdd("checkpoints", fmt.Sprint(mtr.Checkpoints))
+	}
 	tbl.MustAdd("CPU cost", res.Cost.CPU.String())
 	tbl.MustAdd("storage cost", res.Cost.Storage.String())
 	tbl.MustAdd("transfer cost", res.Cost.Transfer().String())

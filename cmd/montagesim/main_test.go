@@ -53,7 +53,7 @@ func TestRunExperimentErrors(t *testing.T) {
 
 func TestRunCustom(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom(context.Background(), "1deg", "cleanup", 8, "provisioned", "text", &b); err != nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "cleanup", Processors: 8, Billing: "provisioned"}, "text", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -66,7 +66,7 @@ func TestRunCustom(t *testing.T) {
 
 func TestRunCustomJSON(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom(context.Background(), "1deg", "regular", 4, "on-demand", "json", &b); err != nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4, Billing: "on-demand"}, "json", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -81,7 +81,7 @@ func TestRunCustomJSONMatchesWireDocument(t *testing.T) {
 	// The -json document must be byte-identical to what the server
 	// builds for the same request: both go through RunDocument.Encode.
 	var b strings.Builder
-	if err := runCustom(context.Background(), "1deg", "regular", 4, "on-demand", "json", &b); err != nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4, Billing: "on-demand"}, "json", &b); err != nil {
 		t.Fatal(err)
 	}
 	spec, plan, err := repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4}.Resolve()
@@ -105,24 +105,64 @@ func TestRunCustomJSONMatchesWireDocument(t *testing.T) {
 	}
 }
 
+// TestRunCustomSpotJSONMatchesWireDocument pins the acceptance
+// criterion end to end on the CLI side: a seeded mixed-fleet -json run
+// is byte-identical to the document the server builds for the same
+// request (internal/server asserts the same bytes against POST /v1/run).
+func TestRunCustomSpotJSONMatchesWireDocument(t *testing.T) {
+	req := repro.RunRequest{
+		Workflow: "1deg", Processors: 16,
+		Spot: &repro.SpotRequest{
+			RatePerHour: 1.5, Seed: 7, Discount: 0.65, OnDemandProcessors: 4,
+			CheckpointSeconds: 300, CheckpointOverheadSeconds: 10,
+		},
+	}
+	var b strings.Builder
+	if err := runCustom(context.Background(), req, "json", &b); err != nil {
+		t.Fatal(err)
+	}
+	spec, plan, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := repro.GenerateCached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.NewRunDocument(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("CLI spot JSON diverges from wire document:\nCLI:\n%s\nwire:\n%s", b.String(), want)
+	}
+	if !strings.Contains(b.String(), `"on_demand_processors": 4`) {
+		t.Errorf("spot plan missing from the document:\n%s", b.String())
+	}
+}
+
 func TestRunCustomErrors(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom(context.Background(), "9deg", "regular", 0, "on-demand", "text", &b); err == nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "9deg", Mode: "regular", Billing: "on-demand"}, "text", &b); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if err := runCustom(context.Background(), "1deg", "sideways", 0, "on-demand", "text", &b); err == nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "sideways", Billing: "on-demand"}, "text", &b); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := runCustom(context.Background(), "1deg", "regular", 0, "prepaid", "text", &b); err == nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Billing: "prepaid"}, "text", &b); err == nil {
 		t.Error("unknown billing accepted")
 	}
 }
 
 func TestRealMainArgs(t *testing.T) {
-	if err := realMain(context.Background(), "fig4", "text", "1deg", "regular", 0, "on-demand"); err == nil {
+	if err := realMain(context.Background(), "fig4", "text", repro.RunRequest{Workflow: "1deg"}); err == nil {
 		t.Error("-exp together with -run accepted")
 	}
-	if err := realMain(context.Background(), "", "text", "", "regular", 0, "on-demand"); err == nil {
+	if err := realMain(context.Background(), "", "text", repro.RunRequest{}); err == nil {
 		t.Error("no action accepted")
 	}
 }

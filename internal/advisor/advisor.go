@@ -139,10 +139,14 @@ func Recommend(opts []Option, costSlack float64) (Option, error) {
 }
 
 // SpotChoice is one measured spot configuration on the cost-reliability
-// frontier: a pool size and checkpoint interval with the run's dollar
-// cost and turnaround under a sampled revocation schedule.
+// frontier: a pool size, fleet split and checkpoint interval with the
+// run's dollar cost and turnaround under a sampled revocation schedule.
 type SpotChoice struct {
-	Processors         int
+	Processors int
+	// OnDemand is the reliable sub-pool of a mixed fleet: processors
+	// bought at the full rate that revocations cannot touch.  0 means
+	// an all-spot fleet.
+	OnDemand           int
 	CheckpointInterval units.Duration // 0 means restart from scratch
 	Cost               units.Money
 	Makespan           units.Duration
@@ -162,9 +166,11 @@ type SpotAdvice struct {
 // RecommendSpot picks the cheapest spot configuration that undercuts
 // the on-demand baseline while keeping its makespan within maxSlowdown
 // times the baseline turnaround (ties go to the faster choice).  When
-// no choice does both, the advice is to stay on demand: a discount that
-// arrives later than tolerated, or that wasted work has eaten, is no
-// discount.
+// the choices carry mixed-fleet splits, the recommendation is therefore
+// also a fleet split: how many processors to buy reliably versus on the
+// spot market.  When no choice qualifies, the advice is to stay on
+// demand: a discount that arrives later than tolerated, or that wasted
+// work has eaten, is no discount.
 func RecommendSpot(baseline Option, choices []SpotChoice, maxSlowdown float64) (SpotAdvice, error) {
 	if baseline.Time <= 0 {
 		return SpotAdvice{}, fmt.Errorf("advisor: non-positive baseline turnaround %v", baseline.Time)

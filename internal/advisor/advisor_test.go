@@ -199,6 +199,28 @@ func TestRecommendSpot(t *testing.T) {
 	}
 }
 
+// TestRecommendSpotFleetSplit checks that mixed-fleet choices carry
+// their split through the recommendation: the advice names how many
+// processors to buy reliably, not just a pool size.
+func TestRecommendSpotFleetSplit(t *testing.T) {
+	baseline := Option{Processors: 16, Cost: 1.00, Time: 3600}
+	choices := []SpotChoice{
+		{Processors: 16, OnDemand: 0, CheckpointInterval: 300, Cost: 0.60, Makespan: 6000},  // cheapest, too slow
+		{Processors: 16, OnDemand: 4, CheckpointInterval: 300, Cost: 0.65, Makespan: 4800},  // best within bound
+		{Processors: 16, OnDemand: 12, CheckpointInterval: 300, Cost: 0.90, Makespan: 3900}, // safe but pricier
+	}
+	advice, err := RecommendSpot(baseline, choices, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !advice.UseSpot {
+		t.Fatal("mixed fleet not recommended despite a qualifying split")
+	}
+	if advice.Choice.OnDemand != 4 {
+		t.Errorf("recommended split = %d reliable, want 4", advice.Choice.OnDemand)
+	}
+}
+
 func TestRankProviders(t *testing.T) {
 	cheapCompute := cost.Amazon2008()
 	cheapCompute.CPUPerHour = 0.01

@@ -293,6 +293,97 @@ func TestClusterValidation(t *testing.T) {
 	}
 }
 
+// Regression for the capacity-aware utilization fix: a revoke/restore
+// window mid-run must shrink the utilization denominator to the capacity
+// that was actually present, not the instantaneous final pool size.
+func TestClusterUtilizationIntegratesCapacity(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Acquire(0) || !c.Acquire(0) {
+		t.Fatal("acquires failed")
+	}
+	// 4 procs present on [0,10), 2 on [10,30), 4 again on [30,40):
+	// capacity = 40 + 40 + 40 = 120 proc-s.
+	if err := c.Revoke(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(30, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CapacityProcSeconds(40); got != 120 {
+		t.Errorf("CapacityProcSeconds = %v, want 120", got)
+	}
+	// 2 busy the whole [0,40): 80 proc-s.  Utilization = 80/120, not the
+	// 80/160 the static 4-proc denominator would misreport.
+	if got, want := c.Utilization(40), 80.0/120.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestFleetSubPools(t *testing.T) {
+	if _, err := NewFleet(4, 5); err == nil {
+		t.Error("reliable sub-pool larger than the fleet accepted")
+	}
+	if _, err := NewFleet(4, -1); err == nil {
+		t.Error("negative reliable sub-pool accepted")
+	}
+	c, err := NewFleet(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reliable() != 2 || c.SpotTotal() != 2 {
+		t.Fatalf("reliable/spot = %d/%d, want 2/2", c.Reliable(), c.SpotTotal())
+	}
+	if !c.AcquireReliable(0) || !c.AcquireReliable(0) {
+		t.Fatal("reliable acquires failed")
+	}
+	if c.AcquireReliable(0) {
+		t.Error("third reliable acquire succeeded on a 2-reliable fleet")
+	}
+	if !c.AcquireSpot(0) {
+		t.Fatal("spot acquire failed")
+	}
+	if c.FreeReliable() != 0 || c.SpotFree() != 1 {
+		t.Errorf("free reliable/spot = %d/%d, want 0/1", c.FreeReliable(), c.SpotFree())
+	}
+	// Revocations may never touch the reliable floor: only the one idle
+	// spot slot can go.
+	if err := c.Revoke(10, 2); err == nil {
+		t.Error("revoking into the reliable floor accepted")
+	}
+	if err := c.Revoke(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 3 || c.SpotTotal() != 1 || c.SpotFree() != 0 {
+		t.Errorf("total/spot/spot-free = %d/%d/%d, want 3/1/0", c.Total(), c.SpotTotal(), c.SpotFree())
+	}
+	if err := c.ReleaseSpot(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseSpot(20); err == nil {
+		t.Error("spot release with no spot processor busy accepted")
+	}
+	if err := c.ReleaseReliable(20); err != nil {
+		t.Fatal(err)
+	}
+	// Sub-pool busy integrals: reliable 2 busy on [0,20), spot 1 busy on
+	// [0,20); total 3*20 = 60 of which 20 on spot.
+	if got := c.BusyProcSeconds(20); got != 60 {
+		t.Errorf("BusyProcSeconds = %v, want 60", got)
+	}
+	if got := c.SpotBusyProcSeconds(20); got != 20 {
+		t.Errorf("SpotBusyProcSeconds = %v, want 20", got)
+	}
+}
+
 // Property: utilization is always within [0, 1].
 func TestPropClusterUtilizationBounds(t *testing.T) {
 	f := func(events []bool, procs uint8) bool {

@@ -81,6 +81,73 @@ type Plan struct {
 	// Recovery decides how preempted tasks resume (from scratch by
 	// default, or checkpoint/restart).
 	Recovery exec.Recovery
+	// Spot declaratively describes a seeded spot scenario; the zero
+	// value reproduces reliable capacity.  Mutually exclusive with
+	// explicit Preemptions.
+	Spot SpotPlan
+}
+
+// SpotPlan is a declarative spot scenario: instead of handing the plan
+// a concrete revocation schedule, the caller names the market (reclaim
+// rate, warning, downtime, seed, discount) and the fleet split, and the
+// runner materializes per-instance Preemption events once the pool size
+// is known.  Being a flat value struct, it travels on the wire and
+// feeds the canonical cache key directly.
+type SpotPlan struct {
+	// RatePerHour is each spot instance's Poisson reclaim intensity;
+	// 0 disables revocations.
+	RatePerHour float64
+	// Warning is the reclaim notice lead (heterogeneous per event:
+	// sampled in [Warning/2, Warning]).
+	Warning units.Duration
+	// Downtime is how long reclaimed capacity stays gone.
+	Downtime units.Duration
+	// Seed drives the deterministic revocation sampling.
+	Seed int64
+	// Discount is the fraction taken off the on-demand CPU rate for
+	// spot capacity, in [0, 1).
+	Discount float64
+	// OnDemand is the reliable sub-pool size of a mixed fleet: these
+	// processors bill at the full rate and can never be reclaimed.
+	OnDemand int
+}
+
+// Enabled reports whether the plan describes any spot behaviour.
+func (s SpotPlan) Enabled() bool { return s != (SpotPlan{}) }
+
+// Validate rejects inconsistent spot plans.
+func (s SpotPlan) Validate() error {
+	switch {
+	case s.RatePerHour < 0:
+		return fmt.Errorf("core: negative spot reclaim rate %v/hour", s.RatePerHour)
+	case s.Warning < 0:
+		return fmt.Errorf("core: negative spot warning %v", s.Warning)
+	case s.Downtime < 0:
+		return fmt.Errorf("core: negative spot downtime %v", s.Downtime)
+	case s.RatePerHour > 0 && s.Downtime == 0:
+		return fmt.Errorf("core: spot reclaims need a positive downtime")
+	case s.Discount < 0 || s.Discount >= 1:
+		return fmt.Errorf("core: spot discount %v outside [0,1)", s.Discount)
+	case s.OnDemand < 0:
+		return fmt.Errorf("core: negative on-demand sub-pool %d", s.OnDemand)
+	}
+	return nil
+}
+
+// market is the spot plan as a cost-model value.
+func (s SpotPlan) market() cost.Spot {
+	return cost.Spot{Discount: s.Discount, RevocationsPerHour: s.RatePerHour}
+}
+
+// spotHorizon bounds the revocation-sampling window for a workflow:
+// twice the serial compute plus twice the full transfer time, plus an
+// hour of slack.  Runs stretched beyond it by rework simply see no
+// reclaims in the deep tail; what matters is that the bound is a
+// deterministic function of the workflow and plan, so equal requests
+// sample equal schedules and stay cacheable.
+func spotHorizon(wf *dag.Workflow, bw units.Bandwidth) units.Duration {
+	transfer := units.Duration(float64(wf.TotalFileBytes()) / bw.BytesPerSecond())
+	return 2*(wf.TotalRuntime()+transfer) + units.Duration(units.SecondsPerHour)
 }
 
 // DefaultPlan returns the paper's baseline setup: regular data
@@ -130,6 +197,14 @@ func (p Plan) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown data-management mode %d", p.Mode)
 	}
+	if p.Spot.Enabled() {
+		if err := p.Spot.Validate(); err != nil {
+			return err
+		}
+		if len(p.Preemptions) > 0 {
+			return fmt.Errorf("core: plan sets both a declarative Spot scenario and explicit Preemptions; use one")
+		}
+	}
 	return p.normalized().Pricing.Validate()
 }
 
@@ -152,27 +227,53 @@ func RunContext(ctx context.Context, wf *dag.Workflow, plan Plan) (Result, error
 		return Result{}, err
 	}
 	p := plan.normalized()
+	preemptions := p.Preemptions
+	if p.Spot.Enabled() && p.Spot.RatePerHour > 0 {
+		// Materialize the declarative scenario into per-instance reclaim
+		// events now that the pool size is known.  Only the revocable
+		// spot sub-pool is sampled.
+		procs := p.Processors
+		if procs == 0 {
+			procs = wf.MaxParallelism()
+		}
+		spotProcs := procs - p.Spot.OnDemand
+		if spotProcs < 1 {
+			return Result{}, fmt.Errorf("core: spot plan leaves no revocable capacity in a %d-processor fleet with %d on demand", procs, p.Spot.OnDemand)
+		}
+		sched, err := exec.SpotScheduleInstances(
+			spotHorizon(wf, p.Bandwidth), spotProcs,
+			p.Spot.RatePerHour, p.Spot.Warning, p.Spot.Downtime, p.Spot.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		preemptions = sched
+	}
 	m, err := exec.RunContext(ctx, wf, exec.Config{
-		Mode:        p.Mode,
-		Processors:  p.Processors,
-		Bandwidth:   p.Bandwidth,
-		RecordCurve: p.RecordCurve,
-		VMStartup:   p.VMStartup,
-		Outages:     p.Outages,
-		Policy:      p.Policy,
-		FailureProb: p.FailureProb,
-		FailureSeed: p.FailureSeed,
-		Preemptions: p.Preemptions,
-		Recovery:    p.Recovery,
+		Mode:               p.Mode,
+		Processors:         p.Processors,
+		Bandwidth:          p.Bandwidth,
+		RecordCurve:        p.RecordCurve,
+		VMStartup:          p.VMStartup,
+		Outages:            p.Outages,
+		Policy:             p.Policy,
+		FailureProb:        p.FailureProb,
+		FailureSeed:        p.FailureSeed,
+		Preemptions:        preemptions,
+		Recovery:           p.Recovery,
+		OnDemandProcessors: p.Spot.OnDemand,
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	var b cost.Breakdown
-	switch p.Billing {
-	case Provisioned:
+	switch {
+	case p.Spot.Enabled() && p.Billing == Provisioned:
+		b = p.Spot.market().ProvisionedMixed(p.Pricing, m)
+	case p.Spot.Enabled():
+		b = p.Spot.market().OnDemandMixed(p.Pricing, m)
+	case p.Billing == Provisioned:
 		b = p.Pricing.Provisioned(m)
-	case OnDemand:
+	default:
 		b = p.Pricing.OnDemand(m)
 	}
 	return Result{Plan: p, Metrics: m, Cost: b}, nil

@@ -3,6 +3,7 @@ package cost
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/units"
 )
 
@@ -43,4 +44,34 @@ func (s Spot) Apply(p Pricing) Pricing {
 // given length should expect under this model.
 func (s Spot) ExpectedRevocations(d units.Duration) float64 {
 	return s.RevocationsPerHour * d.Hours()
+}
+
+// OnDemandMixed prices a mixed-fleet run under on-demand CPU charging:
+// the CPU-seconds consumed on the reliable sub-pool bill at the full
+// rate, the spot sub-pool's at the discounted spot rate.  Storage and
+// transfer are market-independent.
+func (s Spot) OnDemandMixed(p Pricing, m exec.Metrics) Breakdown {
+	b := p.OnDemand(m)
+	reliableCPU := m.CPUSeconds - m.SpotCPUSeconds
+	if reliableCPU < 0 {
+		reliableCPU = 0
+	}
+	b.CPU = p.CPUCost(reliableCPU) + s.Apply(p).CPUCost(m.SpotCPUSeconds)
+	return b
+}
+
+// ProvisionedMixed prices a mixed-fleet run under provisioned CPU
+// charging: the reliable sub-pool is held (and billed at the full rate,
+// honoring the billing granularity) for the whole execution window,
+// while the spot sub-pool bills its integrated available capacity at
+// the spot rate -- revoked capacity stops billing until it is restored,
+// exactly as a replacement spot instance would.
+func (s Spot) ProvisionedMixed(p Pricing, m exec.Metrics) Breakdown {
+	b := p.Provisioned(m)
+	spotCapacity := m.CapacityProcSeconds - float64(m.OnDemandProcessors)*m.ExecTime.Seconds()
+	if spotCapacity < 0 {
+		spotCapacity = 0
+	}
+	b.CPU = p.ProvisionedCPUCost(m.OnDemandProcessors, m.ExecTime) + s.Apply(p).CPUCost(spotCapacity)
+	return b
 }

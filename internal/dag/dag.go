@@ -398,6 +398,25 @@ func (w *Workflow) CriticalPath() units.Duration {
 	return best
 }
 
+// UpwardRanks returns each task's runtime-weighted bottom level: its own
+// runtime plus the longest runtime path through its descendants.  Tasks
+// with the largest rank head the critical path; a mixed-fleet scheduler
+// uses the ranks to place critical-path work on reliable capacity.
+func (w *Workflow) UpwardRanks() []units.Duration {
+	rank := make([]units.Duration, len(w.tasks))
+	for i := len(w.order) - 1; i >= 0; i-- {
+		t := w.tasks[w.order[i]]
+		var below units.Duration
+		for _, c := range t.children {
+			if rank[c] > below {
+				below = rank[c]
+			}
+		}
+		rank[t.ID] = t.Runtime + below
+	}
+	return rank
+}
+
 // ScaleFileSizes multiplies every file size by factor, the operation the
 // paper uses to sweep the communication-to-computation ratio ("we multiply
 // each file size by CCRd/CCRr").  It may only be called before Finalize

@@ -86,6 +86,13 @@ type Config struct {
 	// must be sorted by reclaim time; empty reproduces the paper's
 	// reliable capacity.
 	Preemptions []Preemption
+	// OnDemandProcessors carves a reliable on-demand sub-pool out of the
+	// processor pool: a mixed fleet.  These processors can never be
+	// revoked, the scheduler places critical-path tasks (largest upward
+	// rank) on them first, and reclaim victims are confined to the
+	// remaining spot sub-pool.  Zero means the whole pool is revocable,
+	// reproducing the single-market scenarios.
+	OnDemandProcessors int
 	// Recovery decides how a preempted task resumes: the zero value
 	// re-runs it from scratch, Checkpoint restarts it from its last
 	// durable checkpoint.
@@ -215,7 +222,21 @@ type Metrics struct {
 	// CPUSeconds is the total compute time consumed, including failed
 	// attempts: the on-demand CPU bill.
 	CPUSeconds float64
-	// Utilization is CPUSeconds over Processors x ExecTime.
+	// SpotCPUSeconds is the share of CPUSeconds consumed on the
+	// revocable spot sub-pool, billed at the spot rate in a mixed fleet.
+	// With no reliable sub-pool the whole pool is revocable, so this
+	// equals CPUSeconds.
+	SpotCPUSeconds float64
+	// OnDemandProcessors is the reliable sub-pool size of a mixed fleet;
+	// 0 means the whole pool is revocable.
+	OnDemandProcessors int
+	// CapacityProcSeconds is the integral of available processors over
+	// the ExecTime window: the capacity-seconds actually present, which
+	// revocations shrink and restores grow back.
+	CapacityProcSeconds float64
+	// Utilization is CPUSeconds over CapacityProcSeconds: consumption
+	// against the capacity that was actually available, not the static
+	// provisioned pool.  Without revocations the two denominators agree.
 	Utilization float64
 
 	TasksRun int
@@ -288,7 +309,16 @@ func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, err
 	if procs == 0 {
 		procs = wf.MaxParallelism()
 	}
-	if err := validatePreemptions(cfg.Preemptions, procs); err != nil {
+	if cfg.OnDemandProcessors < 0 {
+		return Metrics{}, fmt.Errorf("exec: negative on-demand sub-pool %d", cfg.OnDemandProcessors)
+	}
+	if cfg.OnDemandProcessors > procs {
+		return Metrics{}, fmt.Errorf("exec: on-demand sub-pool %d exceeds the %d-processor fleet", cfg.OnDemandProcessors, procs)
+	}
+	if len(cfg.Preemptions) > 0 && cfg.OnDemandProcessors == procs {
+		return Metrics{}, fmt.Errorf("exec: preemptions scheduled but the %d-processor fleet has no spot capacity", procs)
+	}
+	if err := validatePreemptions(cfg.Preemptions, procs, cfg.OnDemandProcessors); err != nil {
 		return Metrics{}, err
 	}
 	bw := cfg.Bandwidth
@@ -299,7 +329,7 @@ func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, err
 	if err != nil {
 		return Metrics{}, err
 	}
-	cluster, err := cloudsim.NewCluster(procs)
+	cluster, err := cloudsim.NewFleet(procs, cfg.OnDemandProcessors)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -358,14 +388,23 @@ type runner struct {
 	// Preemption bookkeeping, all indexed by task ID: the attempt
 	// counter disarms stale completion events, banked is the useful work
 	// preserved across kills, runStart/runRem describe the attempt in
-	// flight.
+	// flight, onReliable records which sub-pool the attempt occupies.
 	attempt     []uint32
 	banked      []units.Duration
 	runStart    []units.Duration
 	runRem      []units.Duration
+	onReliable  []bool
 	preempted   int
 	wasted      float64
 	checkpoints int
+
+	// rank holds the upward (bottom-level) CCR ranks of a mixed fleet:
+	// critical-path tasks claim reliable slots first.  Nil on uniform
+	// pools, where placement is irrelevant.
+	rank []units.Duration
+	// capacityAtExecEnd snapshots the cluster's capacity integral when
+	// the execution window closes: the utilization denominator.
+	capacityAtExecEnd float64
 
 	err error
 }
@@ -401,6 +440,10 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 	r.banked = make([]units.Duration, n)
 	r.runStart = make([]units.Duration, n)
 	r.runRem = make([]units.Duration, n)
+	r.onReliable = make([]bool, n)
+	if r.cluster.Reliable() > 0 && r.cluster.Reliable() < r.cluster.Provisioned() {
+		r.rank = r.wf.UpwardRanks()
+	}
 	if r.cfg.RecordSchedule {
 		r.spanOf = make(map[dag.TaskID]int)
 	}
@@ -437,25 +480,28 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 	}
 
 	m := Metrics{
-		Workflow:           r.wf.Name,
-		Mode:               r.cfg.Mode,
-		Processors:         r.cluster.Provisioned(),
-		ExecTime:           r.execEnd,
-		Makespan:           r.makespan,
-		BytesIn:            r.link.BytesIn(),
-		BytesOut:           r.link.BytesOut(),
-		StorageByteSeconds: r.storage.ByteSeconds(r.makespan),
-		PeakStorage:        r.storage.Peak(),
-		CPUSeconds:         r.cluster.BusyProcSeconds(r.makespan),
-		TasksRun:           r.doneTasks,
-		Retries:            r.retries,
-		Preempted:          r.preempted,
-		WastedCPUSeconds:   r.wasted,
-		Checkpoints:        r.checkpoints,
-		Curve:              r.storage.Curve(),
-		Schedule:           r.schedule,
+		Workflow:            r.wf.Name,
+		Mode:                r.cfg.Mode,
+		Processors:          r.cluster.Provisioned(),
+		OnDemandProcessors:  r.cluster.Reliable(),
+		ExecTime:            r.execEnd,
+		Makespan:            r.makespan,
+		BytesIn:             r.link.BytesIn(),
+		BytesOut:            r.link.BytesOut(),
+		StorageByteSeconds:  r.storage.ByteSeconds(r.makespan),
+		PeakStorage:         r.storage.Peak(),
+		CPUSeconds:          r.cluster.BusyProcSeconds(r.makespan),
+		SpotCPUSeconds:      r.cluster.SpotBusyProcSeconds(r.makespan),
+		CapacityProcSeconds: r.capacityAtExecEnd,
+		TasksRun:            r.doneTasks,
+		Retries:             r.retries,
+		Preempted:           r.preempted,
+		WastedCPUSeconds:    r.wasted,
+		Checkpoints:         r.checkpoints,
+		Curve:               r.storage.Curve(),
+		Schedule:            r.schedule,
 	}
-	m.Utilization = utilization(m.CPUSeconds, m.Processors, m.ExecTime)
+	m.Utilization = utilization(m.CPUSeconds, m.CapacityProcSeconds)
 	// Without failures, preemptions or checkpoint overhead, the consumed
 	// CPU must equal the workflow's total runtime exactly; a mismatch
 	// means a double-booked processor.
@@ -465,22 +511,31 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 			return Metrics{}, fmt.Errorf("exec: CPU accounting mismatch: cluster %v vs workflow %v", m.CPUSeconds, want)
 		}
 		// Report the exact value so costs reproduce the paper's figures
-		// without float drift.
+		// without float drift.  With no revocations the capacity integral
+		// is exactly the static pool over the window, so report that
+		// product too rather than its float accumulation -- and rescale
+		// the spot share by the same snap, or mixed billing would see
+		// exact-minus-accumulated epsilon noise as reliable CPU.
+		if m.CPUSeconds > 0 {
+			m.SpotCPUSeconds *= want / m.CPUSeconds
+		}
 		m.CPUSeconds = want
-		m.Utilization = utilization(want, m.Processors, m.ExecTime)
+		m.CapacityProcSeconds = float64(m.Processors) * m.ExecTime.Seconds()
+		m.Utilization = utilization(want, m.CapacityProcSeconds)
 	}
 	return m, nil
 }
 
-// utilization guards the CPUSeconds / (processors x window) division: a
-// zero-processor or zero-width run reports 0 utilization, never NaN or
-// Inf -- either would poison the JSON encoding of every result document
-// downstream (encoding/json rejects non-finite floats).
-func utilization(cpuSeconds float64, procs int, window units.Duration) float64 {
-	if procs <= 0 || window <= 0 {
+// utilization guards the CPUSeconds / capacity-proc-seconds division: a
+// run that accumulated no available capacity (zero width or an all-idle
+// window) reports 0 utilization, never NaN or Inf -- either would poison
+// the JSON encoding of every result document downstream (encoding/json
+// rejects non-finite floats).
+func utilization(cpuSeconds, capacityProcSeconds float64) float64 {
+	if capacityProcSeconds <= 0 {
 		return 0
 	}
-	return cpuSeconds / (float64(procs) * window.Seconds())
+	return cpuSeconds / capacityProcSeconds
 }
 
 // ---- Regular / Cleanup ----
@@ -519,6 +574,7 @@ func (r *runner) startResident() {
 
 func (r *runner) finishResident(now units.Duration) {
 	r.execEnd = now
+	r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(now)
 	// Phase 3: stage out the declared outputs in name order, then delete
 	// everything still resident ("after that ... all the files are
 	// deleted from the storage resource").
@@ -647,11 +703,22 @@ func (r *runner) finishRemoteTask(id dag.TaskID, now units.Duration) {
 		}
 		if r.stagedOut == r.wf.NumTasks() {
 			r.execEnd = at
+			r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(at)
 		}
 	})
 }
 
 // ---- shared scheduling ----
+
+// releaseSlot frees the processor a task's attempt occupies, in the
+// sub-pool it was placed on.
+func (r *runner) releaseSlot(id dag.TaskID, now units.Duration) error {
+	if r.onReliable[id] {
+		r.onReliable[id] = false
+		return r.cluster.ReleaseReliable(now)
+	}
+	return r.cluster.ReleaseSpot(now)
+}
 
 // readyBefore orders the ready queue per the scheduling policy, with
 // task ID as the deterministic tie-breaker.
@@ -678,9 +745,12 @@ func (r *runner) enqueueReady(id dag.TaskID) {
 	r.ready[i] = id
 }
 
-// dispatch greedily assigns ready tasks (lowest ID first) to free
+// dispatch greedily assigns ready tasks (policy order) to free
 // processors.  During a storage outage no task may start (it could not
-// read its inputs); dispatching resumes when the window closes.
+// read its inputs); dispatching resumes when the window closes.  On a
+// mixed fleet the batch that starts now is placed by upward rank: the
+// most critical tasks claim the reliable on-demand slots, the rest run
+// on revocable spot capacity.
 func (r *runner) dispatch(now units.Duration) {
 	if a := r.avail(now); a > now {
 		if !r.dispatchDeferred {
@@ -692,38 +762,68 @@ func (r *runner) dispatch(now units.Duration) {
 		}
 		return
 	}
-	for len(r.ready) > 0 && r.cluster.Acquire(now) {
-		id := r.ready[0]
-		r.ready = r.ready[1:]
-		r.phase[id] = phaseRunning
-		t := r.wf.Task(id)
-		// The attempt resumes from the banked progress and pays the
-		// recovery policy's checkpoint overhead along the way.
-		rem := t.Runtime - r.banked[id]
-		wall := r.cfg.Recovery.attemptWall(rem)
-		r.runStart[id] = now
-		r.runRem[id] = rem
-		if r.cfg.RecordSchedule {
-			r.spanOf[id] = len(r.schedule)
-			r.schedule = append(r.schedule, TaskSpan{
-				Task: id, Name: t.Name, Type: t.Type,
-				Start: now, Finish: now + wall,
-			})
-		}
-		att := r.attempt[id]
-		r.eng.Schedule(now+wall, func(at units.Duration) {
-			// A preemption between dispatch and completion bumps the
-			// attempt counter; this event then belongs to a dead attempt.
-			if r.attempt[id] != att {
-				return
+	n := r.cluster.Free()
+	if n > len(r.ready) {
+		n = len(r.ready)
+	}
+	if n <= 0 {
+		return
+	}
+	batch := append([]dag.TaskID(nil), r.ready[:n]...)
+	r.ready = r.ready[n:]
+	if r.rank != nil && r.cluster.FreeReliable() > 0 {
+		// Placement order, not start order: everything in the batch
+		// starts at the same instant, so reordering only decides which
+		// tasks land on the reliable sub-pool.
+		sort.SliceStable(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if r.rank[a] != r.rank[b] {
+				return r.rank[a] > r.rank[b]
 			}
-			r.completeTask(id, at)
+			return a < b
 		})
+	}
+	for _, id := range batch {
+		r.startTask(id, now)
 	}
 }
 
+// startTask begins one attempt on a free processor, reliable sub-pool
+// first (on a uniform pool every slot is spot capacity).
+func (r *runner) startTask(id dag.TaskID, now units.Duration) {
+	r.onReliable[id] = r.cluster.AcquireReliable(now)
+	if !r.onReliable[id] && !r.cluster.AcquireSpot(now) {
+		r.fail(fmt.Errorf("exec: dispatch overran the free processors at %v", now))
+		return
+	}
+	r.phase[id] = phaseRunning
+	t := r.wf.Task(id)
+	// The attempt resumes from the banked progress and pays the
+	// recovery policy's checkpoint overhead along the way.
+	rem := t.Runtime - r.banked[id]
+	wall := r.cfg.Recovery.attemptWall(rem)
+	r.runStart[id] = now
+	r.runRem[id] = rem
+	if r.cfg.RecordSchedule {
+		r.spanOf[id] = len(r.schedule)
+		r.schedule = append(r.schedule, TaskSpan{
+			Task: id, Name: t.Name, Type: t.Type,
+			Start: now, Finish: now + wall,
+		})
+	}
+	att := r.attempt[id]
+	r.eng.Schedule(now+wall, func(at units.Duration) {
+		// A preemption between dispatch and completion bumps the
+		// attempt counter; this event then belongs to a dead attempt.
+		if r.attempt[id] != att {
+			return
+		}
+		r.completeTask(id, at)
+	})
+}
+
 func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
-	if err := r.cluster.Release(now); err != nil {
+	if err := r.releaseSlot(id, now); err != nil {
 		r.fail(err)
 		return
 	}

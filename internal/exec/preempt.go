@@ -38,8 +38,11 @@ type Preemption struct {
 	Restore    units.Duration
 }
 
-// validatePreemptions checks ordering and well-formedness.
-func validatePreemptions(pre []Preemption, procs int) error {
+// validatePreemptions checks ordering and well-formedness.  onDemand is
+// the reliable sub-pool size: with a reliable floor the workflow can
+// always finish there, so only a floorless pool can be permanently
+// revoked to a standstill.
+func validatePreemptions(pre []Preemption, procs, onDemand int) error {
 	permanent := 0
 	for i, p := range pre {
 		switch {
@@ -59,7 +62,7 @@ func validatePreemptions(pre []Preemption, procs int) error {
 			permanent += p.Processors
 		}
 	}
-	if permanent >= procs && procs > 0 {
+	if permanent >= procs && procs > 0 && onDemand == 0 {
 		return fmt.Errorf("exec: preemptions permanently revoke all %d processors; the workflow could never finish", procs)
 	}
 	return nil
@@ -158,20 +161,21 @@ func (rec Recovery) bankedDuring(elapsed, rem units.Duration) (units.Duration, i
 }
 
 // reclaim executes one capacity-reclaim event: kill as many running
-// tasks as the revocation requires (most recently started first, the
-// youngest work), shrink the pool, and schedule the capacity's return.
+// spot tasks as the revocation requires (most recently started first,
+// the youngest work), shrink the spot sub-pool, and schedule the
+// capacity's return.  The reliable on-demand sub-pool is untouchable.
 func (r *runner) reclaim(p Preemption, now units.Duration) {
 	if r.doneTasks == r.wf.NumTasks() {
 		return // all compute finished; a late reclaim has nothing to take
 	}
 	k := p.Processors
-	if k > r.cluster.Total() {
-		k = r.cluster.Total()
+	if k > r.cluster.SpotTotal() {
+		k = r.cluster.SpotTotal()
 	}
 	if k <= 0 {
-		return // an earlier, still-open reclaim already took the whole pool
+		return // earlier, still-open reclaims already took the whole spot pool
 	}
-	if need := k - r.cluster.Free(); need > 0 {
+	if need := k - r.cluster.SpotFree(); need > 0 {
 		for _, id := range r.pickVictims(need) {
 			r.preemptTask(id, now, p.Warning)
 			if r.err != nil {
@@ -183,6 +187,12 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 		r.fail(err)
 		return
 	}
+	// A victim may be able to restart right away on capacity the reclaim
+	// cannot touch -- an idle reliable slot, or spot slots beyond k.  On
+	// a uniform pool this is a no-op (victims freed exactly the slots
+	// just revoked), but a mixed fleet must not strand ready work while
+	// reliable processors idle.
+	r.dispatch(now)
 	if p.Restore > 0 {
 		r.eng.Schedule(p.Restore, func(at units.Duration) {
 			if r.doneTasks == r.wf.NumTasks() {
@@ -199,11 +209,12 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 
 // pickVictims selects need running tasks to kill: latest start first
 // (the least sunk work), task ID descending as the deterministic
-// tie-break.
+// tie-break.  Only tasks on the spot sub-pool are candidates -- reliable
+// on-demand capacity is exactly the capacity reclaims cannot touch.
 func (r *runner) pickVictims(need int) []dag.TaskID {
 	var running []dag.TaskID
 	for id, ph := range r.phase {
-		if ph == phaseRunning {
+		if ph == phaseRunning && !r.onReliable[id] {
 			running = append(running, dag.TaskID(id))
 		}
 	}
@@ -249,11 +260,79 @@ func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Du
 			r.schedule[i].Finish = now // the Gantt shows the killed attempt
 		}
 	}
-	if err := r.cluster.Release(now); err != nil {
+	if err := r.releaseSlot(id, now); err != nil {
 		r.fail(err)
 		return
 	}
 	r.enqueueReady(id)
+}
+
+// validateSpotArgs checks the shared arguments of the spot-schedule
+// samplers.
+func validateSpotArgs(horizon units.Duration, procs int, ratePerHour float64, warning, down units.Duration) error {
+	switch {
+	case horizon <= 0:
+		return fmt.Errorf("exec: non-positive spot horizon %v", horizon)
+	case procs < 1:
+		return fmt.Errorf("exec: spot schedule needs at least 1 processor, got %d", procs)
+	case ratePerHour < 0:
+		return fmt.Errorf("exec: negative revocation rate %v/hour", ratePerHour)
+	case warning < 0:
+		return fmt.Errorf("exec: negative spot warning %v", warning)
+	case down <= 0:
+		return fmt.Errorf("exec: non-positive spot downtime %v", down)
+	}
+	return nil
+}
+
+// SpotScheduleInstances samples a deterministic per-instance spot
+// revocation schedule over a horizon: each of the procs spot instances
+// is reclaimed independently as its own Poisson process at ratePerHour,
+// every event killing exactly one processor and healing down later.
+// Warning lead times are heterogeneous -- real spot notices jitter with
+// market pressure -- sampled uniformly in [warning/2, warning] per
+// event.  The same seed always yields the same schedule (instances draw
+// from decorrelated sub-seeds), so per-instance spot runs stay
+// reproducible and cacheable; ratePerHour == 0 returns an empty
+// schedule.
+func SpotScheduleInstances(horizon units.Duration, procs int, ratePerHour float64, warning, down units.Duration, seed int64) ([]Preemption, error) {
+	if err := validateSpotArgs(horizon, procs, ratePerHour, warning, down); err != nil {
+		return nil, err
+	}
+	if ratePerHour == 0 {
+		return nil, nil
+	}
+	var out []Preemption
+	for i := 0; i < procs; i++ {
+		// Decorrelate instances with a SplitMix64-style odd-constant
+		// stride; adjacent raw seeds would make rand.Source streams that
+		// are far too similar.
+		rng := rand.New(rand.NewSource(seed + int64(i)*-0x61c8864680b583eb))
+		var t units.Duration
+		for {
+			t += units.Duration(rng.ExpFloat64() / ratePerHour * units.SecondsPerHour)
+			if t >= horizon {
+				break
+			}
+			w := warning - units.Duration(rng.Float64()*0.5*float64(warning))
+			if w > t {
+				w = t
+			}
+			out = append(out, Preemption{Reclaim: t, Processors: 1, Warning: w, Restore: t + down})
+			t += down
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Reclaim != b.Reclaim {
+			return a.Reclaim < b.Reclaim
+		}
+		if a.Warning != b.Warning {
+			return a.Warning < b.Warning
+		}
+		return a.Restore < b.Restore
+	})
+	return out, nil
 }
 
 // SpotSchedule samples a deterministic spot revocation schedule over a
@@ -263,17 +342,8 @@ func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Du
 // always yields the same schedule, so spot runs stay reproducible and
 // cacheable; ratePerHour == 0 returns an empty schedule.
 func SpotSchedule(horizon units.Duration, procs int, ratePerHour float64, warning, down units.Duration, seed int64) ([]Preemption, error) {
-	switch {
-	case horizon <= 0:
-		return nil, fmt.Errorf("exec: non-positive spot horizon %v", horizon)
-	case procs < 1:
-		return nil, fmt.Errorf("exec: spot schedule needs at least 1 processor, got %d", procs)
-	case ratePerHour < 0:
-		return nil, fmt.Errorf("exec: negative revocation rate %v/hour", ratePerHour)
-	case warning < 0:
-		return nil, fmt.Errorf("exec: negative spot warning %v", warning)
-	case down <= 0:
-		return nil, fmt.Errorf("exec: non-positive spot downtime %v", down)
+	if err := validateSpotArgs(horizon, procs, ratePerHour, warning, down); err != nil {
+		return nil, err
 	}
 	if ratePerHour == 0 {
 		return nil, nil

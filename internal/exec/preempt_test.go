@@ -225,7 +225,7 @@ func TestSpotSchedule(t *testing.T) {
 	if !reflect.DeepEqual(a, b) {
 		t.Error("same seed sampled different schedules")
 	}
-	if err := validatePreemptions(a, 9); err != nil {
+	if err := validatePreemptions(a, 9, 0); err != nil {
 		t.Errorf("sampled schedule invalid: %v", err)
 	}
 	for i, p := range a {
@@ -259,16 +259,14 @@ func TestSpotSchedule(t *testing.T) {
 }
 
 // TestUtilizationNeverNaN guards the Utilization division: a zero-width
-// run (all runtimes and sizes zero) must report 0, not NaN/Inf, so the
-// result document stays JSON-encodable.
+// run (all runtimes and sizes zero) accumulates no capacity-seconds and
+// must report 0, not NaN/Inf, so the result document stays
+// JSON-encodable.
 func TestUtilizationNeverNaN(t *testing.T) {
-	if u := utilization(0, 0, 0); u != 0 {
-		t.Errorf("utilization(0,0,0) = %v, want 0", u)
+	if u := utilization(0, 0); u != 0 {
+		t.Errorf("utilization(0,0) = %v, want 0", u)
 	}
-	if u := utilization(5, 0, 10); u != 0 {
-		t.Errorf("utilization(5,0,10) = %v, want 0", u)
-	}
-	if u := utilization(5, 2, 0); u != 0 {
-		t.Errorf("utilization(5,2,0) = %v, want 0", u)
+	if u := utilization(5, 0); u != 0 {
+		t.Errorf("utilization(5,0) = %v, want 0", u)
 	}
 }

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/econ"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// The mixed-fleet frontier extends the spot frontier with the ROADMAP's
+// "part on-demand, part spot" scenario: a fixed-size pool is split
+// between reliable on-demand capacity (full price, never reclaimed,
+// hosting the critical-path tasks) and revocable spot capacity (deeply
+// discounted, reclaimed per instance with heterogeneous warnings).  The
+// experiment sweeps the split and asks where the fleet should sit
+// between "all spot and cheap but bleeding rework" and "all on demand
+// and safe but full price" -- the same heterogeneous, partially-reliable
+// capacity trade grid federations like the International Lattice Data
+// Grid faced long before clouds priced it explicitly.
+
+// DefaultFleetSeed is the published revocation-schedule seed of the
+// mixed-fleet frontier.
+const DefaultFleetSeed int64 = 2010
+
+// FleetRow is one fleet split's measured outcome.
+type FleetRow struct {
+	// OnDemand is the reliable sub-pool size; Processors - OnDemand run
+	// on the spot market.
+	OnDemand    int
+	Makespan    units.Duration
+	Utilization float64
+	Preempted   int
+	WastedCPU   float64
+	Cost        units.Money
+	Comparison  econ.SpotComparison
+}
+
+// MixedFleetResult is the full fleet-split frontier.
+type MixedFleetResult struct {
+	Spec        montage.Spec
+	Seed        int64
+	Market      cost.Spot
+	Processors  int
+	Warning     units.Duration
+	Downtime    units.Duration
+	Checkpoint  units.Duration
+	Overhead    units.Duration
+	MaxSlowdown float64
+	Baseline    SpotBaselineRow
+	Rows        []FleetRow
+	Advice      advisor.SpotAdvice
+}
+
+// MixedFleet maps the frontier under the published seed.
+func MixedFleet(ctx context.Context) (MixedFleetResult, error) {
+	return MixedFleetSeeded(ctx, DefaultFleetSeed)
+}
+
+// MixedFleetSeeded is MixedFleet with an explicit revocation seed: the
+// per-instance reclaim schedule is the scenario's only stochastic
+// input, materialized once per split through the declarative
+// core.SpotPlan, so any server or CLI caller can replay or explore it.
+func MixedFleetSeeded(ctx context.Context, seed int64) (MixedFleetResult, error) {
+	spec := montage.OneDegree()
+	w, err := generate(spec)
+	if err != nil {
+		return MixedFleetResult{}, err
+	}
+	res := MixedFleetResult{
+		Spec:        spec,
+		Seed:        seed,
+		Market:      DefaultSpotMarket(),
+		Processors:  16,
+		Warning:     120, // EC2's two-minute reclaim notice
+		Downtime:    600,
+		Checkpoint:  300,
+		Overhead:    10,
+		MaxSlowdown: 1.5,
+	}
+
+	base := core.DefaultPlan()
+	base.Processors = res.Processors
+	baseline, err := core.RunContext(ctx, w, base)
+	if err != nil {
+		return MixedFleetResult{}, err
+	}
+	res.Baseline = SpotBaselineRow{
+		Processors: res.Processors,
+		Makespan:   baseline.Metrics.Makespan,
+		Cost:       baseline.Cost.Total(),
+	}
+
+	splits := []int{0, 4, 8, 12}
+	res.Rows, err = Sweep[int, FleetRow]{
+		Name:   "mixed-fleet",
+		Points: splits,
+		Run: func(ctx context.Context, onDemand int) (FleetRow, error) {
+			plan := core.DefaultPlan()
+			plan.Processors = res.Processors
+			plan.Spot = core.SpotPlan{
+				RatePerHour: res.Market.RevocationsPerHour,
+				Warning:     res.Warning,
+				Downtime:    res.Downtime,
+				Seed:        seed,
+				Discount:    res.Market.Discount,
+				OnDemand:    onDemand,
+			}
+			plan.Recovery.Checkpoint = true
+			plan.Recovery.Interval = res.Checkpoint
+			plan.Recovery.Overhead = res.Overhead
+			r, err := core.RunContext(ctx, w, plan)
+			if err != nil {
+				return FleetRow{}, err
+			}
+			cmp, err := econ.CompareSpot(baseline.Cost, r.Cost,
+				baseline.Metrics.Makespan, r.Metrics.Makespan, res.MaxSlowdown)
+			if err != nil {
+				return FleetRow{}, err
+			}
+			return FleetRow{
+				OnDemand:    onDemand,
+				Makespan:    r.Metrics.Makespan,
+				Utilization: r.Metrics.Utilization,
+				Preempted:   r.Metrics.Preempted,
+				WastedCPU:   r.Metrics.WastedCPUSeconds,
+				Cost:        r.Cost.Total(),
+				Comparison:  cmp,
+			}, nil
+		},
+	}.Do(ctx)
+	if err != nil {
+		return MixedFleetResult{}, err
+	}
+
+	choices := make([]advisor.SpotChoice, len(res.Rows))
+	for i, r := range res.Rows {
+		choices[i] = advisor.SpotChoice{
+			Processors:         res.Processors,
+			OnDemand:           r.OnDemand,
+			CheckpointInterval: res.Checkpoint,
+			Cost:               r.Cost,
+			Makespan:           r.Makespan,
+		}
+	}
+	res.Advice, err = advisor.RecommendSpot(advisor.Option{
+		Processors: res.Processors,
+		Cost:       res.Baseline.Cost,
+		Time:       res.Baseline.Makespan,
+	}, choices, res.MaxSlowdown)
+	if err != nil {
+		return MixedFleetResult{}, err
+	}
+	return res, nil
+}
+
+// Tables renders the frontier: the all-on-demand baseline, the split
+// grid, and the recommended fleet split.
+func (r MixedFleetResult) Tables() []*report.Table {
+	grid := report.New(
+		fmt.Sprintf("Mixed fleet on %s: %d procs, %.0f%% spot discount, %.1f reclaims/hour/instance, seed %d",
+			r.Spec.Name, r.Processors, r.Market.Discount*100, r.Market.RevocationsPerHour, r.Seed),
+		"on-demand", "spot", "makespan", "slowdown", "util", "preempted", "wasted-cpu-s", "total$", "verdict")
+	grid.MustAdd(fmt.Sprint(r.Processors), "0", r.Baseline.Makespan.String(), "1.00", "-", "0", "0",
+		report.F(r.Baseline.Cost.Dollars(), 4), "baseline")
+	for _, row := range r.Rows {
+		grid.MustAdd(fmt.Sprint(row.OnDemand), fmt.Sprint(r.Processors-row.OnDemand),
+			row.Makespan.String(), report.F(row.Comparison.Slowdown, 2),
+			report.F(row.Utilization, 3), fmt.Sprint(row.Preempted),
+			report.F(row.WastedCPU, 0), report.F(row.Cost.Dollars(), 4),
+			row.Comparison.Verdict.String())
+	}
+
+	advice := report.New("Fleet advice (vs all-on-demand, max slowdown "+report.F(r.MaxSlowdown, 2)+"x)",
+		"use-spot", "on-demand", "spot", "checkpoint", "fleet$", "baseline$", "saving")
+	if r.Advice.UseSpot {
+		advice.MustAdd("yes", fmt.Sprint(r.Advice.Choice.OnDemand),
+			fmt.Sprint(r.Advice.Choice.Processors-r.Advice.Choice.OnDemand),
+			r.Advice.Choice.CheckpointInterval.String(),
+			report.F(r.Advice.Choice.Cost.Dollars(), 4),
+			report.F(r.Advice.Baseline.Cost.Dollars(), 4),
+			fmt.Sprintf("%.0f%%", r.Advice.Savings*100))
+	} else {
+		advice.MustAdd("no", fmt.Sprint(r.Processors), "0", "-",
+			"-", report.F(r.Advice.Baseline.Cost.Dollars(), 4), "-")
+	}
+	return []*report.Table{grid, advice}
+}

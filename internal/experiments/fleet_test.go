@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestMixedFleetScenario(t *testing.T) {
+	r, err := MixedFleet(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("frontier has %d rows, want 4 splits", len(r.Rows))
+	}
+	if r.Seed != DefaultFleetSeed || r.Processors != 16 {
+		t.Errorf("header = seed %d, %d procs", r.Seed, r.Processors)
+	}
+	if r.Baseline.Cost <= 0 || r.Baseline.Makespan <= 0 {
+		t.Fatalf("degenerate baseline %+v", r.Baseline)
+	}
+	byOnDemand := map[int]FleetRow{}
+	for _, row := range r.Rows {
+		if row.Cost <= 0 || row.Makespan <= 0 {
+			t.Errorf("degenerate row %+v", row)
+		}
+		if row.Utilization <= 0 || row.Utilization > 1 {
+			t.Errorf("split %d utilization %v outside (0,1]", row.OnDemand, row.Utilization)
+		}
+		byOnDemand[row.OnDemand] = row
+	}
+	allSpot, ok := byOnDemand[0]
+	mostly, ok2 := byOnDemand[12]
+	if !ok || !ok2 {
+		t.Fatal("expected splits missing")
+	}
+	if allSpot.Preempted == 0 {
+		t.Error("all-spot fleet was never preempted; the scenario is vacuous")
+	}
+	// A larger reliable floor shields more work from the reclaims.
+	if mostly.Preempted >= allSpot.Preempted {
+		t.Errorf("12-reliable fleet preempted %d >= all-spot %d", mostly.Preempted, allSpot.Preempted)
+	}
+	// The advice names a concrete fleet split drawn from the grid.
+	if r.Advice.UseSpot {
+		if _, ok := byOnDemand[r.Advice.Choice.OnDemand]; !ok {
+			t.Errorf("advice recommends split %d, not on the grid", r.Advice.Choice.OnDemand)
+		}
+		if r.Advice.Choice.Cost >= r.Baseline.Cost {
+			t.Errorf("recommended fleet costs %v, not below the %v baseline", r.Advice.Choice.Cost, r.Baseline.Cost)
+		}
+	}
+}
+
+// TestMixedFleetSeededDeterministic pins replayability: the registered
+// experiment must produce identical tables for the same seed and
+// distinct ones for different seeds.
+func TestMixedFleetSeededDeterministic(t *testing.T) {
+	ctx := context.Background()
+	a, err := MixedFleetSeeded(ctx, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MixedFleetSeeded(ctx, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different frontiers")
+	}
+	c, err := MixedFleetSeeded(ctx, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rows, c.Rows) {
+		t.Error("different seeds produced identical frontiers")
+	}
+}

@@ -75,6 +75,18 @@ func Registry() []Experiment {
 				}
 				return r.Tables(), nil
 			}},
+		{"mixed-fleet", "on-demand/spot fleet-split frontier with per-instance reclaims (?seed= reseeds the revocations)",
+			func(ctx context.Context, p Params) ([]*report.Table, error) {
+				seed := DefaultFleetSeed
+				if p.Seed != nil {
+					seed = *p.Seed
+				}
+				r, err := MixedFleetSeeded(ctx, seed)
+				if err != nil {
+					return nil, err
+				}
+				return r.Tables(), nil
+			}},
 	}
 }
 

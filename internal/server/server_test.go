@@ -116,6 +116,90 @@ func TestRunCacheByteIdenticalAcrossGrid(t *testing.T) {
 	}
 }
 
+// TestRunSpotMixedFleet is the spot wire acceptance test: a seeded
+// mixed-fleet request is served byte-identical to the library's own
+// document (the same document montagesim -json prints), is cached under
+// a key distinct from its on-demand twin, and reports utilization
+// against integrated available capacity rather than the static pool.
+func TestRunSpotMixedFleet(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"workflow":"1deg","processors":16,"spot":{"rate_per_hour":1.5,"seed":7,"discount":0.65,"on_demand_processors":4,"checkpoint_seconds":300,"checkpoint_overhead_seconds":10}}`
+
+	cold, coldBody := postRun(t, ts, req)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", cold.StatusCode, coldBody)
+	}
+	// Byte identity with the offline path: resolve, run, encode exactly
+	// as montagesim -json does.
+	var wireReq repro.RunRequest
+	if err := json.Unmarshal([]byte(req), &wireReq); err != nil {
+		t.Fatal(err)
+	}
+	spec, plan, err := wireReq.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := repro.GenerateCached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.NewRunDocument(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBody, want) {
+		t.Errorf("server document differs from the offline encoding:\nserver: %s\nlocal:  %s", coldBody, want)
+	}
+
+	// The on-demand twin (same workflow, same pool, no spot knobs) must
+	// miss the cache: distinct plans, distinct keys.
+	twin, twinBody := postRun(t, ts, `{"workflow":"1deg","processors":16}`)
+	if twin.StatusCode != http.StatusOK {
+		t.Fatalf("twin status %d", twin.StatusCode)
+	}
+	if got := twin.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("on-demand twin X-Cache = %q, want miss (cache collision with the spot plan)", got)
+	}
+	if bytes.Equal(coldBody, twinBody) {
+		t.Error("spot and on-demand documents identical; the knobs did nothing")
+	}
+	// The spot repeat hits its own entry, byte-identically.
+	warm, warmBody := postRun(t, ts, req)
+	if got := warm.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("spot repeat X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Error("cached spot body differs from cold")
+	}
+
+	var doc repro.RunDocument
+	if err := json.Unmarshal(coldBody, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Plan.Spot == nil || doc.Plan.Spot.RatePerHour != 1.5 || doc.Plan.Spot.OnDemandProcessors != 4 ||
+		doc.Plan.Spot.WarningSeconds != 120 || doc.Plan.Spot.CheckpointSeconds != 300 {
+		t.Errorf("spot plan did not round-trip: %+v", doc.Plan.Spot)
+	}
+	m := doc.Metrics
+	if m.Preempted == 0 {
+		t.Error("seeded spot scenario preempted nothing; the test is vacuous")
+	}
+	// The reclaims provably changed the utilization denominator: the
+	// capacity integral sits below the static pool, and the reported
+	// utilization is CPU over that integral.
+	staticCap := float64(m.Processors) * m.ExecTime.Seconds()
+	if m.CapacityProcSeconds <= 0 || m.CapacityProcSeconds >= staticCap {
+		t.Errorf("CapacityProcSeconds = %v, want in (0, %v)", m.CapacityProcSeconds, staticCap)
+	}
+	if got, want := m.Utilization, m.CPUSeconds/m.CapacityProcSeconds; got != want {
+		t.Errorf("Utilization = %v, want CPU/capacity = %v", got, want)
+	}
+}
+
 func TestRunCoalescesConcurrentIdenticalRequests(t *testing.T) {
 	const herd = 8
 	s, ts := newTestServer(t, Config{MaxConcurrent: 2})

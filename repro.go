@@ -119,6 +119,10 @@ type (
 	Recovery = exec.Recovery
 	// Spot is a spot-market model: discounted CPU, revocable capacity.
 	Spot = cost.Spot
+	// SpotPlan declaratively describes a seeded spot scenario (market
+	// knobs plus a mixed-fleet split); the runner materializes it into
+	// per-instance reclaim events once the pool size is known.
+	SpotPlan = core.SpotPlan
 )
 
 // SpotSchedule samples a deterministic spot revocation schedule: the
@@ -126,6 +130,14 @@ type (
 // cacheable.
 func SpotSchedule(horizon Duration, procs int, ratePerHour float64, warning, down Duration, seed int64) ([]Preemption, error) {
 	return exec.SpotSchedule(horizon, procs, ratePerHour, warning, down, seed)
+}
+
+// SpotScheduleInstances samples a deterministic per-instance spot
+// revocation schedule: every event reclaims exactly one processor, with
+// heterogeneous warning leads, each instance an independent Poisson
+// stream.  The same seed always reproduces the same reclaims.
+func SpotScheduleInstances(horizon Duration, procs int, ratePerHour float64, warning, down Duration, seed int64) ([]Preemption, error) {
+	return exec.SpotScheduleInstances(horizon, procs, ratePerHour, warning, down, seed)
 }
 
 // Data-management modes (§3 of the paper).

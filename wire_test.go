@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -71,6 +72,72 @@ func TestRunRequestResolveErrors(t *testing.T) {
 	}
 }
 
+// TestRunRequestResolveDegreesBounds pins the degrees validation: a
+// negative size must be called out as such, not fall through to the
+// misleading "selects no workflow" error.
+func TestRunRequestResolveDegreesBounds(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		degrees float64
+		wantErr string
+	}{
+		{"negative", -2, "negative degrees"},
+		{"zero", 0, "selects no workflow"},
+		{"over cap", 21, "exceeds the 20-degree request limit"},
+		{"at cap", 20, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := RunRequest{Degrees: tc.degrees}.Resolve()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("degrees %v rejected: %v", tc.degrees, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("degrees %v error = %v, want %q", tc.degrees, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunRequestResolveSpot(t *testing.T) {
+	_, plan, err := RunRequest{
+		Workflow: "1deg", Processors: 16,
+		Spot: &SpotRequest{
+			RatePerHour: 1.5, Seed: 7, Discount: 0.65, OnDemandProcessors: 4,
+			CheckpointSeconds: 300, CheckpointOverheadSeconds: 10,
+		},
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SpotPlan{RatePerHour: 1.5, Warning: 120, Downtime: 600, Seed: 7, Discount: 0.65, OnDemand: 4}
+	if plan.Spot != want {
+		t.Errorf("spot plan = %+v, want %+v (defaults filled)", plan.Spot, want)
+	}
+	if !plan.Recovery.Checkpoint || plan.Recovery.Interval != 300 || plan.Recovery.Overhead != 10 {
+		t.Errorf("recovery = %+v, want checkpoint 300/10", plan.Recovery)
+	}
+
+	for name, req := range map[string]RunRequest{
+		"negative rate":             {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: -1}},
+		"negative warning":          {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: 1, WarningSeconds: -1}},
+		"negative downtime":         {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: 1, DowntimeSeconds: -1}},
+		"bad discount":              {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: 1, Discount: 1}},
+		"negative on-demand":        {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: 1, OnDemandProcessors: -1}},
+		"negative checkpoint":       {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: 1, CheckpointSeconds: -1}},
+		"overhead without interval": {Workflow: "1deg", Spot: &SpotRequest{RatePerHour: 1, CheckpointOverheadSeconds: 5}},
+		"empty spot":                {Workflow: "1deg", Spot: &SpotRequest{}},
+		"on-demand over fleet":      {Workflow: "1deg", Processors: 4, Spot: &SpotRequest{RatePerHour: 1, OnDemandProcessors: 5}},
+		"no spot capacity":          {Workflow: "1deg", Processors: 4, Spot: &SpotRequest{RatePerHour: 1, OnDemandProcessors: 4}},
+	} {
+		if _, _, err := req.Resolve(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestCanonicalRunKeyStability(t *testing.T) {
 	specA, planA, err := RunRequest{Workflow: "1deg"}.Resolve()
 	if err != nil {
@@ -98,6 +165,114 @@ func TestCanonicalRunKeyStability(t *testing.T) {
 	}
 	if CanonicalRunKey(specA, planA) == CanonicalRunKey(specD, planD) {
 		t.Error("distinct specs share a key")
+	}
+}
+
+// TestCanonicalRunKeySpotDistinct is the cache-collision guard of the
+// spot wire knobs: two plans differing only in a spot field must never
+// share a key, or the server would serve one scenario's cached document
+// for the other.
+func TestCanonicalRunKeySpotDistinct(t *testing.T) {
+	base := RunRequest{Workflow: "1deg", Processors: 16}
+	spec, onDemandPlan, err := base.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot := base
+	spot.Spot = &SpotRequest{RatePerHour: 1.5, Seed: 7, Discount: 0.65, OnDemandProcessors: 4}
+	_, spotPlan, err := spot.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalRunKey(spec, onDemandPlan) == CanonicalRunKey(spec, spotPlan) {
+		t.Fatal("spot plan shares a cache key with its on-demand twin")
+	}
+	// Every individual knob must perturb the key.
+	variants := map[string]func(*SpotRequest){
+		"rate":     func(s *SpotRequest) { s.RatePerHour = 3 },
+		"warning":  func(s *SpotRequest) { s.WarningSeconds = 60 },
+		"downtime": func(s *SpotRequest) { s.DowntimeSeconds = 300 },
+		"seed":     func(s *SpotRequest) { s.Seed = 8 },
+		"discount": func(s *SpotRequest) { s.Discount = 0.5 },
+		"ondemand": func(s *SpotRequest) { s.OnDemandProcessors = 8 },
+	}
+	for name, mutate := range variants {
+		req := spot
+		mutated := *spot.Spot
+		mutate(&mutated)
+		req.Spot = &mutated
+		_, plan, err := req.Resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if CanonicalRunKey(spec, plan) == CanonicalRunKey(spec, spotPlan) {
+			t.Errorf("plans differing only in spot %s share a key", name)
+		}
+	}
+	// Recovery knobs travel outside SpotPlan but inside the key too.
+	req := spot
+	withCkpt := *spot.Spot
+	withCkpt.CheckpointSeconds = 300
+	req.Spot = &withCkpt
+	_, plan, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalRunKey(spec, plan) == CanonicalRunKey(spec, spotPlan) {
+		t.Error("plans differing only in checkpoint interval share a key")
+	}
+}
+
+// TestCanonicalRunKeyCoversPlan forces CanonicalRunKey maintenance: the
+// explicit encoding must be extended whenever Plan or Spec grows a
+// field, or new knobs would silently collide in the cache.
+func TestCanonicalRunKeyCoversPlan(t *testing.T) {
+	if n := reflect.TypeOf(Plan{}).NumField(); n != 14 {
+		t.Errorf("core.Plan has %d fields; update CanonicalRunKey and this count (want 14)", n)
+	}
+	if n := reflect.TypeOf(Spec{}).NumField(); n != 9 {
+		t.Errorf("montage.Spec has %d fields; update CanonicalRunKey and this count (want 9)", n)
+	}
+}
+
+// TestRunDocumentSpotRoundTrip checks the plan echo: every spot knob a
+// caller sets comes back in the result document.
+func TestRunDocumentSpotRoundTrip(t *testing.T) {
+	spec, plan, err := RunRequest{
+		Workflow: "1deg", Processors: 16,
+		Spot: &SpotRequest{
+			RatePerHour: 1.5, Seed: 7, Discount: 0.65, OnDemandProcessors: 4,
+			CheckpointSeconds: 300, CheckpointOverheadSeconds: 10,
+		},
+	}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := GenerateCached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := NewRunDocument(res)
+	if doc.Plan.Spot == nil {
+		t.Fatal("spot plan missing from the result document")
+	}
+	want := SpotPlanDocument{
+		RatePerHour: 1.5, WarningSeconds: 120, DowntimeSeconds: 600, Seed: 7,
+		Discount: 0.65, OnDemandProcessors: 4,
+		CheckpointSeconds: 300, CheckpointOverheadSeconds: 10,
+	}
+	if *doc.Plan.Spot != want {
+		t.Errorf("spot document = %+v, want %+v", *doc.Plan.Spot, want)
+	}
+	if doc.Metrics.OnDemandProcessors != 4 {
+		t.Errorf("metrics OnDemandProcessors = %d, want 4", doc.Metrics.OnDemandProcessors)
+	}
+	if doc.Metrics.CapacityProcSeconds <= 0 {
+		t.Errorf("CapacityProcSeconds = %v, want > 0", doc.Metrics.CapacityProcSeconds)
 	}
 }
 
