@@ -11,18 +11,31 @@
 //	montagesim -run 1deg -json
 //	montagesim -run 1deg -procs 16 -spot-rate 1.5 -spot-discount 0.65 \
 //	    -spot-ondemand 4 -spot-ckpt 300 -spot-ckpt-overhead 10 -json
+//	montagesim -scenario scenario.json
+//	montagesim -scenario sweep.json        # {scenario, axes} document
+//	montagesim -scenario - < scenario.json
 //
 // The -exp flag selects a canned experiment (one per paper table or
 // figure) from the shared registry in internal/experiments -- the same
 // list the reprosrv daemon serves under /v1/experiments, so the CLI and
-// the API can never drift apart.  The -run flag instead simulates a
-// single custom configuration, including seeded spot scenarios and
-// mixed fleets via the -spot-* flags; with -json it emits the exact
-// result document POST /v1/run returns, byte for byte.
+// the API can never drift apart.  The -run flag simulates a single
+// custom configuration, including seeded spot scenarios and mixed
+// fleets via the -spot-* flags; with -json it emits the exact result
+// document POST /v1/run returns, byte for byte.
+//
+// The -scenario flag is the v2 path: it reads one declarative
+// ScenarioSpec document (the same JSON POST /v2/run accepts) and runs
+// it; with -json it emits the exact v2 result document the server
+// returns.  If the document is a sweep request -- a {"scenario": ...,
+// "axes": [{"axis": <any scenario path>, "values": [...]}]} pair -- the
+// grid streams to stdout as NDJSON envelopes byte-identical to a
+// POST /v2/sweep response.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,12 +45,15 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sweep"
+	"repro/wire"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (see -exp list), or 'all'")
 	format := flag.String("format", "text", "output format: text or csv")
 	run := flag.String("run", "", "custom run: workflow preset 1deg, 2deg or 4deg")
+	scenario := flag.String("scenario", "", "path to a v2 scenario JSON document, or a {scenario, axes} sweep document ('-' reads stdin)")
 	mode := flag.String("mode", "regular", "custom run: remote-io, regular or cleanup")
 	procs := flag.Int("procs", 0, "custom run: provisioned processors (0 = full parallelism)")
 	billing := flag.String("billing", "on-demand", "custom run: provisioned or on-demand")
@@ -60,7 +76,7 @@ func main() {
 	fmtArg := *format
 	if *jsonOut {
 		if *exp != "" {
-			fmt.Fprintln(os.Stderr, "montagesim: -json applies to -run only (experiments take -format text|csv|markdown)")
+			fmt.Fprintln(os.Stderr, "montagesim: -json applies to -run and -scenario only (experiments take -format text|csv|markdown)")
 			os.Exit(1)
 		}
 		fmtArg = "json"
@@ -84,23 +100,31 @@ func main() {
 	if spot != (repro.SpotRequest{}) {
 		req.Spot = &spot
 	}
-	if err := realMain(ctx, *exp, fmtArg, req); err != nil {
+	if err := realMain(ctx, *exp, fmtArg, *scenario, req); err != nil {
 		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(ctx context.Context, exp, format string, req repro.RunRequest) error {
+func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.RunRequest) error {
+	selected := 0
+	for _, set := range []bool{exp != "", req.Workflow != "", scenarioPath != ""} {
+		if set {
+			selected++
+		}
+	}
 	switch {
-	case exp != "" && req.Workflow != "":
-		return fmt.Errorf("use either -exp or -run, not both")
+	case selected > 1:
+		return fmt.Errorf("use exactly one of -exp, -run or -scenario")
 	case exp != "":
 		return runExperiment(ctx, exp, format, os.Stdout)
 	case req.Workflow != "":
 		return runCustom(ctx, req, format, os.Stdout)
+	case scenarioPath != "":
+		return runScenario(ctx, scenarioPath, format, os.Stdout)
 	default:
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -exp or -run")
+		return fmt.Errorf("nothing to do: pass -exp, -run or -scenario")
 	}
 }
 
@@ -171,11 +195,7 @@ func runCustom(ctx context.Context, req repro.RunRequest, format string, w io.Wr
 	if err != nil {
 		return err
 	}
-	wf, err := repro.GenerateCached(spec)
-	if err != nil {
-		return err
-	}
-	res, err := repro.RunContext(ctx, wf, plan)
+	res, err := simulate(ctx, spec, plan)
 	if err != nil {
 		return err
 	}
@@ -187,6 +207,105 @@ func runCustom(ctx context.Context, req repro.RunRequest, format string, w io.Wr
 		_, err = w.Write(body)
 		return err
 	}
+	return writeRunTable(spec, res, w)
+}
+
+// runScenario runs one v2 document: a plain scenario (single run) or a
+// {scenario, axes} sweep request (NDJSON grid stream, byte-identical to
+// a POST /v2/sweep response).
+func runScenario(ctx context.Context, path, format string, w io.Writer) error {
+	raw, err := readInput(path)
+	if err != nil {
+		return err
+	}
+	// Sniff the document kind before the strict decode: a sweep request
+	// nests the scenario under "scenario" and adds "axes".
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return fmt.Errorf("scenario document: %w", err)
+	}
+	if _, ok := probe["axes"]; ok {
+		var req wire.SweepRequest
+		if err := wire.DecodeStrict(bytes.NewReader(raw), &req); err != nil {
+			return err
+		}
+		return streamGrid(ctx, req, w)
+	}
+	var sc wire.Scenario
+	if err := wire.DecodeStrict(bytes.NewReader(raw), &sc); err != nil {
+		return err
+	}
+	spec, plan, err := sc.Resolve()
+	if err != nil {
+		return err
+	}
+	res, err := simulate(ctx, spec, plan)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		body, err := wire.NewRunDocumentV2(spec, res).Encode()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(body)
+		return err
+	}
+	return writeRunTable(spec, res, w)
+}
+
+// streamGrid expands and runs a sweep request's grid on the concurrent
+// sweep engine, emitting the same NDJSON envelope stream the server's
+// /v2/sweep endpoint produces: rows in grid order, then a done (or
+// error) sentinel.
+func streamGrid(ctx context.Context, req wire.SweepRequest, w io.Writer) error {
+	grid, err := req.ResolveGrid()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	rows := 0
+	err = sweep.Stream(ctx, 0, grid,
+		func(ctx context.Context, i int, p wire.ResolvedPoint) (wire.RunDocumentV2, error) {
+			res, err := simulate(ctx, p.Spec, p.Plan)
+			if err != nil {
+				return wire.RunDocumentV2{}, err
+			}
+			return wire.NewRunDocumentV2(p.Spec, res), nil
+		},
+		func(i int, doc wire.RunDocumentV2) error {
+			row := wire.SweepRow{Index: i, RunDocumentV2: doc}
+			rows++
+			return enc.Encode(wire.SweepEnvelope{Row: &row})
+		})
+	if err != nil {
+		if rows > 0 {
+			enc.Encode(wire.SweepEnvelope{Error: err.Error()}) //nolint:errcheck
+		}
+		return err
+	}
+	return enc.Encode(wire.SweepEnvelope{Done: &wire.SweepDone{Rows: rows}})
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// simulate generates (through the process-wide workflow cache) and runs
+// one resolved scenario.
+func simulate(ctx context.Context, spec repro.Spec, plan repro.Plan) (repro.Result, error) {
+	wf, err := repro.GenerateCached(spec)
+	if err != nil {
+		return repro.Result{}, err
+	}
+	return repro.RunContext(ctx, wf, plan)
+}
+
+func writeRunTable(spec repro.Spec, res repro.Result, w io.Writer) error {
+	plan := res.Plan
 	tbl := report.New(fmt.Sprintf("%s, %s mode, %s billing", spec.Name, plan.Mode, plan.Billing),
 		"quantity", "value")
 	mtr := res.Metrics

@@ -159,10 +159,13 @@ func TestRunCustomErrors(t *testing.T) {
 }
 
 func TestRealMainArgs(t *testing.T) {
-	if err := realMain(context.Background(), "fig4", "text", repro.RunRequest{Workflow: "1deg"}); err == nil {
+	if err := realMain(context.Background(), "fig4", "text", "", repro.RunRequest{Workflow: "1deg"}); err == nil {
 		t.Error("-exp together with -run accepted")
 	}
-	if err := realMain(context.Background(), "", "text", repro.RunRequest{}); err == nil {
+	if err := realMain(context.Background(), "fig4", "text", "file.json", repro.RunRequest{}); err == nil {
+		t.Error("-exp together with -scenario accepted")
+	}
+	if err := realMain(context.Background(), "", "text", "", repro.RunRequest{}); err == nil {
 		t.Error("no action accepted")
 	}
 }

@@ -407,3 +407,24 @@ func TestPropClusterUtilizationBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestClusterReliableCapacitySplit(t *testing.T) {
+	// 4-proc fleet, 1 reliable: revoke 2 spot slots over [10,30].  Total
+	// capacity 4*10 + 2*20 + 4*10 = 120; the reliable share is 1*40.
+	c, err := NewFleet(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Revoke(10, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(30, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CapacityProcSeconds(40); got != 120 {
+		t.Errorf("CapacityProcSeconds = %v, want 120", got)
+	}
+	if got := c.ReliableCapacityProcSeconds(40); got != 40 {
+		t.Errorf("ReliableCapacityProcSeconds = %v, want 40", got)
+	}
+}

@@ -29,12 +29,13 @@ type Cluster struct {
 	busy        int
 	busyRel     int // busy slots in the reliable sub-pool
 
-	lastTime            units.Duration
-	busyProcSeconds     float64
-	spotBusyProcSeconds float64
-	capacityProcSeconds float64
-	peakBusy            int
-	acquires            int
+	lastTime               units.Duration
+	busyProcSeconds        float64
+	spotBusyProcSeconds    float64
+	capacityProcSeconds    float64
+	reliableCapProcSeconds float64
+	peakBusy               int
+	acquires               int
 }
 
 // NewCluster returns a uniform cluster with n processors (n >= 1): no
@@ -64,6 +65,7 @@ func (c *Cluster) advance(now units.Duration) {
 	c.busyProcSeconds += float64(c.busy) * dt
 	c.spotBusyProcSeconds += float64(c.busy-c.busyRel) * dt
 	c.capacityProcSeconds += float64(c.total) * dt
+	c.reliableCapProcSeconds += float64(c.reliable) * dt
 	c.lastTime = now
 }
 
@@ -220,6 +222,15 @@ func (c *Cluster) SpotBusyProcSeconds(now units.Duration) float64 {
 func (c *Cluster) CapacityProcSeconds(now units.Duration) float64 {
 	c.advance(now)
 	return c.capacityProcSeconds
+}
+
+// ReliableCapacityProcSeconds returns the reliable sub-pool's share of
+// the capacity integral up to now.  Revocations never touch the
+// reliable floor, so this is exactly reliable-processors x elapsed
+// time; the spot share is the remainder of CapacityProcSeconds.
+func (c *Cluster) ReliableCapacityProcSeconds(now units.Duration) float64 {
+	c.advance(now)
+	return c.reliableCapProcSeconds
 }
 
 // Utilization returns BusyProcSeconds divided by CapacityProcSeconds

@@ -131,26 +131,35 @@ func (p Pricing) ProvisionedCPUCost(procs int, window units.Duration) units.Mone
 	return units.Money(float64(procs)*hours) * p.CPUPerHour
 }
 
+// dataCharges prices the run's data movement and occupancy, shared by
+// both CPU-charging plans.  Checkpoint images are data like any other:
+// their storage occupancy is already inside the byte-seconds integral,
+// each write moves Recovery.Bytes into the cloud (charged at the
+// inbound rate) and each restore reads the image back out (charged at
+// the outbound rate) -- a checkpoint/restart policy is no longer free
+// except for its wall-clock overhead.
+func (p Pricing) dataCharges(m exec.Metrics) Breakdown {
+	return Breakdown{
+		Storage:     p.StorageCost(m.StorageByteSeconds),
+		TransferIn:  p.TransferInCost(m.BytesIn + m.CheckpointBytesWritten),
+		TransferOut: p.TransferOutCost(m.BytesOut + m.CheckpointBytesRestored),
+	}
+}
+
 // Provisioned prices a run under the paper's Question-1 plan: the
 // processor pool is charged for the whole provisioning window (input
 // staging plus execution), whether busy or idle.
 func (p Pricing) Provisioned(m exec.Metrics) Breakdown {
-	return Breakdown{
-		CPU:         p.ProvisionedCPUCost(m.Processors, m.ExecTime),
-		Storage:     p.StorageCost(m.StorageByteSeconds),
-		TransferIn:  p.TransferInCost(m.BytesIn),
-		TransferOut: p.TransferOutCost(m.BytesOut),
-	}
+	b := p.dataCharges(m)
+	b.CPU = p.ProvisionedCPUCost(m.Processors, m.ExecTime)
+	return b
 }
 
 // OnDemand prices a run under the paper's Question-2 plan: CPU is charged
 // only for the seconds tasks actually computed ("the processor time is
 // used only as much as needed").
 func (p Pricing) OnDemand(m exec.Metrics) Breakdown {
-	return Breakdown{
-		CPU:         p.CPUCost(m.CPUSeconds),
-		Storage:     p.StorageCost(m.StorageByteSeconds),
-		TransferIn:  p.TransferInCost(m.BytesIn),
-		TransferOut: p.TransferOutCost(m.BytesOut),
-	}
+	b := p.dataCharges(m)
+	b.CPU = p.CPUCost(m.CPUSeconds)
+	return b
 }

@@ -185,3 +185,37 @@ func TestPropHourlyAtLeastPerSecond(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCheckpointDataCharges: checkpoint writes bill as inbound transfer,
+// restores as outbound, under both CPU-charging plans -- and the
+// mixed-fleet spot wrappers inherit the same data charges.
+func TestCheckpointDataCharges(t *testing.T) {
+	p := Amazon2008()
+	m := exec.Metrics{
+		Processors: 2, ExecTime: 3600, CPUSeconds: 7200,
+		BytesIn: units.Bytes(10 * units.GB), BytesOut: units.Bytes(5 * units.GB),
+		CheckpointBytesWritten:  units.Bytes(2 * units.GB),
+		CheckpointBytesRestored: units.Bytes(1 * units.GB),
+	}
+	free := m
+	free.CheckpointBytesWritten, free.CheckpointBytesRestored = 0, 0
+	for name, price := range map[string]func(exec.Metrics) Breakdown{
+		"on-demand":   p.OnDemand,
+		"provisioned": p.Provisioned,
+	} {
+		with, without := price(m), price(free)
+		if diff := with.TransferIn - without.TransferIn; !almost(diff, 0.20) {
+			t.Errorf("%s: checkpoint writes added %v, want $0.20", name, diff)
+		}
+		if diff := with.TransferOut - without.TransferOut; !almost(diff, 0.16) {
+			t.Errorf("%s: checkpoint restores added %v, want $0.16", name, diff)
+		}
+		if with.CPU != without.CPU || with.Storage != without.Storage {
+			t.Errorf("%s: checkpoint traffic leaked into CPU or storage", name)
+		}
+	}
+	s := Spot{Discount: 0.6}
+	if diff := s.OnDemandMixed(p, m).TransferIn - s.OnDemandMixed(p, free).TransferIn; !almost(diff, 0.20) {
+		t.Errorf("mixed: checkpoint writes added %v, want $0.20", diff)
+	}
+}

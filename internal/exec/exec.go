@@ -234,6 +234,14 @@ type Metrics struct {
 	// the ExecTime window: the capacity-seconds actually present, which
 	// revocations shrink and restores grow back.
 	CapacityProcSeconds float64
+	// ReliableCapacityProcSeconds is the reliable on-demand sub-pool's
+	// share of CapacityProcSeconds; revocations never touch it, so it is
+	// exactly the sub-pool size times the ExecTime window.
+	ReliableCapacityProcSeconds float64
+	// SpotCapacityProcSeconds is the revocable spot sub-pool's share of
+	// CapacityProcSeconds: what fleet-sizing dashboards divide the spot
+	// consumption by.  On a uniform pool it equals CapacityProcSeconds.
+	SpotCapacityProcSeconds float64
 	// Utilization is CPUSeconds over CapacityProcSeconds: consumption
 	// against the capacity that was actually available, not the static
 	// provisioned pool.  Without revocations the two denominators agree.
@@ -250,6 +258,13 @@ type Metrics struct {
 	// Checkpoints counts durable checkpoints written (periodic plus
 	// warning-window emergency ones).
 	Checkpoints int
+	// CheckpointBytesWritten is the data volume moved into cloud storage
+	// by checkpoint writes (Checkpoints x Recovery.Bytes); zero when the
+	// recovery policy declares no checkpoint size.
+	CheckpointBytesWritten units.Bytes
+	// CheckpointBytesRestored is the data volume read back out of cloud
+	// storage by attempts resuming from a checkpoint.
+	CheckpointBytesRestored units.Bytes
 	// Curve is the storage usage curve (only when Config.RecordCurve).
 	Curve []cloudsim.UsagePoint
 	// Schedule is the per-task Gantt trace in completion order (only
@@ -389,14 +404,16 @@ type runner struct {
 	// counter disarms stale completion events, banked is the useful work
 	// preserved across kills, runStart/runRem describe the attempt in
 	// flight, onReliable records which sub-pool the attempt occupies.
-	attempt     []uint32
-	banked      []units.Duration
-	runStart    []units.Duration
-	runRem      []units.Duration
-	onReliable  []bool
-	preempted   int
-	wasted      float64
-	checkpoints int
+	attempt      []uint32
+	banked       []units.Duration
+	runStart     []units.Duration
+	runRem       []units.Duration
+	onReliable   []bool
+	preempted    int
+	wasted       float64
+	checkpoints  int
+	ckptWritten  units.Bytes
+	ckptRestored units.Bytes
 
 	// rank holds the upward (bottom-level) CCR ranks of a mixed fleet:
 	// critical-path tasks claim reliable slots first.  Nil on uniform
@@ -404,7 +421,9 @@ type runner struct {
 	rank []units.Duration
 	// capacityAtExecEnd snapshots the cluster's capacity integral when
 	// the execution window closes: the utilization denominator.
-	capacityAtExecEnd float64
+	// reliableCapAtExecEnd is the reliable sub-pool's share of it.
+	capacityAtExecEnd    float64
+	reliableCapAtExecEnd float64
 
 	err error
 }
@@ -480,26 +499,30 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 	}
 
 	m := Metrics{
-		Workflow:            r.wf.Name,
-		Mode:                r.cfg.Mode,
-		Processors:          r.cluster.Provisioned(),
-		OnDemandProcessors:  r.cluster.Reliable(),
-		ExecTime:            r.execEnd,
-		Makespan:            r.makespan,
-		BytesIn:             r.link.BytesIn(),
-		BytesOut:            r.link.BytesOut(),
-		StorageByteSeconds:  r.storage.ByteSeconds(r.makespan),
-		PeakStorage:         r.storage.Peak(),
-		CPUSeconds:          r.cluster.BusyProcSeconds(r.makespan),
-		SpotCPUSeconds:      r.cluster.SpotBusyProcSeconds(r.makespan),
-		CapacityProcSeconds: r.capacityAtExecEnd,
-		TasksRun:            r.doneTasks,
-		Retries:             r.retries,
-		Preempted:           r.preempted,
-		WastedCPUSeconds:    r.wasted,
-		Checkpoints:         r.checkpoints,
-		Curve:               r.storage.Curve(),
-		Schedule:            r.schedule,
+		Workflow:                    r.wf.Name,
+		Mode:                        r.cfg.Mode,
+		Processors:                  r.cluster.Provisioned(),
+		OnDemandProcessors:          r.cluster.Reliable(),
+		ExecTime:                    r.execEnd,
+		Makespan:                    r.makespan,
+		BytesIn:                     r.link.BytesIn(),
+		BytesOut:                    r.link.BytesOut(),
+		StorageByteSeconds:          r.storage.ByteSeconds(r.makespan),
+		PeakStorage:                 r.storage.Peak(),
+		CPUSeconds:                  r.cluster.BusyProcSeconds(r.makespan),
+		SpotCPUSeconds:              r.cluster.SpotBusyProcSeconds(r.makespan),
+		CapacityProcSeconds:         r.capacityAtExecEnd,
+		ReliableCapacityProcSeconds: r.reliableCapAtExecEnd,
+		SpotCapacityProcSeconds:     r.capacityAtExecEnd - r.reliableCapAtExecEnd,
+		TasksRun:                    r.doneTasks,
+		Retries:                     r.retries,
+		Preempted:                   r.preempted,
+		WastedCPUSeconds:            r.wasted,
+		Checkpoints:                 r.checkpoints,
+		CheckpointBytesWritten:      r.ckptWritten,
+		CheckpointBytesRestored:     r.ckptRestored,
+		Curve:                       r.storage.Curve(),
+		Schedule:                    r.schedule,
 	}
 	m.Utilization = utilization(m.CPUSeconds, m.CapacityProcSeconds)
 	// Without failures, preemptions or checkpoint overhead, the consumed
@@ -521,6 +544,8 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 		}
 		m.CPUSeconds = want
 		m.CapacityProcSeconds = float64(m.Processors) * m.ExecTime.Seconds()
+		m.ReliableCapacityProcSeconds = float64(m.OnDemandProcessors) * m.ExecTime.Seconds()
+		m.SpotCapacityProcSeconds = m.CapacityProcSeconds - m.ReliableCapacityProcSeconds
 		m.Utilization = utilization(want, m.CapacityProcSeconds)
 	}
 	return m, nil
@@ -575,6 +600,7 @@ func (r *runner) startResident() {
 func (r *runner) finishResident(now units.Duration) {
 	r.execEnd = now
 	r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(now)
+	r.reliableCapAtExecEnd = r.cluster.ReliableCapacityProcSeconds(now)
 	// Phase 3: stage out the declared outputs in name order, then delete
 	// everything still resident ("after that ... all the files are
 	// deleted from the storage resource").
@@ -704,6 +730,7 @@ func (r *runner) finishRemoteTask(id dag.TaskID, now units.Duration) {
 		if r.stagedOut == r.wf.NumTasks() {
 			r.execEnd = at
 			r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(at)
+			r.reliableCapAtExecEnd = r.cluster.ReliableCapacityProcSeconds(at)
 		}
 	})
 }
@@ -804,6 +831,26 @@ func (r *runner) startTask(id dag.TaskID, now units.Duration) {
 	wall := r.cfg.Recovery.attemptWall(rem)
 	r.runStart[id] = now
 	r.runRem[id] = rem
+	// Checkpoint data volumes: resuming from a checkpoint reads its image
+	// back out of storage, and a task's first durable checkpoint makes
+	// its image resident until the task completes (replacement writes
+	// keep the size constant, so only the first write changes occupancy).
+	if rec := r.cfg.Recovery; rec.Checkpoint && rec.Bytes > 0 {
+		if r.banked[id] > 0 {
+			r.ckptRestored += rec.Bytes
+		}
+		if rec.checkpointsFor(rem) > 0 && !r.storage.Has(ckptKey(id)) {
+			firstAtt := r.attempt[id]
+			r.eng.Schedule(now+rec.Interval+rec.Overhead, func(at units.Duration) {
+				if r.attempt[id] != firstAtt || r.storage.Has(ckptKey(id)) {
+					return
+				}
+				if err := r.storage.Put(at, ckptKey(id), rec.Bytes); err != nil {
+					r.fail(err)
+				}
+			})
+		}
+	}
 	if r.cfg.RecordSchedule {
 		r.spanOf[id] = len(r.schedule)
 		r.schedule = append(r.schedule, TaskSpan{
@@ -836,11 +883,29 @@ func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
 	// checkpoints included: the crash is presumed to have poisoned them.
 	if r.failRNG != nil && r.failRNG.Float64() < r.cfg.FailureProb {
 		r.retries++
+		// The crash poisons the failed attempt's own checkpoints, but
+		// progress banked by earlier preemptions survives (banked[id] is
+		// untouched), so its backing image must stay resident for the
+		// retry to restore from.  Only an image with nothing banked
+		// behind it is poisoned garbage.
+		if r.banked[id] == 0 {
+			if err := r.dropCheckpoint(id, now); err != nil {
+				r.fail(err)
+				return
+			}
+		}
 		r.enqueueReady(id)
 		r.dispatch(now)
 		return
 	}
-	r.checkpoints += r.cfg.Recovery.checkpointsFor(r.runRem[id])
+	n := r.cfg.Recovery.checkpointsFor(r.runRem[id])
+	r.checkpoints += n
+	r.ckptWritten += units.Bytes(n) * r.cfg.Recovery.Bytes
+	// A completed task's checkpoint image is garbage; free the storage.
+	if err := r.dropCheckpoint(id, now); err != nil {
+		r.fail(err)
+		return
+	}
 	r.phase[id] = phaseDone
 	r.doneTasks++
 	t := r.wf.Task(id)

@@ -81,13 +81,19 @@ type Recovery struct {
 	Interval units.Duration
 	// Overhead is the wall-clock cost of writing one checkpoint (>= 0).
 	Overhead units.Duration
+	// Bytes is the size of one checkpoint image.  Each write moves this
+	// much data into cloud storage (the latest image stays resident until
+	// the task completes, and package cost charges every write as inbound
+	// transfer) and each restore reads it back out.  Zero keeps
+	// checkpoints free of data charges.
+	Bytes units.Bytes
 }
 
 // validate rejects inconsistent recovery policies.
 func (rec Recovery) validate() error {
 	if !rec.Checkpoint {
-		if rec.Interval != 0 || rec.Overhead != 0 {
-			return fmt.Errorf("exec: checkpoint interval/overhead set without Checkpoint")
+		if rec.Interval != 0 || rec.Overhead != 0 || rec.Bytes != 0 {
+			return fmt.Errorf("exec: checkpoint interval/overhead/bytes set without Checkpoint")
 		}
 		return nil
 	}
@@ -97,7 +103,22 @@ func (rec Recovery) validate() error {
 	if rec.Overhead < 0 {
 		return fmt.Errorf("exec: negative checkpoint overhead %v", rec.Overhead)
 	}
+	if rec.Bytes < 0 {
+		return fmt.Errorf("exec: negative checkpoint size %v", rec.Bytes)
+	}
 	return nil
+}
+
+// ckptKey names a task's resident checkpoint image in cloud storage.
+func ckptKey(id dag.TaskID) string { return fmt.Sprintf("ckpt/t%d", id) }
+
+// dropCheckpoint deletes a task's resident checkpoint image, if any:
+// completion makes it garbage and an application failure poisons it.
+func (r *runner) dropCheckpoint(id dag.TaskID, now units.Duration) error {
+	if r.cfg.Recovery.Bytes <= 0 || !r.storage.Has(ckptKey(id)) {
+		return nil
+	}
+	return r.storage.Delete(now, ckptKey(id))
 }
 
 // checkpointsFor returns how many checkpoints an attempt with rem
@@ -252,6 +273,18 @@ func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Du
 	}
 	r.banked[id] += saved
 	r.checkpoints += ckpts
+	if rec.Bytes > 0 && ckpts > 0 {
+		r.ckptWritten += units.Bytes(ckpts) * rec.Bytes
+		// The kill may land before the first periodic write event (an
+		// emergency checkpoint inside the warning window); the banked
+		// image must be resident for the restart to read back.
+		if !r.storage.Has(ckptKey(id)) {
+			if err := r.storage.Put(now, ckptKey(id), rec.Bytes); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+	}
 	r.wasted += (elapsed - saved).Seconds()
 	r.preempted++
 	r.attempt[id]++

@@ -270,3 +270,164 @@ func TestUtilizationNeverNaN(t *testing.T) {
 		t.Errorf("utilization(5,0) = %v, want 0", u)
 	}
 }
+
+// TestCheckpointDataVolumes pins the checkpoint data accounting layered
+// on the TestPreemptCheckpointRestart scenario: with a 1000-byte image,
+// every counted checkpoint moves 1000 bytes into storage, the one
+// restart reads 1000 bytes back, and the resident image (first write
+// until task completion) inflates the storage integral -- A's image
+// lives [16,21], B's [27,51], 29 000 byte-seconds in total.  Timing and
+// checkpoint counts must be unchanged from the zero-byte policy.
+func TestCheckpointDataVolumes(t *testing.T) {
+	w := tiny(t)
+	cfg := Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Recovery:    Recovery{Checkpoint: true, Interval: 5, Overhead: 1},
+		Preemptions: []Preemption{{Reclaim: 34, Processors: 1, Restore: 40}},
+	}
+	free, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recovery.Bytes = 1000
+	m, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != free.ExecTime || m.Makespan != free.Makespan || m.Checkpoints != free.Checkpoints {
+		t.Fatalf("checkpoint bytes changed the run shape: %v/%v/%d vs %v/%v/%d",
+			m.ExecTime, m.Makespan, m.Checkpoints, free.ExecTime, free.Makespan, free.Checkpoints)
+	}
+	if m.CheckpointBytesWritten != 4000 {
+		t.Errorf("CheckpointBytesWritten = %v, want 4000", m.CheckpointBytesWritten)
+	}
+	if m.CheckpointBytesRestored != 1000 {
+		t.Errorf("CheckpointBytesRestored = %v, want 1000", m.CheckpointBytesRestored)
+	}
+	if free.CheckpointBytesWritten != 0 || free.CheckpointBytesRestored != 0 {
+		t.Errorf("zero-byte policy reported data volumes: %+v", free)
+	}
+	if diff := m.StorageByteSeconds - free.StorageByteSeconds; !almost(diff, 29000) {
+		t.Errorf("checkpoint storage integral = %v byte-seconds, want 29000", diff)
+	}
+	if m.BytesIn != free.BytesIn || m.BytesOut != free.BytesOut {
+		t.Errorf("checkpoint traffic leaked into the link metrics: in %v/%v out %v/%v",
+			m.BytesIn, free.BytesIn, m.BytesOut, free.BytesOut)
+	}
+}
+
+// TestRecoveryBytesValidation: a checkpoint size needs a checkpoint
+// policy, and can never be negative.
+func TestRecoveryBytesValidation(t *testing.T) {
+	w := tiny(t)
+	for name, rec := range map[string]Recovery{
+		"bytes without checkpoint": {Bytes: 100},
+		"negative bytes":           {Checkpoint: true, Interval: 5, Bytes: -1},
+	} {
+		if _, err := Run(w, Config{Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW, Recovery: rec}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCapacitySplitSubPools pins the reliable/spot capacity split on
+// the TestUtilizationCapacityDenominator scenario plus a reliable
+// floor: a 2-proc fleet with 1 reliable slot losing its spot slot over
+// [15,40] accumulates 40 reliable proc-s and 15 spot proc-s.
+func TestCapacitySplitSubPools(t *testing.T) {
+	m, err := Run(tiny(t), Config{
+		Mode: datamgmt.Regular, Processors: 2, Bandwidth: tinyBW,
+		OnDemandProcessors: 1,
+		Preemptions:        []Preemption{{Reclaim: 15, Processors: 1, Restore: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != 40 {
+		t.Fatalf("ExecTime = %v, want 40", m.ExecTime)
+	}
+	if !almost(m.ReliableCapacityProcSeconds, 40) {
+		t.Errorf("ReliableCapacityProcSeconds = %v, want 40", m.ReliableCapacityProcSeconds)
+	}
+	if !almost(m.SpotCapacityProcSeconds, 15) {
+		t.Errorf("SpotCapacityProcSeconds = %v, want 15", m.SpotCapacityProcSeconds)
+	}
+	if !almost(m.ReliableCapacityProcSeconds+m.SpotCapacityProcSeconds, m.CapacityProcSeconds) {
+		t.Errorf("sub-pool integrals %v+%v do not sum to CapacityProcSeconds %v",
+			m.ReliableCapacityProcSeconds, m.SpotCapacityProcSeconds, m.CapacityProcSeconds)
+	}
+
+	// The exact-snap path (no revocations) must split the snapped product
+	// the same way: 2*40 total, 1*40 reliable.
+	clean, err := Run(tiny(t), Config{
+		Mode: datamgmt.Regular, Processors: 2, Bandwidth: tinyBW, OnDemandProcessors: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(clean.ReliableCapacityProcSeconds, 40) || !almost(clean.SpotCapacityProcSeconds, 40) {
+		t.Errorf("clean-run capacity split = %v/%v, want 40/40",
+			clean.ReliableCapacityProcSeconds, clean.SpotCapacityProcSeconds)
+	}
+}
+
+// TestCheckpointImageSurvivesAppFailure pins the interaction of
+// application failures with banked checkpoint progress: a crash poisons
+// only the failed attempt's own checkpoints, while progress banked by
+// an earlier preemption survives -- so its backing image must stay
+// resident for the retry to restore from.  Scenario (tiny baseline,
+// ckpt interval 5 / overhead 1): A [10,21]; B banks 10 s when reclaimed
+// at 34, resumes [40,51], app-fails at 51, retries [51,62].  B's image
+// is resident [27,62] and A's [16,21], so a 1000-byte image adds
+// exactly 40 000 byte-seconds, with two restores (post-preempt resume
+// and post-failure retry) reading 2000 bytes back.
+func TestCheckpointImageSurvivesAppFailure(t *testing.T) {
+	w := tiny(t)
+	cfg := Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Recovery:    Recovery{Checkpoint: true, Interval: 5, Overhead: 1},
+		Preemptions: []Preemption{{Reclaim: 34, Processors: 1, Restore: 40}},
+		FailureProb: 0.5,
+	}
+	// Hunt a seed whose draw sequence fails exactly B's resumed attempt:
+	// ExecTime 62 with one retry and one preemption pins that pattern.
+	found := false
+	for seed := int64(0); seed < 200; seed++ {
+		cfg.FailureSeed = seed
+		m, err := Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Retries == 1 && m.Preempted == 1 && m.ExecTime == 62 && m.Checkpoints == 4 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed produced the preempt-then-fail pattern")
+	}
+	free, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recovery.Bytes = 1000
+	m, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime != free.ExecTime || m.Retries != 1 || m.Preempted != 1 {
+		t.Fatalf("checkpoint bytes changed the run shape: %+v", m)
+	}
+	if m.CheckpointBytesWritten != 4000 {
+		t.Errorf("CheckpointBytesWritten = %v, want 4000", m.CheckpointBytesWritten)
+	}
+	if m.CheckpointBytesRestored != 2000 {
+		t.Errorf("CheckpointBytesRestored = %v, want 2000 (resume + post-failure retry)", m.CheckpointBytesRestored)
+	}
+	// The image that backs B's banked progress must stay resident across
+	// the app failure: dropping it at the crash would shrink the
+	// occupancy to 34 000 byte-seconds.
+	if diff := m.StorageByteSeconds - free.StorageByteSeconds; !almost(diff, 40000) {
+		t.Errorf("checkpoint occupancy = %v byte-seconds, want 40000", diff)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/wire"
+)
+
+// The scenario-grid experiment is the registry's door into the v2
+// declarative sweep engine: any experiment expressible as "a base
+// scenario plus axes" runs through it, so adding a new scenario knob
+// makes it sweepable from the CLI (-exp scenario-grid), the API
+// (POST /v2/experiments/scenario-grid with {"grid": ...}) and
+// /v2/sweep with zero new experiment code.
+
+// DefaultGridSeed seeds the canned default grid's revocation sampling.
+const DefaultGridSeed int64 = 2026
+
+// DefaultGrid is the canned scenario grid the experiment runs when the
+// caller supplies none: the 1-degree workflow on a 16-processor fleet
+// with a 4-slot reliable floor and checkpointing, swept over the spot
+// revocation rate -- the ROADMAP's "wire-level sweeps over spot axes"
+// made a first-class experiment.
+func DefaultGrid() wire.SweepRequest {
+	return wire.SweepRequest{
+		Scenario: wire.Scenario{
+			Version:  wire.Version,
+			Workflow: wire.WorkflowSection{Name: "1deg"},
+			Fleet:    &wire.FleetSection{Processors: 16, Reliable: 4},
+			Spot:     &wire.SpotSection{Seed: DefaultGridSeed, Discount: 0.65},
+			Recovery: &wire.RecoverySection{CheckpointSeconds: 300, CheckpointOverheadSeconds: 10},
+		},
+		Axes: []wire.Axis{
+			{Path: "spot.rate_per_hour", Values: []any{0.0, 0.5, 1.0, 2.0}},
+		},
+	}
+}
+
+// GridRow is one grid point's measured outcome.
+type GridRow struct {
+	Values   []any
+	Scenario wire.Scenario
+	Result   core.Result
+}
+
+// ScenarioGrid expands and runs a declarative scenario grid through the
+// concurrent sweep engine, returning rows in grid order.
+func ScenarioGrid(ctx context.Context, req wire.SweepRequest) ([]GridRow, error) {
+	grid, err := req.ResolveGrid()
+	if err != nil {
+		return nil, err
+	}
+	return Sweep[wire.ResolvedPoint, GridRow]{
+		Name:   "scenario-grid",
+		Points: grid,
+		Run: func(ctx context.Context, p wire.ResolvedPoint) (GridRow, error) {
+			wf, err := montage.Cached(p.Spec)
+			if err != nil {
+				return GridRow{}, err
+			}
+			res, err := core.RunContext(ctx, wf, p.Plan)
+			if err != nil {
+				return GridRow{}, err
+			}
+			return GridRow{Values: p.Values, Scenario: p.Scenario, Result: res}, nil
+		},
+	}.Do(ctx)
+}
+
+// GridTable renders a scenario grid's rows: one column per axis, then
+// the headline outcome of each point.
+func GridTable(req wire.SweepRequest, rows []GridRow) (*report.Table, error) {
+	cols := make([]string, 0, len(req.Axes)+5)
+	for _, ax := range req.Axes {
+		cols = append(cols, ax.Path)
+	}
+	cols = append(cols, "makespan", "util", "preempted", "wasted-cpu-s", "total$")
+	tbl := report.New(fmt.Sprintf("Scenario grid: %d points over %d axes", len(rows), len(req.Axes)), cols...)
+	for _, row := range rows {
+		cells := make([]string, 0, len(cols))
+		for _, v := range row.Values {
+			cells = append(cells, fmt.Sprint(v))
+		}
+		m := row.Result.Metrics
+		cells = append(cells,
+			m.Makespan.String(),
+			report.F(m.Utilization, 3),
+			fmt.Sprint(m.Preempted),
+			report.F(m.WastedCPUSeconds, 0),
+			report.F(row.Result.Cost.Total().Dollars(), 4),
+		)
+		if err := tbl.Add(cells...); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// scenarioGridTables is the registry runner: the caller's grid from
+// Params, or the canned default.  Params.Seed reseeds the base
+// scenario's revocation sampling like every other stochastic
+// experiment (a copy of the spot section is mutated, never the
+// caller's document).
+func scenarioGridTables(ctx context.Context, p Params) ([]*report.Table, error) {
+	req := DefaultGrid()
+	if p.Grid != nil {
+		req = *p.Grid
+	}
+	if p.Seed != nil {
+		spot := wire.SpotSection{}
+		if req.Scenario.Spot != nil {
+			spot = *req.Scenario.Spot
+		}
+		spot.Seed = *p.Seed
+		req.Scenario.Spot = &spot
+	}
+	rows, err := ScenarioGrid(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := GridTable(req, rows)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{tbl}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/wire"
+)
+
+// TestScenarioGridDefault runs the canned spot-axis grid end to end:
+// four revocation rates on a mixed fleet, rows in grid order, the calm
+// (rate 0) point preempting nothing.
+func TestScenarioGridDefault(t *testing.T) {
+	req := DefaultGrid()
+	rows, err := ScenarioGrid(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("grid produced %d rows, want 4", len(rows))
+	}
+	if rows[0].Result.Metrics.Preempted != 0 {
+		t.Errorf("calm-market point preempted %d tasks", rows[0].Result.Metrics.Preempted)
+	}
+	for i, row := range rows {
+		want := req.Axes[0].Values[i]
+		if len(row.Values) != 1 || row.Values[0] != want {
+			t.Errorf("row %d carries axis values %v, want [%v]", i, row.Values, want)
+		}
+		if row.Scenario.Spot == nil {
+			t.Fatalf("row %d scenario lost its spot section", i)
+		}
+	}
+	tbl, err := GridTable(req, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Columns[0] != "spot.rate_per_hour" {
+		t.Errorf("first grid column = %q", tbl.Columns[0])
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("table has %d rows, want 4", len(tbl.Rows))
+	}
+}
+
+// TestScenarioGridRegistryParams: the registry path honours a caller-
+// supplied grid, which is how experiments become expressible as
+// scenario grids.
+func TestScenarioGridRegistryParams(t *testing.T) {
+	grid := &wire.SweepRequest{
+		Scenario: wire.Scenario{
+			Version:  wire.Version,
+			Workflow: wire.WorkflowSection{Name: "1deg"},
+			Pricing:  &wire.PricingSection{Billing: "provisioned"},
+		},
+		Axes: []wire.Axis{{Path: "fleet.processors", Values: []any{1.0, 2.0, 4.0}}},
+	}
+	tables, err := Run(context.Background(), "scenario-grid", Params{Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	// A malformed caller grid must surface, not fall back to the default.
+	bad := &wire.SweepRequest{Scenario: grid.Scenario, Axes: []wire.Axis{{Path: "no.such", Values: []any{1}}}}
+	if _, err := Run(context.Background(), "scenario-grid", Params{Grid: bad}); err == nil {
+		t.Error("malformed grid accepted")
+	}
+}
+
+// TestScenarioGridHonoursSeed: like every stochastic experiment, the
+// grid reseeds its revocation sampling through Params.Seed -- a
+// different seed must change the sampled schedule's outcome.
+func TestScenarioGridHonoursSeed(t *testing.T) {
+	base, err := Run(context.Background(), "scenario-grid", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(99)
+	reseeded, err := Run(context.Background(), "scenario-grid", Params{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Run(context.Background(), "scenario-grid", Params{Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(base[0].Rows) == fmt.Sprint(reseeded[0].Rows) {
+		t.Error("reseeding changed nothing")
+	}
+	if fmt.Sprint(reseeded[0].Rows) != fmt.Sprint(same[0].Rows) {
+		t.Error("same seed produced different tables")
+	}
+	// The default grid's seed must stay untouched by the override path.
+	if DefaultGrid().Scenario.Spot.Seed != DefaultGridSeed {
+		t.Errorf("default grid seed drifted: %d", DefaultGrid().Scenario.Spot.Seed)
+	}
+}

@@ -5,17 +5,22 @@ import (
 	"fmt"
 
 	"repro/internal/report"
+	"repro/wire"
 )
 
 // Params carries the optional knobs a caller may turn on a registered
 // experiment.  The zero value reproduces the paper: every experiment
 // ignores the fields it does not consult.
 type Params struct {
-	// Seed overrides the arrival-stream seed of the stochastic
-	// experiments (currently only the overload scenario); nil keeps the
-	// published default.  Every other experiment is fully deterministic
-	// and ignores it.
+	// Seed overrides the arrival-stream or revocation-schedule seed of
+	// the stochastic experiments; nil keeps the published default.
+	// Every other experiment is fully deterministic and ignores it.
 	Seed *int64
+	// Grid overrides the declarative scenario grid of the grid-driven
+	// experiments (scenario-grid); nil keeps the canned default.  This
+	// is how a registered experiment is expressed as a v2 scenario
+	// sweep: a base Scenario document plus {axis, values} pairs.
+	Grid *wire.SweepRequest
 }
 
 // Experiment is one registered paper experiment: a stable name, a short
@@ -87,6 +92,8 @@ func Registry() []Experiment {
 				}
 				return r.Tables(), nil
 			}},
+		{"scenario-grid", "declarative any-axis scenario sweep (default: spot.rate_per_hour; ?seed= reseeds the revocations; POST a {grid} to /v2/experiments/scenario-grid to sweep anything)",
+			scenarioGridTables},
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/units"
+	"repro/wire"
 )
 
 // maxBodyBytes bounds request bodies; every request document is tiny.
@@ -58,9 +59,11 @@ func statusFor(err error) int {
 	}
 }
 
+// decodeBody strictly decodes a bounded POST body: an unknown field
+// anywhere in the document is a 400 with the offending name, never a
+// silently ignored knob.
 func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
-	if err := dec.Decode(v); err != nil {
+	if err := wire.DecodeStrict(http.MaxBytesReader(nil, r.Body, maxBodyBytes), v); err != nil {
 		return fmt.Errorf("server: bad request body: %w", err)
 	}
 	return nil
@@ -75,12 +78,34 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
+	// The legacy surface is a thin adapter: the request upgrades into a
+	// v2 scenario inside Resolve, and only the v1 document shape (and
+	// the v1 cache-key space) is preserved here.
 	spec, plan, err := req.Resolve()
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	key := repro.CanonicalRunKey(spec, plan)
+	s.serveCachedRun(w, r, repro.CanonicalRunKey(spec, plan), func(ctx context.Context) ([]byte, error) {
+		wf, err := s.wfCache.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := repro.RunContext(ctx, wf, plan)
+		if err != nil {
+			return nil, err
+		}
+		return repro.NewRunDocument(res).Encode()
+	})
+}
+
+// serveCachedRun serves one deterministic simulation through the result
+// cache and the coalescing flight group: a hit is byte-identical to a
+// cold run, concurrent identical requests share one simulation, and the
+// simulation itself runs inside a bounded worker slot.  Both /v1/run
+// and /v2/run ride this path; their key spaces are disjoint because the
+// marshaled document shapes differ.
+func (s *Server) serveCachedRun(w http.ResponseWriter, r *http.Request, key string, simulate func(ctx context.Context) ([]byte, error)) {
 	if body, ok := s.cache.Get(key); ok {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
@@ -97,15 +122,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.testHookPreSim()
 		}
 		s.metrics.simulations.Add(1)
-		wf, err := s.wfCache.Generate(spec)
-		if err != nil {
-			return nil, err
-		}
-		res, err := repro.RunContext(ctx, wf, plan)
-		if err != nil {
-			return nil, err
-		}
-		body, err := repro.NewRunDocument(res).Encode()
+		body, err := simulate(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -388,8 +405,20 @@ func toAdvisorOptions(opts []advisor.Option) []advisorOption {
 	return out
 }
 
-func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("advisor")
+// advisorQuery is the parsed, validated form of an advisor request,
+// shared by the v1 and v2 handlers.
+type advisorQuery struct {
+	spec     repro.Spec
+	plan     repro.Plan
+	procs    []int
+	slack    float64
+	deadline *units.Duration
+	budget   *units.Money
+}
+
+// parseAdvisorQuery validates every parameter before any sweep runs: a
+// malformed deadline or budget must cost a 400, not a full exploration.
+func parseAdvisorQuery(r *http.Request) (advisorQuery, error) {
 	q := r.URL.Query()
 	req := repro.RunRequest{
 		Workflow: q.Get("workflow"),
@@ -397,72 +426,81 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 		Billing:  "provisioned",
 	}
 	if req.Workflow == "" {
-		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: advisor needs ?workflow= (1deg, 2deg or 4deg)"))
-		return
+		return advisorQuery{}, fmt.Errorf("server: advisor needs ?workflow= (1deg, 2deg or 4deg)")
 	}
 	spec, plan, err := req.Resolve()
 	if err != nil {
-		s.fail(w, r, http.StatusBadRequest, err)
-		return
+		return advisorQuery{}, err
 	}
-	procs := repro.GeometricProcessors()
+	out := advisorQuery{spec: spec, plan: plan, procs: repro.GeometricProcessors(), slack: 0.10}
 	if list := q.Get("processors"); list != "" {
-		procs = procs[:0]
+		out.procs = out.procs[:0]
 		for _, field := range strings.Split(list, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(field))
 			if err != nil || n <= 0 {
-				s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad processor list %q", list))
-				return
+				return advisorQuery{}, fmt.Errorf("server: bad processor list %q", list)
 			}
-			procs = append(procs, n)
+			out.procs = append(out.procs, n)
 		}
 	}
-	slack := 0.10
 	if v := q.Get("slack"); v != "" {
-		if slack, err = strconv.ParseFloat(v, 64); err != nil || slack < 0 {
-			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad slack %q", v))
-			return
+		if out.slack, err = strconv.ParseFloat(v, 64); err != nil || out.slack < 0 {
+			return advisorQuery{}, fmt.Errorf("server: bad slack %q", v)
 		}
 	}
-	// Every parameter is validated before the sweep runs: a malformed
-	// deadline or budget must cost a 400, not a full exploration.
-	var deadline *units.Duration
 	if v := q.Get("deadline_hours"); v != "" {
 		hours, err := strconv.ParseFloat(v, 64)
 		if err != nil || hours <= 0 {
-			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad deadline_hours %q", v))
-			return
+			return advisorQuery{}, fmt.Errorf("server: bad deadline_hours %q", v)
 		}
 		d := units.Duration(hours * units.SecondsPerHour)
-		deadline = &d
+		out.deadline = &d
 	}
-	var budget *units.Money
 	if v := q.Get("budget"); v != "" {
 		dollars, err := strconv.ParseFloat(v, 64)
 		if err != nil || dollars < 0 {
-			s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad budget %q", v))
-			return
+			return advisorQuery{}, fmt.Errorf("server: bad budget %q", v)
 		}
 		b := units.Money(dollars)
-		budget = &b
+		out.budget = &b
 	}
+	return out, nil
+}
 
+// explore runs the advisor's provisioning sweep inside a worker slot.
+// The boolean reports success; on failure the response is written.
+func (s *Server) explore(w http.ResponseWriter, r *http.Request) (advisorQuery, []advisor.Option, bool) {
+	aq, err := parseAdvisorQuery(r)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return advisorQuery{}, nil, false
+	}
 	release, err := s.admit(r.Context())
 	if err != nil {
 		s.fail(w, r, statusFor(err), err)
-		return
+		return advisorQuery{}, nil, false
 	}
 	defer release()
-	wf, err := s.wfCache.Generate(spec)
+	wf, err := s.wfCache.Generate(aq.spec)
 	if err != nil {
 		s.fail(w, r, http.StatusInternalServerError, err)
-		return
+		return advisorQuery{}, nil, false
 	}
-	opts, err := advisor.Explore(r.Context(), wf, procs, plan)
+	opts, err := advisor.Explore(r.Context(), wf, aq.procs, aq.plan)
 	if err != nil {
 		s.fail(w, r, statusFor(err), err)
+		return advisorQuery{}, nil, false
+	}
+	return aq, opts, true
+}
+
+func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("advisor")
+	aq, opts, ok := s.explore(w, r)
+	if !ok {
 		return
 	}
+	spec, slack, deadline, budget := aq.spec, aq.slack, aq.deadline, aq.budget
 	resp := struct {
 		Workflow    string          `json:"workflow"`
 		Options     []advisorOption `json:"options"`

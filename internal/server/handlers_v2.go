@@ -1,0 +1,224 @@
+package server
+
+// The /v2 surface: every endpoint speaks the declarative ScenarioSpec
+// (wire.Scenario) instead of the flat v1 request.  /v2/run caches and
+// coalesces exactly like /v1/run (in a disjoint key space, since the
+// document shapes differ); /v2/sweep generalizes the fixed three-axis
+// v1 grid into any-scenario-path axes; /v2/advisor returns each
+// recommendation as a ready-to-POST scenario; and /v2/experiments
+// accepts experiment parameters -- including a full scenario grid -- as
+// a POST body.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro"
+	"repro/internal/advisor"
+	"repro/internal/experiments"
+	"repro/internal/sweep"
+	"repro/wire"
+)
+
+// ---- POST /v2/run ----
+
+func (s *Server) handleRunV2(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("run_v2")
+	var sc wire.Scenario
+	if err := decodeBody(r, &sc); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	spec, plan, err := sc.Resolve()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCachedRun(w, r, wire.CanonicalRunKeyV2(spec, plan), func(ctx context.Context) ([]byte, error) {
+		wf, err := s.wfCache.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := repro.RunContext(ctx, wf, plan)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewRunDocumentV2(spec, res).Encode()
+	})
+}
+
+// ---- POST /v2/sweep ----
+
+func (s *Server) handleSweepV2(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("sweep_v2")
+	var req wire.SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	// Every point resolves before the first row streams, so a malformed
+	// combination is a clean 400 instead of a mid-stream error envelope.
+	grid, err := req.ResolveGrid()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+
+	// A sweep holds one worker slot; its grid fans out on the sweep
+	// engine's own GOMAXPROCS pool, like every nested sweep in the repo.
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	rows := 0
+	// Rows stream in grid order as soon as each point (and every earlier
+	// one) finishes; r.Context() cancellation -- the client hanging up --
+	// drains the whole grid.  Workflow generation goes through the
+	// bounded server cache: axes over workflow.* make specs vary per
+	// point, and each distinct spec pins a multi-thousand-task DAG.
+	err = sweep.Stream(r.Context(), 0, grid,
+		func(ctx context.Context, i int, p wire.ResolvedPoint) (wire.RunDocumentV2, error) {
+			if s.testHookSweepPoint != nil {
+				if err := s.testHookSweepPoint(i); err != nil {
+					return wire.RunDocumentV2{}, err
+				}
+			}
+			wf, err := s.wfCache.Generate(p.Spec)
+			if err != nil {
+				return wire.RunDocumentV2{}, err
+			}
+			res, err := repro.RunContext(ctx, wf, p.Plan)
+			if err != nil {
+				return wire.RunDocumentV2{}, err
+			}
+			return wire.NewRunDocumentV2(p.Spec, res), nil
+		},
+		func(i int, doc wire.RunDocumentV2) error {
+			row := wire.SweepRow{Index: i, RunDocumentV2: doc}
+			if err := enc.Encode(wire.SweepEnvelope{Row: &row}); err != nil {
+				return err
+			}
+			rows++
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		})
+	if err != nil {
+		if rows == 0 {
+			s.fail(w, r, statusFor(err), err)
+			return
+		}
+		// Mid-stream the status line is gone; emit the terminal error
+		// envelope instead (unless the client already hung up).
+		s.metrics.errors.Add(1)
+		if r.Context().Err() == nil {
+			enc.Encode(wire.SweepEnvelope{Error: err.Error()}) //nolint:errcheck
+		}
+		return
+	}
+	enc.Encode(wire.SweepEnvelope{Done: &wire.SweepDone{Rows: rows}}) //nolint:errcheck
+}
+
+// ---- GET /v2/advisor ----
+
+// advisorChoiceV2 is one provisioning choice with the scenario that
+// reproduces it: the recommendation is directly POSTable to /v2/run.
+type advisorChoiceV2 struct {
+	Processors  int           `json:"processors"`
+	CostDollars float64       `json:"cost_dollars"`
+	Hours       float64       `json:"hours"`
+	Scenario    wire.Scenario `json:"scenario"`
+}
+
+func (s *Server) handleAdvisorV2(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("advisor_v2")
+	aq, opts, ok := s.explore(w, r)
+	if !ok {
+		return
+	}
+	choice := func(o advisor.Option) *advisorChoiceV2 {
+		plan := aq.plan
+		plan.Processors = o.Processors
+		return &advisorChoiceV2{
+			Processors:  o.Processors,
+			CostDollars: o.Cost.Dollars(),
+			Hours:       o.Time.Hours(),
+			Scenario:    wire.EchoScenario(aq.spec, plan),
+		}
+	}
+	resp := struct {
+		Workflow    string           `json:"workflow"`
+		Options     []advisorOption  `json:"options"`
+		Pareto      []advisorOption  `json:"pareto"`
+		Recommended *advisorChoiceV2 `json:"recommended,omitempty"`
+		Cheapest    *advisorChoiceV2 `json:"cheapest_within_deadline,omitempty"`
+		Fastest     *advisorChoiceV2 `json:"fastest_under_budget,omitempty"`
+	}{
+		Workflow: aq.spec.Name,
+		Options:  toAdvisorOptions(opts),
+		Pareto:   toAdvisorOptions(advisor.ParetoFrontier(opts)),
+	}
+	if rec, err := advisor.Recommend(opts, aq.slack); err == nil {
+		resp.Recommended = choice(rec)
+	}
+	if aq.deadline != nil {
+		if o, err := advisor.CheapestWithin(opts, *aq.deadline); err == nil {
+			resp.Cheapest = choice(o)
+		}
+	}
+	if aq.budget != nil {
+		if o, err := advisor.FastestUnder(opts, *aq.budget); err == nil {
+			resp.Fastest = choice(o)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /v2/experiments/{name} ----
+
+// experimentParamsDoc is the POST body of a v2 experiment invocation:
+// the wire form of experiments.Params.
+type experimentParamsDoc struct {
+	Seed *int64             `json:"seed,omitempty"`
+	Grid *wire.SweepRequest `json:"grid,omitempty"`
+}
+
+func (s *Server) handleExperimentV2(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("experiment_v2")
+	name := r.PathValue("name")
+	if _, ok := experiments.Lookup(name); !ok {
+		s.fail(w, r, http.StatusNotFound, fmt.Errorf("server: unknown experiment %q", name))
+		return
+	}
+	var doc experimentParamsDoc
+	if r.ContentLength != 0 {
+		if err := decodeBody(r, &doc); err != nil {
+			s.fail(w, r, http.StatusBadRequest, err)
+			return
+		}
+	}
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	defer release()
+	tables, err := experiments.Run(r.Context(), name, experiments.Params{Seed: doc.Seed, Grid: doc.Grid})
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name   string     `json:"name"`
+		Tables []tableDoc `json:"tables"`
+	}{Name: name, Tables: tableDocs(tables)})
+}

@@ -5,12 +5,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/run                one simulation (cached, coalesced)
-//	POST /v1/sweep              provisioning/mode/CCR grid, streamed as
-//	                            NDJSON rows in grid order
-//	GET  /v1/experiments        the registered paper experiments
-//	GET  /v1/experiments/{name} run one experiment (tables as JSON)
-//	GET  /v1/advisor            provisioning recommendations
+//	POST /v2/run                one simulation from a declarative v2
+//	                            scenario document (cached, coalesced)
+//	POST /v2/sweep              any-axis scenario grid ({axis, values}
+//	                            pairs over any scenario path), streamed
+//	                            as NDJSON rows in grid order
+//	GET  /v2/experiments        the registered paper experiments
+//	GET  /v2/experiments/{name} run one experiment (tables as JSON)
+//	POST /v2/experiments/{name} run one experiment with a params body
+//	                            ({"seed": ..., "grid": {...}})
+//	GET  /v2/advisor            provisioning recommendations, each one a
+//	                            ready-to-POST v2 scenario
+//	POST /v1/run                deprecated flat request; upgraded into a
+//	                            v2 scenario internally
+//	POST /v1/sweep              deprecated processors/modes/CCR grid
+//	GET  /v1/experiments        as /v2/experiments
+//	GET  /v1/experiments/{name} as GET /v2/experiments/{name}
+//	GET  /v1/advisor            deprecated advisor (no scenarios)
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text exposition
 //
@@ -114,6 +125,12 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/advisor", s.handleAdvisor)
+	mux.HandleFunc("POST /v2/run", s.handleRunV2)
+	mux.HandleFunc("POST /v2/sweep", s.handleSweepV2)
+	mux.HandleFunc("GET /v2/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v2/experiments/{name}", s.handleExperiment)
+	mux.HandleFunc("POST /v2/experiments/{name}", s.handleExperimentV2)
+	mux.HandleFunc("GET /v2/advisor", s.handleAdvisorV2)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux

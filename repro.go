@@ -32,12 +32,14 @@
 //
 // # The wire layer
 //
-// RunRequest, RunDocument and CanonicalRunKey (wire.go) are the JSON
-// request/result documents and the cache key a service exchanges with
-// the simulator: cmd/reprosrv serves them over HTTP (with result
-// caching and request coalescing, possible precisely because every
-// simulation is a deterministic function of its spec and plan), and
-// montagesim -json emits the identical document for offline diffing.
+// The versioned wire layer lives in package repro/wire: the flat v1
+// RunRequest/RunDocument (aliased here for compatibility), the
+// declarative v2 Scenario document with its any-axis sweep grids, and
+// the canonical cache keys.  cmd/reprosrv serves both versions over
+// HTTP (with result caching and request coalescing, possible precisely
+// because every simulation is a deterministic function of its spec and
+// plan), and montagesim -json / -scenario emit the identical documents
+// for offline diffing.
 package repro
 
 import (

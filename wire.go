@@ -1,328 +1,41 @@
 package repro
 
-// This file is the wire layer of the facade: the JSON request and result
-// documents a service (or a CLI talking to one) exchanges with the
-// simulator, plus the canonical cache key that makes deterministic
-// simulations cacheable.  cmd/reprosrv serves these documents over HTTP
-// and cmd/montagesim -json emits the same document, so the two outputs
-// can be diffed byte for byte.
+// The wire layer lives in package repro/wire: versioned JSON request
+// and result documents (the flat v1 RunRequest and the declarative v2
+// Scenario), the any-axis sweep grid, and the canonical cache keys.
+// These aliases keep the original v1 surface importable straight from
+// the facade; new code -- and anything touching v2 scenarios or sweeps
+// -- should import repro/wire directly.
 
 import (
-	"encoding/json"
-	"fmt"
-	"math"
-	"strings"
-
-	"repro/internal/datamgmt"
-	"repro/internal/exec"
-	"repro/internal/units"
+	"repro/wire"
 )
 
-// RunRequest is the wire form of one simulation request: a workflow
-// selector plus the plan knobs a caller may turn.  The zero value of
-// every plan field reproduces the paper's baseline (regular mode, full
-// parallelism, on-demand billing, 10 Mbps).
-type RunRequest struct {
-	// Workflow selects a preset: 1deg, 2deg or 4deg (the full
-	// montage-Ndeg names are accepted too).  Empty selects a custom
-	// mosaic via Degrees.
-	Workflow string `json:"workflow,omitempty"`
-	// Degrees sizes a custom mosaic when Workflow is empty.
-	Degrees float64 `json:"degrees,omitempty"`
-
-	// Mode is the data-management model: remote-io, regular or cleanup.
-	Mode string `json:"mode,omitempty"`
-	// Processors provisioned; 0 means enough for full parallelism.
-	Processors int `json:"processors,omitempty"`
-	// Billing is provisioned or on-demand.
-	Billing string `json:"billing,omitempty"`
-	// BandwidthMbps is the user<->cloud link speed; 0 means the paper's
-	// 10 Mbps.
-	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
-
-	// Spot, when present, simulates a custom spot scenario: seeded
-	// per-instance capacity reclaims, optionally on a mixed fleet with
-	// checkpoint/restart recovery.  Absent reproduces reliable capacity.
-	Spot *SpotRequest `json:"spot,omitempty"`
-}
-
-// SpotRequest is the wire form of a spot scenario: the market knobs, a
-// fleet split, and the recovery policy.
-type SpotRequest struct {
-	// RatePerHour is each spot instance's reclaim intensity; 0 disables
-	// revocations (useful to price a mixed fleet under a calm market).
-	RatePerHour float64 `json:"rate_per_hour,omitempty"`
-	// WarningSeconds is the reclaim notice lead; 0 defaults to EC2's
-	// 120 s when revocations are enabled.
-	WarningSeconds float64 `json:"warning_seconds,omitempty"`
-	// DowntimeSeconds is how long reclaimed capacity stays gone; 0
-	// defaults to 600 s when revocations are enabled.
-	DowntimeSeconds float64 `json:"downtime_seconds,omitempty"`
-	// Seed drives the deterministic revocation sampling.
-	Seed int64 `json:"seed,omitempty"`
-	// Discount is the fraction taken off the on-demand CPU rate for
-	// spot capacity, in [0, 1).
-	Discount float64 `json:"discount,omitempty"`
-	// OnDemandProcessors is the reliable sub-pool of a mixed fleet:
-	// never reclaimed, billed at the full rate, and hosting the
-	// critical-path tasks.
-	OnDemandProcessors int `json:"on_demand_processors,omitempty"`
-	// CheckpointSeconds enables checkpoint/restart recovery with this
-	// interval of useful compute between checkpoints; 0 re-runs
-	// preempted tasks from scratch.
-	CheckpointSeconds float64 `json:"checkpoint_seconds,omitempty"`
-	// CheckpointOverheadSeconds is the wall-clock cost of writing one
-	// checkpoint.
-	CheckpointOverheadSeconds float64 `json:"checkpoint_overhead_seconds,omitempty"`
-}
-
-// maxRequestDegrees caps custom mosaic sizes on the wire.  Task count
-// grows with sky area; the paper tops out at 4 degrees and the
-// whole-sky tilings at 6, while an uncapped request could ask one cheap
-// POST to materialize a multi-million-task DAG.
-const maxRequestDegrees = 20
-
-// Defaults filled into a spot request with revocations enabled.
-const (
-	defaultSpotWarningSeconds  = 120 // EC2's two-minute reclaim notice
-	defaultSpotDowntimeSeconds = 600
+type (
+	// RunRequest is the v1 wire form of one simulation request.
+	//
+	// Deprecated: POST a wire.Scenario to /v2/run instead.
+	RunRequest = wire.RunRequest
+	// SpotRequest is the v1 wire form of a spot scenario.
+	//
+	// Deprecated: v2 scenarios split these knobs across the fleet, spot
+	// and recovery sections.
+	SpotRequest = wire.SpotRequest
+	// PlanDocument is the v1 wire form of the executed plan.
+	PlanDocument = wire.PlanDocument
+	// SpotPlanDocument is the v1 wire form of the executed spot scenario.
+	SpotPlanDocument = wire.SpotPlanDocument
+	// RunDocument is the v1 machine-readable result of one simulation.
+	RunDocument = wire.RunDocument
+	// Scenario is the declarative v2 scenario document: the single
+	// source of truth POST /v2/run, /v2/sweep, montagesim -scenario and
+	// the experiment grids all consume.
+	Scenario = wire.Scenario
 )
 
-// Resolve turns the wire request into a concrete spec and plan,
-// rejecting anything malformed.  The returned plan is canonical
-// (defaults filled in), so equal requests resolve to equal values.
-func (r RunRequest) Resolve() (Spec, Plan, error) {
-	var spec Spec
-	switch {
-	case r.Workflow != "" && r.Degrees != 0:
-		return Spec{}, Plan{}, fmt.Errorf("repro: request names workflow %q and degrees %v; use one", r.Workflow, r.Degrees)
-	case r.Workflow != "":
-		switch strings.ToLower(r.Workflow) {
-		case "1deg", "montage-1deg":
-			spec = OneDegree()
-		case "2deg", "montage-2deg":
-			spec = TwoDegree()
-		case "4deg", "montage-4deg":
-			spec = FourDegree()
-		default:
-			return Spec{}, Plan{}, fmt.Errorf("repro: unknown workflow %q (want 1deg, 2deg or 4deg)", r.Workflow)
-		}
-	case r.Degrees < 0:
-		return Spec{}, Plan{}, fmt.Errorf("repro: negative degrees %v", r.Degrees)
-	case r.Degrees > maxRequestDegrees:
-		return Spec{}, Plan{}, fmt.Errorf("repro: %v-degree mosaic exceeds the %v-degree request limit", r.Degrees, float64(maxRequestDegrees))
-	case r.Degrees > 0:
-		spec = FromDegrees(r.Degrees, int64(math.Round(r.Degrees)))
-	default:
-		return Spec{}, Plan{}, fmt.Errorf("repro: request selects no workflow (set workflow or degrees)")
-	}
+// NewRunDocument builds the v1 wire document for a finished run.
+func NewRunDocument(res Result) RunDocument { return wire.NewRunDocument(res) }
 
-	plan := DefaultPlan()
-	if r.Mode != "" {
-		m, err := datamgmt.ParseMode(r.Mode)
-		if err != nil {
-			return Spec{}, Plan{}, err
-		}
-		plan.Mode = m
-	}
-	switch strings.ToLower(r.Billing) {
-	case "", "on-demand", "ondemand":
-		plan.Billing = OnDemand
-	case "provisioned":
-		plan.Billing = Provisioned
-	default:
-		return Spec{}, Plan{}, fmt.Errorf("repro: unknown billing %q (want provisioned or on-demand)", r.Billing)
-	}
-	if r.Processors < 0 {
-		return Spec{}, Plan{}, fmt.Errorf("repro: negative processor count %d", r.Processors)
-	}
-	plan.Processors = r.Processors
-	if r.BandwidthMbps < 0 {
-		return Spec{}, Plan{}, fmt.Errorf("repro: negative bandwidth %v Mbps", r.BandwidthMbps)
-	}
-	if r.BandwidthMbps > 0 {
-		plan.Bandwidth = units.Mbps(r.BandwidthMbps)
-	}
-	if r.Spot != nil {
-		if err := r.Spot.apply(&plan); err != nil {
-			return Spec{}, Plan{}, err
-		}
-	}
-	return spec, plan.Canonical(), nil
-}
-
-// apply maps the wire spot knobs onto the plan, filling defaults.
-func (s SpotRequest) apply(plan *Plan) error {
-	switch {
-	case s.RatePerHour < 0:
-		return fmt.Errorf("repro: negative spot rate %v/hour", s.RatePerHour)
-	case s.WarningSeconds < 0:
-		return fmt.Errorf("repro: negative spot warning %v s", s.WarningSeconds)
-	case s.DowntimeSeconds < 0:
-		return fmt.Errorf("repro: negative spot downtime %v s", s.DowntimeSeconds)
-	case s.Discount < 0 || s.Discount >= 1:
-		return fmt.Errorf("repro: spot discount %v outside [0,1)", s.Discount)
-	case s.OnDemandProcessors < 0:
-		return fmt.Errorf("repro: negative on-demand sub-pool %d", s.OnDemandProcessors)
-	case s.CheckpointSeconds < 0:
-		return fmt.Errorf("repro: negative checkpoint interval %v s", s.CheckpointSeconds)
-	case s.CheckpointOverheadSeconds < 0:
-		return fmt.Errorf("repro: negative checkpoint overhead %v s", s.CheckpointOverheadSeconds)
-	case s.CheckpointSeconds == 0 && s.CheckpointOverheadSeconds > 0:
-		return fmt.Errorf("repro: checkpoint overhead set without an interval")
-	case s == (SpotRequest{}):
-		return fmt.Errorf("repro: empty spot request (set rate_per_hour, on_demand_processors or checkpoint_seconds)")
-	}
-	// With an explicit pool size the fleet split is decidable now; a
-	// malformed split must cost the caller a 400, not a 500 at run time
-	// (a zero pool defers to the run-time check, which knows the
-	// workflow's full parallelism).
-	if plan.Processors > 0 {
-		if s.OnDemandProcessors > plan.Processors {
-			return fmt.Errorf("repro: on-demand sub-pool %d exceeds the %d-processor fleet", s.OnDemandProcessors, plan.Processors)
-		}
-		if s.RatePerHour > 0 && s.OnDemandProcessors == plan.Processors {
-			return fmt.Errorf("repro: spot reclaims enabled but the %d-processor fleet has no spot capacity", plan.Processors)
-		}
-	}
-	warning := s.WarningSeconds
-	downtime := s.DowntimeSeconds
-	if s.RatePerHour > 0 {
-		if warning == 0 {
-			warning = defaultSpotWarningSeconds
-		}
-		if downtime == 0 {
-			downtime = defaultSpotDowntimeSeconds
-		}
-	}
-	plan.Spot = SpotPlan{
-		RatePerHour: s.RatePerHour,
-		Warning:     units.Duration(warning),
-		Downtime:    units.Duration(downtime),
-		Seed:        s.Seed,
-		Discount:    s.Discount,
-		OnDemand:    s.OnDemandProcessors,
-	}
-	if s.CheckpointSeconds > 0 {
-		plan.Recovery = exec.Recovery{
-			Checkpoint: true,
-			Interval:   units.Duration(s.CheckpointSeconds),
-			Overhead:   units.Duration(s.CheckpointOverheadSeconds),
-		}
-	}
-	return nil
-}
-
-// PlanDocument is the wire form of the plan a run executed under.
-type PlanDocument struct {
-	Mode          string            `json:"mode"`
-	Processors    int               `json:"processors"`
-	Billing       string            `json:"billing"`
-	BandwidthMbps float64           `json:"bandwidth_mbps"`
-	Spot          *SpotPlanDocument `json:"spot,omitempty"`
-}
-
-// SpotPlanDocument is the wire form of the spot scenario a run executed
-// under, echoed back so a caller can verify every knob round-tripped.
-type SpotPlanDocument struct {
-	RatePerHour               float64 `json:"rate_per_hour"`
-	WarningSeconds            float64 `json:"warning_seconds"`
-	DowntimeSeconds           float64 `json:"downtime_seconds"`
-	Seed                      int64   `json:"seed"`
-	Discount                  float64 `json:"discount"`
-	OnDemandProcessors        int     `json:"on_demand_processors"`
-	CheckpointSeconds         float64 `json:"checkpoint_seconds,omitempty"`
-	CheckpointOverheadSeconds float64 `json:"checkpoint_overhead_seconds,omitempty"`
-}
-
-// RunDocument is the machine-readable result of one simulation: the
-// document POST /v1/run returns and montagesim -json prints.
-type RunDocument struct {
-	Workflow string       `json:"workflow"`
-	Tasks    int          `json:"tasks"`
-	Plan     PlanDocument `json:"plan"`
-	Metrics  Metrics      `json:"metrics"`
-	Cost     Breakdown    `json:"cost"`
-	Total    Money        `json:"total"`
-}
-
-// NewRunDocument builds the wire document for a finished run.
-func NewRunDocument(res Result) RunDocument {
-	p := res.Plan.Canonical()
-	doc := RunDocument{
-		Workflow: res.Metrics.Workflow,
-		Tasks:    res.Metrics.TasksRun,
-		Plan: PlanDocument{
-			Mode:          p.Mode.String(),
-			Processors:    p.Processors,
-			Billing:       p.Billing.String(),
-			BandwidthMbps: p.Bandwidth.BytesPerSecond() * 8 / 1e6,
-		},
-		Metrics: res.Metrics,
-		Cost:    res.Cost,
-		Total:   res.Cost.Total(),
-	}
-	if p.Spot.Enabled() || p.Recovery.Checkpoint {
-		doc.Plan.Spot = &SpotPlanDocument{
-			RatePerHour:               p.Spot.RatePerHour,
-			WarningSeconds:            p.Spot.Warning.Seconds(),
-			DowntimeSeconds:           p.Spot.Downtime.Seconds(),
-			Seed:                      p.Spot.Seed,
-			Discount:                  p.Spot.Discount,
-			OnDemandProcessors:        p.Spot.OnDemand,
-			CheckpointSeconds:         p.Recovery.Interval.Seconds(),
-			CheckpointOverheadSeconds: p.Recovery.Overhead.Seconds(),
-		}
-	}
-	return doc
-}
-
-// Encode renders the document in the canonical wire encoding:
-// two-space-indented JSON with a trailing newline.  The server and
-// montagesim -json both emit exactly this, so CLI output can be diffed
-// byte for byte against API output.
-func (d RunDocument) Encode() ([]byte, error) {
-	b, err := json.MarshalIndent(d, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
-}
-
-// CanonicalRunKey derives a stable cache key for a (spec, plan) pair.
-// Simulations are deterministic functions of exactly these two values,
-// so equal keys guarantee byte-identical result documents; the server's
-// result cache and request coalescing both key on it.
-//
-// The encoding is explicit and field-by-field -- no reflective %#v,
-// whose output silently collapses distinct values (and drifts across Go
-// versions).  Every Plan field must appear here; the field-count guard
-// in wire_test.go fails the build of any Plan change that forgets to
-// extend the key.
-func CanonicalRunKey(spec Spec, plan Plan) string {
-	p := plan.Canonical()
-	var b strings.Builder
-	fmt.Fprintf(&b, "spec{name=%q deg=%g img=%d diff=%d cpu=%g mosaic=%d ccr=%g bw=%g seed=%d}",
-		spec.Name, spec.Degrees, spec.Images, spec.Diffs, float64(spec.TotalCPU),
-		int64(spec.MosaicBytes), spec.TargetCCR, spec.Bandwidth.BytesPerSecond(), spec.Seed)
-	fmt.Fprintf(&b, "|plan{mode=%s procs=%d billing=%s bw=%g curve=%t vmstart=%g policy=%s failp=%g fails=%d",
-		p.Mode, p.Processors, p.Billing, p.Bandwidth.BytesPerSecond(), p.RecordCurve,
-		float64(p.VMStartup), p.Policy, p.FailureProb, p.FailureSeed)
-	fmt.Fprintf(&b, " pricing{store=%g in=%g out=%g cpu=%g gran=%s}",
-		float64(p.Pricing.StoragePerGBMonth), float64(p.Pricing.TransferInPerGB),
-		float64(p.Pricing.TransferOutPerGB), float64(p.Pricing.CPUPerHour), p.Pricing.Granularity)
-	b.WriteString(" outages[")
-	for _, o := range p.Outages {
-		fmt.Fprintf(&b, "(%g,%g)", float64(o.Start), float64(o.End))
-	}
-	b.WriteString("] preempt[")
-	for _, pre := range p.Preemptions {
-		fmt.Fprintf(&b, "(%g,%d,%g,%g)", float64(pre.Reclaim), pre.Processors, float64(pre.Warning), float64(pre.Restore))
-	}
-	fmt.Fprintf(&b, "] recovery{ckpt=%t iv=%g oh=%g}",
-		p.Recovery.Checkpoint, float64(p.Recovery.Interval), float64(p.Recovery.Overhead))
-	fmt.Fprintf(&b, " spot{rate=%g warn=%g down=%g seed=%d disc=%g ondemand=%d}}",
-		p.Spot.RatePerHour, float64(p.Spot.Warning), float64(p.Spot.Downtime),
-		p.Spot.Seed, p.Spot.Discount, p.Spot.OnDemand)
-	return b.String()
-}
+// CanonicalRunKey derives a stable cache key for a (spec, plan) pair;
+// equal keys guarantee byte-identical result documents.
+func CanonicalRunKey(spec Spec, plan Plan) string { return wire.CanonicalRunKey(spec, plan) }

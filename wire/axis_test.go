@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+func base1deg() Scenario {
+	return Scenario{Version: 2, Workflow: WorkflowSection{Name: "1deg"}}
+}
+
+func TestWithCreatesAbsentSections(t *testing.T) {
+	s, err := base1deg().With("spot.rate_per_hour", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spot == nil || s.Spot.RatePerHour != 1.5 {
+		t.Fatalf("spot section not materialized: %+v", s.Spot)
+	}
+	if s.Workflow.Name != "1deg" || s.Version != 2 {
+		t.Errorf("substitution disturbed other fields: %+v", s)
+	}
+}
+
+func TestWithEveryScenarioFamily(t *testing.T) {
+	for path, value := range map[string]any{
+		"workflow.ccr":                0.5,
+		"fleet.processors":            16,
+		"fleet.reliable":              4,
+		"storage.mode":                "cleanup",
+		"storage.bandwidth_mbps":      100,
+		"pricing.billing":             "provisioned",
+		"pricing.cpu_per_hour":        0.25,
+		"spot.rate_per_hour":          2,
+		"spot.discount":               0.6,
+		"recovery.checkpoint_seconds": 300,
+		"recovery.checkpoint_bytes":   1e9,
+	} {
+		if _, err := base1deg().With(path, value); err != nil {
+			t.Errorf("With(%q, %v): %v", path, value, err)
+		}
+	}
+}
+
+func TestWithErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		path  string
+		value any
+	}{
+		"unknown leaf":      {"spot.rate_per_hr", 1},
+		"unknown section":   {"fleets.processors", 8},
+		"empty path":        {"", 1},
+		"empty segment":     {"spot.", 1},
+		"non-object parent": {"version.minor", 1},
+		"type mismatch":     {"fleet.processors", "many"},
+		"section clobber":   {"spot", 3},
+	} {
+		if _, err := base1deg().With(tc.path, tc.value); err == nil {
+			t.Errorf("%s: With(%q, %v) accepted", name, tc.path, tc.value)
+		}
+	}
+}
+
+func TestGridCrossProductOrder(t *testing.T) {
+	req := SweepRequest{
+		Scenario: base1deg(),
+		Axes: []Axis{
+			{Path: "fleet.processors", Values: []any{8, 16}},
+			{Path: "spot.rate_per_hour", Values: []any{0.5, 1, 2}},
+		},
+	}
+	points, err := req.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("grid has %d points, want 6", len(points))
+	}
+	// First axis outermost: (8,0.5) (8,1) (8,2) (16,0.5) (16,1) (16,2).
+	var got []string
+	for _, p := range points {
+		got = append(got, fmt.Sprintf("%d/%g", p.Scenario.Fleet.Processors, p.Scenario.Spot.RatePerHour))
+		if len(p.Values) != 2 {
+			t.Fatalf("point carries %d axis values, want 2", len(p.Values))
+		}
+	}
+	want := []string{"8/0.5", "8/1", "8/2", "16/0.5", "16/1", "16/2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grid order = %v, want %v", got, want)
+		}
+	}
+	// Every point must resolve: the grid engine defers combination
+	// validation to the same Resolve a direct POST would hit.
+	for i, p := range points {
+		if _, _, err := p.Scenario.Resolve(); err != nil {
+			t.Errorf("point %d does not resolve: %v", i, err)
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	big := make([]any, 100)
+	for i := range big {
+		big[i] = i
+	}
+	for name, req := range map[string]SweepRequest{
+		"no axes":    {Scenario: base1deg()},
+		"empty path": {Scenario: base1deg(), Axes: []Axis{{Path: " ", Values: []any{1}}}},
+		"no values":  {Scenario: base1deg(), Axes: []Axis{{Path: "fleet.processors"}}},
+		"over cap":   {Scenario: base1deg(), Axes: []Axis{{Path: "fleet.processors", Values: big}, {Path: "spot.seed", Values: big}}},
+		"bad path":   {Scenario: base1deg(), Axes: []Axis{{Path: "no.such.path", Values: []any{1}}}},
+	} {
+		if _, err := req.Grid(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

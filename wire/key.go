@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+)
+
+// CanonicalRunKey derives a stable cache key for a (spec, plan) pair.
+// Simulations are deterministic functions of exactly these two values,
+// so equal keys guarantee byte-identical result documents; the server's
+// result cache and request coalescing both key on it.
+//
+// The encoding is explicit and field-by-field -- no reflective %#v,
+// whose output silently collapses distinct values (and drifts across Go
+// versions).  Every Plan field must appear here; the field-count guards
+// in key_test.go fail the build of any Plan, Spec, SpotPlan, Recovery
+// or Pricing change that forgets to extend the key.
+func CanonicalRunKey(spec montage.Spec, plan core.Plan) string {
+	p := plan.Canonical()
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec{name=%q deg=%g img=%d diff=%d cpu=%g mosaic=%d ccr=%g bw=%g seed=%d}",
+		spec.Name, spec.Degrees, spec.Images, spec.Diffs, float64(spec.TotalCPU),
+		int64(spec.MosaicBytes), spec.TargetCCR, spec.Bandwidth.BytesPerSecond(), spec.Seed)
+	fmt.Fprintf(&b, "|plan{mode=%s procs=%d billing=%s bw=%g curve=%t vmstart=%g policy=%s failp=%g fails=%d",
+		p.Mode, p.Processors, p.Billing, p.Bandwidth.BytesPerSecond(), p.RecordCurve,
+		float64(p.VMStartup), p.Policy, p.FailureProb, p.FailureSeed)
+	fmt.Fprintf(&b, " pricing{store=%g in=%g out=%g cpu=%g gran=%s}",
+		float64(p.Pricing.StoragePerGBMonth), float64(p.Pricing.TransferInPerGB),
+		float64(p.Pricing.TransferOutPerGB), float64(p.Pricing.CPUPerHour), p.Pricing.Granularity)
+	b.WriteString(" outages[")
+	for _, o := range p.Outages {
+		fmt.Fprintf(&b, "(%g,%g)", float64(o.Start), float64(o.End))
+	}
+	b.WriteString("] preempt[")
+	for _, pre := range p.Preemptions {
+		fmt.Fprintf(&b, "(%g,%d,%g,%g)", float64(pre.Reclaim), pre.Processors, float64(pre.Warning), float64(pre.Restore))
+	}
+	fmt.Fprintf(&b, "] recovery{ckpt=%t iv=%g oh=%g bytes=%d}",
+		p.Recovery.Checkpoint, float64(p.Recovery.Interval), float64(p.Recovery.Overhead), int64(p.Recovery.Bytes))
+	fmt.Fprintf(&b, " spot{rate=%g warn=%g down=%g seed=%d disc=%g ondemand=%d}}",
+		p.Spot.RatePerHour, float64(p.Spot.Warning), float64(p.Spot.Downtime),
+		p.Spot.Seed, p.Spot.Discount, p.Spot.OnDemand)
+	return b.String()
+}
+
+// CanonicalRunKeyV2 is the cache key of the v2 surface.  The same
+// (spec, plan) resolves under both surfaces, but the marshaled response
+// bodies differ (v1 and v2 documents have different shapes), so the two
+// key spaces must never collide -- the version prefix keeps a cached v1
+// body from ever being served on /v2/run or vice versa.
+func CanonicalRunKeyV2(spec montage.Spec, plan core.Plan) string {
+	return "v2|" + CanonicalRunKey(spec, plan)
+}

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/montage"
+)
+
+// TestCanonicalRunKeyCoverage forces key maintenance: the explicit
+// encoding must be extended whenever any struct feeding it grows a
+// field, or new knobs would silently collide in the result cache.
+func TestCanonicalRunKeyCoverage(t *testing.T) {
+	for name, tc := range map[string]struct {
+		typ  reflect.Type
+		want int
+	}{
+		"core.Plan":     {reflect.TypeOf(core.Plan{}), 14},
+		"montage.Spec":  {reflect.TypeOf(montage.Spec{}), 9},
+		"core.SpotPlan": {reflect.TypeOf(core.SpotPlan{}), 6},
+		"exec.Recovery": {reflect.TypeOf(exec.Recovery{}), 4},
+		"cost.Pricing":  {reflect.TypeOf(cost.Pricing{}), 5},
+	} {
+		if n := tc.typ.NumField(); n != tc.want {
+			t.Errorf("%s has %d fields; update CanonicalRunKey and this count (want %d)", name, n, tc.want)
+		}
+	}
+}
+
+// TestCanonicalRunKeyV2Distinct: the v1 and v2 key spaces must never
+// collide -- they cache different document shapes for the same run.
+func TestCanonicalRunKeyV2Distinct(t *testing.T) {
+	spec, plan, err := (Scenario{Version: 2, Workflow: WorkflowSection{Name: "1deg"}}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := CanonicalRunKey(spec, plan)
+	v2 := CanonicalRunKeyV2(spec, plan)
+	if v1 == v2 {
+		t.Fatal("v1 and v2 cache keys collide")
+	}
+	if !strings.HasSuffix(v2, v1) {
+		t.Errorf("v2 key is not a versioned wrapper of the v1 key: %q", v2)
+	}
+}
+
+// TestCanonicalRunKeyNewKnobsDistinct: every knob added in this schema
+// revision must perturb the key, or the cache would serve one
+// scenario's document for another.
+func TestCanonicalRunKeyNewKnobsDistinct(t *testing.T) {
+	base := Scenario{
+		Version:  2,
+		Workflow: WorkflowSection{Name: "1deg"},
+		Fleet:    &FleetSection{Processors: 16, Reliable: 4},
+		Spot:     &SpotSection{RatePerHour: 1, Seed: 1, Discount: 0.5},
+		Recovery: &RecoverySection{CheckpointSeconds: 300, CheckpointOverheadSeconds: 10, CheckpointBytes: 1e8},
+	}
+	spec, plan, err := base.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey := CanonicalRunKeyV2(spec, plan)
+	for name, mutate := range map[string]func(Scenario) (Scenario, error){
+		"checkpoint bytes": func(s Scenario) (Scenario, error) { return s.With("recovery.checkpoint_bytes", 2e8) },
+		"workflow ccr":     func(s Scenario) (Scenario, error) { return s.With("workflow.ccr", 0.3) },
+		"cpu rate":         func(s Scenario) (Scenario, error) { return s.With("pricing.cpu_per_hour", 0.2) },
+		"granularity":      func(s Scenario) (Scenario, error) { return s.With("pricing.granularity", "per-hour") },
+		"fleet split":      func(s Scenario) (Scenario, error) { return s.With("fleet.reliable", 8) },
+	} {
+		mutated, err := mutate(base)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mspec, mplan, err := mutated.Resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if CanonicalRunKeyV2(mspec, mplan) == baseKey {
+			t.Errorf("scenarios differing only in %s share a cache key", name)
+		}
+	}
+}

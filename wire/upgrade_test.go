@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire fixtures")
+
+// v1Fixtures spans the legacy surface: every request family the v1
+// schema can express.
+var v1Fixtures = map[string]RunRequest{
+	"baseline":    {Workflow: "1deg"},
+	"provisioned": {Workflow: "1deg", Mode: "cleanup", Processors: 16, Billing: "provisioned", BandwidthMbps: 100},
+	"degrees":     {Degrees: 0.5},
+	"spot": {Workflow: "1deg", Processors: 16, Spot: &SpotRequest{
+		RatePerHour: 1.5, Seed: 7, Discount: 0.65, OnDemandProcessors: 4,
+		CheckpointSeconds: 300, CheckpointOverheadSeconds: 10}},
+	"calm-mixed": {Workflow: "1deg", Processors: 8, Spot: &SpotRequest{OnDemandProcessors: 2, Discount: 0.5}},
+}
+
+// v2Fixtures exercises what only the v2 schema can say.
+var v2Fixtures = map[string]Scenario{
+	"baseline": {Version: 2, Workflow: WorkflowSection{Name: "1deg"}},
+	"full": {
+		Version:  2,
+		Workflow: WorkflowSection{Name: "1deg"},
+		Fleet:    &FleetSection{Processors: 16, Reliable: 4},
+		Storage:  &StorageSection{Mode: "regular", BandwidthMbps: 100},
+		Pricing:  &PricingSection{Billing: "on-demand", CPUPerHour: 0.25},
+		Spot:     &SpotSection{RatePerHour: 1.5, Seed: 7, Discount: 0.65},
+		Recovery: &RecoverySection{CheckpointSeconds: 300, CheckpointOverheadSeconds: 10, CheckpointBytes: 5e8},
+	},
+	"ccr": {Version: 2, Workflow: WorkflowSection{Name: "1deg", CCR: 0.4},
+		Fleet: &FleetSection{Processors: 8}, Pricing: &PricingSection{Billing: "provisioned"}},
+}
+
+// TestUpgradeScenarioShape pins the v1 -> v2 field mapping.
+func TestUpgradeScenarioShape(t *testing.T) {
+	got := v1Fixtures["spot"].Scenario()
+	want := Scenario{
+		Version:  2,
+		Workflow: WorkflowSection{Name: "1deg"},
+		Fleet:    &FleetSection{Processors: 16, Reliable: 4},
+		Spot:     &SpotSection{RatePerHour: 1.5, Seed: 7, Discount: 0.65},
+		Recovery: &RecoverySection{CheckpointSeconds: 300, CheckpointOverheadSeconds: 10},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("upgraded scenario = %+v, want %+v", got, want)
+	}
+}
+
+// TestUpgradeByteIdentity is the adapter proof of the acceptance
+// criterion: a v1 request and its upgraded v2 scenario resolve to the
+// same (spec, plan) and therefore produce byte-identical v1 result
+// documents.
+func TestUpgradeByteIdentity(t *testing.T) {
+	for name, req := range v1Fixtures {
+		t.Run(name, func(t *testing.T) {
+			spec1, plan1, err := req.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec2, plan2, err := req.Scenario().Resolve()
+			if err != nil {
+				t.Fatalf("upgraded scenario does not resolve: %v", err)
+			}
+			if spec1 != spec2 {
+				t.Fatalf("specs differ: %+v vs %+v", spec1, spec2)
+			}
+			if !reflect.DeepEqual(plan1, plan2) {
+				t.Fatalf("plans differ: %+v vs %+v", plan1, plan2)
+			}
+			a := runDoc(t, spec1, plan1)
+			b := runDoc(t, spec2, plan2)
+			if !bytes.Equal(a, b) {
+				t.Error("v1 and upgraded-v2 result documents differ")
+			}
+		})
+	}
+}
+
+func runDoc(t *testing.T, spec montage.Spec, plan core.Plan) []byte {
+	t.Helper()
+	wf, err := montage.Cached(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(wf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := NewRunDocument(res).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestGoldenDocuments pins the marshaled wire documents of both schema
+// versions against checked-in fixtures: any unintended byte-level drift
+// in the run documents (field renames, ordering, number formatting)
+// fails here first.  Regenerate intentionally with -update.
+func TestGoldenDocuments(t *testing.T) {
+	for name, req := range v1Fixtures {
+		t.Run("v1/"+name, func(t *testing.T) {
+			spec, plan, err := req.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, filepath.Join("testdata", "v1_"+name+".golden.json"), runDoc(t, spec, plan))
+		})
+	}
+	for name, sc := range v2Fixtures {
+		t.Run("v2/"+name, func(t *testing.T) {
+			spec, plan, err := sc.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wf, err := montage.Cached(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(wf, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := NewRunDocumentV2(spec, res).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, filepath.Join("testdata", "v2_"+name+".golden.json"), body)
+		})
+	}
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run go test ./wire -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("document drifted from %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package wire
+
+// The frozen v1 wire schema.  RunRequest is the original flat request
+// the service launched with: top-level knobs plus a bolted-on spot
+// sub-object.  It is deprecated in favour of the v2 Scenario; /v1
+// endpoints keep accepting it, but resolution is implemented by
+// upgrading into v2 (RunRequest.Scenario) so the legacy surface can
+// never drift from the current one.  The upgrade is proven lossless by
+// the byte-identity tests in upgrade_test.go.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+)
+
+// RunRequest is the v1 wire form of one simulation request: a workflow
+// selector plus the plan knobs a caller may turn.  The zero value of
+// every plan field reproduces the paper's baseline (regular mode, full
+// parallelism, on-demand billing, 10 Mbps).
+//
+// Deprecated: new callers should POST a v2 Scenario to /v2/run.
+type RunRequest struct {
+	// Workflow selects a preset: 1deg, 2deg or 4deg (the full
+	// montage-Ndeg names are accepted too).  Empty selects a custom
+	// mosaic via Degrees.
+	Workflow string `json:"workflow,omitempty"`
+	// Degrees sizes a custom mosaic when Workflow is empty.
+	Degrees float64 `json:"degrees,omitempty"`
+
+	// Mode is the data-management model: remote-io, regular or cleanup.
+	Mode string `json:"mode,omitempty"`
+	// Processors provisioned; 0 means enough for full parallelism.
+	Processors int `json:"processors,omitempty"`
+	// Billing is provisioned or on-demand.
+	Billing string `json:"billing,omitempty"`
+	// BandwidthMbps is the user<->cloud link speed; 0 means the paper's
+	// 10 Mbps.
+	BandwidthMbps float64 `json:"bandwidth_mbps,omitempty"`
+
+	// Spot, when present, simulates a custom spot scenario: seeded
+	// per-instance capacity reclaims, optionally on a mixed fleet with
+	// checkpoint/restart recovery.  Absent reproduces reliable capacity.
+	Spot *SpotRequest `json:"spot,omitempty"`
+}
+
+// SpotRequest is the v1 wire form of a spot scenario: the market knobs,
+// a fleet split, and the recovery policy, flattened into one object.
+//
+// Deprecated: v2 scenarios split these across the fleet, spot and
+// recovery sections.
+type SpotRequest struct {
+	// RatePerHour is each spot instance's reclaim intensity; 0 disables
+	// revocations (useful to price a mixed fleet under a calm market).
+	RatePerHour float64 `json:"rate_per_hour,omitempty"`
+	// WarningSeconds is the reclaim notice lead; 0 defaults to EC2's
+	// 120 s when revocations are enabled.
+	WarningSeconds float64 `json:"warning_seconds,omitempty"`
+	// DowntimeSeconds is how long reclaimed capacity stays gone; 0
+	// defaults to 600 s when revocations are enabled.
+	DowntimeSeconds float64 `json:"downtime_seconds,omitempty"`
+	// Seed drives the deterministic revocation sampling.
+	Seed int64 `json:"seed,omitempty"`
+	// Discount is the fraction taken off the on-demand CPU rate for
+	// spot capacity, in [0, 1).
+	Discount float64 `json:"discount,omitempty"`
+	// OnDemandProcessors is the reliable sub-pool of a mixed fleet:
+	// never reclaimed, billed at the full rate, and hosting the
+	// critical-path tasks.
+	OnDemandProcessors int `json:"on_demand_processors,omitempty"`
+	// CheckpointSeconds enables checkpoint/restart recovery with this
+	// interval of useful compute between checkpoints; 0 re-runs
+	// preempted tasks from scratch.
+	CheckpointSeconds float64 `json:"checkpoint_seconds,omitempty"`
+	// CheckpointOverheadSeconds is the wall-clock cost of writing one
+	// checkpoint.
+	CheckpointOverheadSeconds float64 `json:"checkpoint_overhead_seconds,omitempty"`
+}
+
+// Scenario upgrades the flat v1 request into the versioned v2 document:
+// the one mapping between the two schemas.  The upgrade is lossless --
+// resolving the upgraded scenario produces exactly the spec and plan
+// the v1 request describes (and Resolve is implemented that way).
+func (r RunRequest) Scenario() Scenario {
+	s := Scenario{
+		Version:  Version,
+		Workflow: WorkflowSection{Name: r.Workflow, Degrees: r.Degrees},
+	}
+	if r.Processors != 0 {
+		s.Fleet = &FleetSection{Processors: r.Processors}
+	}
+	if r.Mode != "" || r.BandwidthMbps != 0 {
+		s.Storage = &StorageSection{Mode: r.Mode, BandwidthMbps: r.BandwidthMbps}
+	}
+	if r.Billing != "" {
+		s.Pricing = &PricingSection{Billing: r.Billing}
+	}
+	if sp := r.Spot; sp != nil {
+		if sp.OnDemandProcessors != 0 {
+			if s.Fleet == nil {
+				s.Fleet = &FleetSection{}
+			}
+			s.Fleet.Reliable = sp.OnDemandProcessors
+		}
+		market := SpotSection{
+			RatePerHour:     sp.RatePerHour,
+			WarningSeconds:  sp.WarningSeconds,
+			DowntimeSeconds: sp.DowntimeSeconds,
+			Seed:            sp.Seed,
+			Discount:        sp.Discount,
+		}
+		if market != (SpotSection{}) {
+			s.Spot = &market
+		}
+		if sp.CheckpointSeconds != 0 || sp.CheckpointOverheadSeconds != 0 {
+			s.Recovery = &RecoverySection{
+				CheckpointSeconds:         sp.CheckpointSeconds,
+				CheckpointOverheadSeconds: sp.CheckpointOverheadSeconds,
+			}
+		}
+	}
+	return s
+}
+
+// Resolve turns the v1 request into a concrete spec and plan by
+// upgrading it into a v2 scenario first: the legacy surface is a thin
+// adapter over the current one.  Only the constraints the v1 shape
+// itself imposes are checked here.
+func (r RunRequest) Resolve() (montage.Spec, core.Plan, error) {
+	if r.Spot != nil && *r.Spot == (SpotRequest{}) {
+		return montage.Spec{}, core.Plan{}, fmt.Errorf("wire: empty spot request (set rate_per_hour, on_demand_processors or checkpoint_seconds)")
+	}
+	return r.Scenario().Resolve()
+}
