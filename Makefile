@@ -1,0 +1,34 @@
+# Repro build/test entry points.  Everything here is plain Go tooling;
+# the scripts under scripts/ are POSIX sh.
+
+GO ?= go
+
+.PHONY: build test vet race bench smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet the whole module; the CI gate alongside test.
+vet:
+	$(GO) vet ./...
+
+# race-test the packages with concurrent internals that the policy
+# seams thread through: the executor and the policy registries.
+race:
+	$(GO) test -race ./internal/exec/ ./internal/policy/
+
+# bench runs the executor and event-engine benchmark suites with
+# repeats (BENCH_COUNT, default 3) and writes BENCH_exec.json at the
+# repo root.
+bench:
+	sh scripts/bench.sh
+
+# smoke boots reprosrv, POSTs a two-bundle policy tournament and
+# asserts the NDJSON ranking envelope.
+smoke:
+	sh scripts/smoke_tournament.sh
+
+check: build vet test race smoke

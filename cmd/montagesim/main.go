@@ -11,7 +11,10 @@
 //	montagesim -run 1deg -json
 //	montagesim -run 1deg -procs 16 -spot-rate 1.5 -spot-discount 0.65 \
 //	    -spot-ondemand 4 -spot-ckpt 300 -spot-ckpt-overhead 10 -json
+//	montagesim -run 1deg -procs 16 -spot-rate 1 -spot-ondemand 4 \
+//	    -spot-ckpt 300 -placement heft -victim cost-aware
 //	montagesim -scenario scenario.json
+//	montagesim -scenario scenario.json -csv
 //	montagesim -scenario sweep.json        # {scenario, axes} document
 //	montagesim -scenario - < scenario.json
 //
@@ -21,7 +24,10 @@
 // the API can never drift apart.  The -run flag simulates a single
 // custom configuration, including seeded spot scenarios and mixed
 // fleets via the -spot-* flags; with -json it emits the exact result
-// document POST /v1/run returns, byte for byte.
+// document POST /v1/run returns, byte for byte.  The -placement,
+// -victim, -checkpoint-policy and -pool-sizing flags select named
+// scheduling/recovery policies for the custom run (v2 scenario
+// documents select them via their policies section instead).
 //
 // The -scenario flag is the v2 path: it reads one declarative
 // ScenarioSpec document (the same JSON POST /v2/run accepts) and runs
@@ -29,7 +35,8 @@
 // returns.  If the document is a sweep request -- a {"scenario": ...,
 // "axes": [{"axis": <any scenario path>, "values": [...]}]} pair -- the
 // grid streams to stdout as NDJSON envelopes byte-identical to a
-// POST /v2/sweep response.
+// POST /v2/sweep response.  With -csv the single run (or the whole
+// sweep grid) renders as one CSV table instead.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/wire"
@@ -66,6 +74,11 @@ func main() {
 	spotOnDemand := flag.Int("spot-ondemand", 0, "custom run: reliable on-demand processors of a mixed fleet")
 	spotCkpt := flag.Float64("spot-ckpt", 0, "custom run: checkpoint interval seconds (0 = restart preempted tasks from scratch)")
 	spotCkptOverhead := flag.Float64("spot-ckpt-overhead", 0, "custom run: wall-clock seconds per checkpoint write")
+	placement := flag.String("placement", "", "custom run: reliable-slot placement policy (rank, heft, fifo)")
+	victim := flag.String("victim", "", "custom run: spot reclaim victim policy (deterministic, cost-aware, least-progress)")
+	ckptPolicy := flag.String("checkpoint-policy", "", "custom run: checkpoint trigger policy (interval, adaptive, risk)")
+	poolSizing := flag.String("pool-sizing", "", "custom run: reliable/spot pool-sizing policy (static, quarter, half)")
+	csvOut := flag.Bool("csv", false, "scenario run: emit the result table (or sweep grid table) as CSV")
 	flag.Parse()
 
 	// Ctrl-C cancels the whole experiment grid cooperatively: in-flight
@@ -80,6 +93,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmtArg = "json"
+	}
+	if *csvOut {
+		if *scenario == "" || *jsonOut {
+			fmt.Fprintln(os.Stderr, "montagesim: -csv applies to -scenario (and excludes -json)")
+			os.Exit(1)
+		}
+		fmtArg = "csv"
+	}
+	bundle := policy.Bundle{
+		Placement:  *placement,
+		Victim:     *victim,
+		Checkpoint: *ckptPolicy,
+		Sizing:     *poolSizing,
+	}
+	if bundle != (policy.Bundle{}) && *run == "" {
+		fmt.Fprintln(os.Stderr, "montagesim: policy flags apply to -run (scenario documents carry their own policies section)")
+		os.Exit(1)
 	}
 	req := repro.RunRequest{
 		Workflow:   *run,
@@ -100,13 +130,13 @@ func main() {
 	if spot != (repro.SpotRequest{}) {
 		req.Spot = &spot
 	}
-	if err := realMain(ctx, *exp, fmtArg, *scenario, req); err != nil {
+	if err := realMain(ctx, *exp, fmtArg, *scenario, req, bundle); err != nil {
 		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.RunRequest) error {
+func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.RunRequest, bundle policy.Bundle) error {
 	selected := 0
 	for _, set := range []bool{exp != "", req.Workflow != "", scenarioPath != ""} {
 		if set {
@@ -119,7 +149,7 @@ func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.R
 	case exp != "":
 		return runExperiment(ctx, exp, format, os.Stdout)
 	case req.Workflow != "":
-		return runCustom(ctx, req, format, os.Stdout)
+		return runCustom(ctx, req, bundle, format, os.Stdout)
 	case scenarioPath != "":
 		return runScenario(ctx, scenarioPath, format, os.Stdout)
 	default:
@@ -190,11 +220,15 @@ func runExperiment(ctx context.Context, name, format string, w io.Writer) error 
 	})
 }
 
-func runCustom(ctx context.Context, req repro.RunRequest, format string, w io.Writer) error {
+// runCustom resolves a v1 request and runs it.  The policy bundle is
+// applied to the resolved plan -- the v1 wire shape is frozen, so policy
+// selection is a CLI-level knob here and a scenario section on v2.
+func runCustom(ctx context.Context, req repro.RunRequest, bundle policy.Bundle, format string, w io.Writer) error {
 	spec, plan, err := req.Resolve()
 	if err != nil {
 		return err
 	}
+	plan.Policies = bundle
 	res, err := simulate(ctx, spec, plan)
 	if err != nil {
 		return err
@@ -229,6 +263,9 @@ func runScenario(ctx context.Context, path, format string, w io.Writer) error {
 		if err := wire.DecodeStrict(bytes.NewReader(raw), &req); err != nil {
 			return err
 		}
+		if format == "csv" {
+			return writeGridCSV(ctx, req, w)
+		}
 		return streamGrid(ctx, req, w)
 	}
 	var sc wire.Scenario
@@ -251,7 +288,25 @@ func runScenario(ctx context.Context, path, format string, w io.Writer) error {
 		_, err = w.Write(body)
 		return err
 	}
+	if format == "csv" {
+		return buildRunTable(spec, res).WriteCSV(w)
+	}
 	return writeRunTable(spec, res, w)
+}
+
+// writeGridCSV runs the whole sweep grid and renders it as one CSV
+// table (one column per axis plus the headline outcomes), the batch
+// counterpart of the NDJSON stream.
+func writeGridCSV(ctx context.Context, req wire.SweepRequest, w io.Writer) error {
+	rows, err := experiments.ScenarioGrid(ctx, req)
+	if err != nil {
+		return err
+	}
+	tbl, err := experiments.GridTable(req, rows)
+	if err != nil {
+		return err
+	}
+	return tbl.WriteCSV(w)
 }
 
 // streamGrid expands and runs a sweep request's grid on the concurrent
@@ -305,6 +360,10 @@ func simulate(ctx context.Context, spec repro.Spec, plan repro.Plan) (repro.Resu
 }
 
 func writeRunTable(spec repro.Spec, res repro.Result, w io.Writer) error {
+	return buildRunTable(spec, res).WriteText(w)
+}
+
+func buildRunTable(spec repro.Spec, res repro.Result) *report.Table {
 	plan := res.Plan
 	tbl := report.New(fmt.Sprintf("%s, %s mode, %s billing", spec.Name, plan.Mode, plan.Billing),
 		"quantity", "value")
@@ -329,5 +388,5 @@ func writeRunTable(spec repro.Spec, res repro.Result, w io.Writer) error {
 	tbl.MustAdd("storage cost", res.Cost.Storage.String())
 	tbl.MustAdd("transfer cost", res.Cost.Transfer().String())
 	tbl.MustAdd("total cost", res.Cost.Total().String())
-	return tbl.WriteText(w)
+	return tbl
 }

@@ -1,0 +1,66 @@
+// Tournament: rank scheduling and recovery policy bundles on one
+// scenario.  Every decision point of the simulator -- reliable-slot
+// placement, reclaim victim selection, checkpoint spacing, fleet
+// sizing -- is a named policy from a registry; a bundle picks one per
+// slot, and the tournament runs the same seeded spot scenario under
+// each bundle and ranks them by cost, makespan and wasted CPU.  The
+// zero bundle reproduces the paper's historical behavior exactly.
+//
+//	go run ./examples/tournament
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/policy"
+	"repro/wire"
+)
+
+func main() {
+	// The registries enumerate every competitor each slot can field.
+	fmt.Println("registered policies:")
+	fmt.Printf("  placement:  %v\n", policy.Placements())
+	fmt.Printf("  victim:     %v\n", policy.Victims())
+	fmt.Printf("  checkpoint: %v\n", policy.Checkpoints())
+	fmt.Printf("  sizing:     %v\n\n", policy.Sizings())
+
+	// The default tournament: the canned arena (1-degree mosaic, 16
+	// processors with a 4-slot reliable floor, a reclaiming spot market,
+	// checkpoint/restart) under the default roster -- the historical
+	// defaults plus every competitor, one slot varied at a time.
+	// Exactly what montagesim -exp policy-tournament and
+	// POST /v2/experiments/policy-tournament run.
+	rows, err := experiments.Tournament(context.Background(),
+		experiments.DefaultTournamentScenario(), experiments.DefaultTournamentBundles())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, err := experiments.TournamentTable(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// A head-to-head: the historical defaults against one hand-picked
+	// challenger bundle, on a harsher market.
+	base := experiments.DefaultTournamentScenario()
+	base.Spot.RatePerHour = 2
+	head, err := experiments.Tournament(context.Background(), base, []wire.PoliciesSection{
+		{},
+		{Placement: "heft", Victim: "cost-aware", Checkpoint: "adaptive", Sizing: "half"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, st := range experiments.RankTournament(head) {
+		fmt.Printf("rank %d: bundle %d  $%.4f  %.0f s makespan  %.0f CPU-s wasted\n",
+			st.Rank, st.Index, st.CostDollars, st.MakespanSeconds, st.WastedCPUSeconds)
+	}
+}

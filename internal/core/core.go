@@ -23,6 +23,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/datamgmt"
 	"repro/internal/exec"
+	"repro/internal/policy"
 	"repro/internal/sweep"
 	"repro/internal/units"
 )
@@ -85,6 +86,10 @@ type Plan struct {
 	// value reproduces reliable capacity.  Mutually exclusive with
 	// explicit Preemptions.
 	Spot SpotPlan
+	// Policies names the scheduling and recovery policies of the run,
+	// one per decision point (placement, victim, checkpoint, sizing).
+	// The zero value selects the historical defaults.
+	Policies policy.Bundle
 }
 
 // SpotPlan is a declarative spot scenario: instead of handing the plan
@@ -176,6 +181,7 @@ func (p Plan) normalized() Plan {
 	if p.Pricing == (cost.Pricing{}) {
 		p.Pricing = cost.Amazon2008()
 	}
+	p.Policies = p.Policies.Canonical()
 	return p
 }
 
@@ -205,6 +211,9 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("core: plan sets both a declarative Spot scenario and explicit Preemptions; use one")
 		}
 	}
+	if err := p.Policies.Validate(); err != nil {
+		return err
+	}
 	return p.normalized().Pricing.Validate()
 }
 
@@ -227,18 +236,30 @@ func RunContext(ctx context.Context, wf *dag.Workflow, plan Plan) (Result, error
 		return Result{}, err
 	}
 	p := plan.normalized()
+	resolved, err := p.Policies.Resolve()
+	if err != nil {
+		return Result{}, err
+	}
+	// The pool-sizing policy fixes the reliable/spot split before the
+	// revocation schedule is sampled: the spot sub-pool's size decides
+	// how many instances draw reclaim events.
+	procs := p.Processors
+	if procs == 0 {
+		procs = wf.MaxParallelism()
+	}
+	spotActive := len(p.Preemptions) > 0 || (p.Spot.Enabled() && p.Spot.RatePerHour > 0)
+	onDemand := resolved.Sizing.Reliable(procs, p.Spot.OnDemand, spotActive)
+	if onDemand < 0 || onDemand > procs {
+		return Result{}, fmt.Errorf("core: pool-sizing policy %q sized the reliable sub-pool to %d of %d processors", p.Policies.Sizing, onDemand, procs)
+	}
 	preemptions := p.Preemptions
 	if p.Spot.Enabled() && p.Spot.RatePerHour > 0 {
 		// Materialize the declarative scenario into per-instance reclaim
 		// events now that the pool size is known.  Only the revocable
 		// spot sub-pool is sampled.
-		procs := p.Processors
-		if procs == 0 {
-			procs = wf.MaxParallelism()
-		}
-		spotProcs := procs - p.Spot.OnDemand
+		spotProcs := procs - onDemand
 		if spotProcs < 1 {
-			return Result{}, fmt.Errorf("core: spot plan leaves no revocable capacity in a %d-processor fleet with %d on demand", procs, p.Spot.OnDemand)
+			return Result{}, fmt.Errorf("core: spot plan leaves no revocable capacity in a %d-processor fleet with %d on demand", procs, onDemand)
 		}
 		sched, err := exec.SpotScheduleInstances(
 			spotHorizon(wf, p.Bandwidth), spotProcs,
@@ -260,7 +281,9 @@ func RunContext(ctx context.Context, wf *dag.Workflow, plan Plan) (Result, error
 		FailureSeed:        p.FailureSeed,
 		Preemptions:        preemptions,
 		Recovery:           p.Recovery,
-		OnDemandProcessors: p.Spot.OnDemand,
+		OnDemandProcessors: onDemand,
+		Policies:           p.Policies,
+		SpotRatePerHour:    p.Spot.RatePerHour,
 	})
 	if err != nil {
 		return Result{}, err

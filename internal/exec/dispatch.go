@@ -1,0 +1,247 @@
+package exec
+
+// Processor scheduling: the ready queue, the greedy dispatcher and the
+// life cycle of a single attempt.  The placement policy decides which
+// tasks of a dispatch batch claim the reliable sub-pool, and the
+// checkpoint trigger decides each attempt's snapshot spacing.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/policy"
+	"repro/internal/units"
+)
+
+// releaseSlot frees the processor a task's attempt occupies, in the
+// sub-pool it was placed on.
+func (r *runner) releaseSlot(id dag.TaskID, now units.Duration) error {
+	if r.onReliable[id] {
+		r.onReliable[id] = false
+		return r.cluster.ReleaseReliable(now)
+	}
+	return r.cluster.ReleaseSpot(now)
+}
+
+// readyBefore orders the ready queue per the scheduling policy, with
+// task ID as the deterministic tie-breaker.
+func (r *runner) readyBefore(a, b dag.TaskID) bool {
+	ra, rb := r.wf.Task(a).Runtime, r.wf.Task(b).Runtime
+	switch r.cfg.Policy {
+	case LongestFirst:
+		if ra != rb {
+			return ra > rb
+		}
+	case ShortestFirst:
+		if ra != rb {
+			return ra < rb
+		}
+	}
+	return a < b
+}
+
+func (r *runner) enqueueReady(id dag.TaskID) {
+	r.phase[id] = phaseReady
+	i := sort.Search(len(r.ready), func(i int) bool { return !r.readyBefore(r.ready[i], id) })
+	r.ready = append(r.ready, 0)
+	copy(r.ready[i+1:], r.ready[i:])
+	r.ready[i] = id
+}
+
+// dispatch greedily assigns ready tasks (policy order) to free
+// processors.  During a storage outage no task may start (it could not
+// read its inputs); dispatching resumes when the window closes.  On a
+// mixed fleet the batch that starts now is placed by the placement
+// policy's priorities: the highest-priority tasks claim the reliable
+// on-demand slots, the rest run on revocable spot capacity.
+func (r *runner) dispatch(now units.Duration) {
+	if a := r.avail(now); a > now {
+		if !r.dispatchDeferred {
+			r.dispatchDeferred = true
+			r.eng.Schedule(a, func(at units.Duration) {
+				r.dispatchDeferred = false
+				r.dispatch(at)
+			})
+		}
+		return
+	}
+	n := r.cluster.Free()
+	if n > len(r.ready) {
+		n = len(r.ready)
+	}
+	if n <= 0 {
+		return
+	}
+	batch := append([]dag.TaskID(nil), r.ready[:n]...)
+	r.ready = r.ready[n:]
+	if r.prio != nil && r.cluster.FreeReliable() > 0 {
+		// Placement order, not start order: everything in the batch
+		// starts at the same instant, so reordering only decides which
+		// tasks land on the reliable sub-pool.
+		sort.SliceStable(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if r.prio[a] != r.prio[b] {
+				return r.prio[a] > r.prio[b]
+			}
+			return a < b
+		})
+	}
+	for _, id := range batch {
+		r.startTask(id, now)
+	}
+}
+
+// effectiveRecovery derives the recovery policy governing one attempt:
+// the configured recovery with its interval re-spaced by the checkpoint
+// trigger for this attempt's placement and remaining work.  A
+// non-positive trigger result keeps the configured base interval.
+func (r *runner) effectiveRecovery(rem units.Duration, onReliable bool) Recovery {
+	rec := r.cfg.Recovery
+	if !rec.Checkpoint {
+		return rec
+	}
+	iv := r.policies.Checkpoint.EffectiveInterval(policy.CheckpointContext{
+		Interval:        rec.Interval,
+		Overhead:        rec.Overhead,
+		Remaining:       rem,
+		OnReliable:      onReliable,
+		SpotRatePerHour: r.cfg.SpotRatePerHour,
+	})
+	if iv > 0 {
+		rec.Interval = iv
+	}
+	return rec
+}
+
+// startTask begins one attempt on a free processor, reliable sub-pool
+// first (on a uniform pool every slot is spot capacity).
+func (r *runner) startTask(id dag.TaskID, now units.Duration) {
+	r.onReliable[id] = r.cluster.AcquireReliable(now)
+	if !r.onReliable[id] && !r.cluster.AcquireSpot(now) {
+		r.fail(fmt.Errorf("exec: dispatch overran the free processors at %v", now))
+		return
+	}
+	r.phase[id] = phaseRunning
+	t := r.wf.Task(id)
+	// The attempt resumes from the banked progress and pays its
+	// effective recovery policy's checkpoint overhead along the way.
+	rem := t.Runtime - r.banked[id]
+	rec := r.effectiveRecovery(rem, r.onReliable[id])
+	r.runRec[id] = rec
+	wall := rec.attemptWall(rem)
+	r.runStart[id] = now
+	r.runRem[id] = rem
+	// Checkpoint data volumes: resuming from a checkpoint reads its image
+	// back out of storage, and a task's first durable checkpoint makes
+	// its image resident until the task completes (replacement writes
+	// keep the size constant, so only the first write changes occupancy).
+	if rec.Checkpoint && rec.Bytes > 0 {
+		if r.banked[id] > 0 {
+			r.ckptRestored += rec.Bytes
+		}
+		if rec.checkpointsFor(rem) > 0 && !r.storage.Has(ckptKey(id)) {
+			firstAtt := r.attempt[id]
+			r.eng.Schedule(now+rec.Interval+rec.Overhead, func(at units.Duration) {
+				if r.attempt[id] != firstAtt || r.storage.Has(ckptKey(id)) {
+					return
+				}
+				if err := r.storage.Put(at, ckptKey(id), rec.Bytes); err != nil {
+					r.fail(err)
+				}
+			})
+		}
+	}
+	if r.cfg.RecordSchedule {
+		r.spanOf[id] = len(r.schedule)
+		r.schedule = append(r.schedule, TaskSpan{
+			Task: id, Name: t.Name, Type: t.Type,
+			Start: now, Finish: now + wall,
+		})
+	}
+	att := r.attempt[id]
+	r.eng.Schedule(now+wall, func(at units.Duration) {
+		// A preemption between dispatch and completion bumps the
+		// attempt counter; this event then belongs to a dead attempt.
+		if r.attempt[id] != att {
+			return
+		}
+		r.completeTask(id, at)
+	})
+}
+
+func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
+	if err := r.releaseSlot(id, now); err != nil {
+		r.fail(err)
+		return
+	}
+	if r.cfg.RecordSchedule {
+		delete(r.spanOf, id)
+	}
+	// Reliability extension: the attempt may fail, in which case the
+	// task goes back to the ready queue and the burned CPU time stays on
+	// the bill.  An application failure discards the whole attempt,
+	// checkpoints included: the crash is presumed to have poisoned them.
+	if r.failRNG != nil && r.failRNG.Float64() < r.cfg.FailureProb {
+		r.retries++
+		// The crash poisons the failed attempt's own checkpoints, but
+		// progress banked by earlier preemptions survives (banked[id] is
+		// untouched), so its backing image must stay resident for the
+		// retry to restore from.  Only an image with nothing banked
+		// behind it is poisoned garbage.
+		if r.banked[id] == 0 {
+			if err := r.dropCheckpoint(id, now); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		r.enqueueReady(id)
+		r.dispatch(now)
+		return
+	}
+	rec := r.runRec[id]
+	n := rec.checkpointsFor(r.runRem[id])
+	r.checkpoints += n
+	r.ckptWritten += units.Bytes(n) * rec.Bytes
+	// A completed task's checkpoint image is garbage; free the storage.
+	if err := r.dropCheckpoint(id, now); err != nil {
+		r.fail(err)
+		return
+	}
+	r.phase[id] = phaseDone
+	r.doneTasks++
+	t := r.wf.Task(id)
+
+	switch r.cfg.Mode {
+	case datamgmt.Regular, datamgmt.Cleanup:
+		for _, name := range t.Outputs {
+			f := r.wf.File(name)
+			if err := r.storage.Put(now, name, f.Size); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		if r.analyzer != nil {
+			for _, dead := range r.analyzer.TaskDone(id) {
+				if err := r.storage.Delete(now, dead); err != nil {
+					r.fail(err)
+					return
+				}
+			}
+		}
+		for _, c := range t.Children() {
+			r.depsLeft[c]--
+			if r.depsLeft[c] == 0 {
+				r.enqueueReady(c)
+			}
+		}
+		if r.doneTasks == r.wf.NumTasks() {
+			r.finishResident(now)
+			return
+		}
+	case datamgmt.RemoteIO:
+		r.finishRemoteTask(id, now)
+	}
+	r.dispatch(now)
+}

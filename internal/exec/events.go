@@ -1,0 +1,186 @@
+package exec
+
+// Data-staging event flows: the resident models (Regular/Cleanup) stage
+// everything in, run, and stage out once; the Remote I/O model streams
+// every task's inputs and outputs individually.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloudsim"
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+// ---- Regular / Cleanup ----
+
+func (r *runner) startResident() {
+	// Phase 1: stage in every external input, serialized on the link in
+	// name order.  Each file becomes resident on arrival.
+	start := r.avail(r.eng.Now())
+	stageInEnd := start
+	for _, f := range r.wf.ExternalInputs() {
+		f := f
+		_, end, err := r.reserveAvail(start, f.Size, cloudsim.In)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.eng.Schedule(end, func(now units.Duration) {
+			if err := r.storage.Put(now, f.Name, f.Size); err != nil {
+				r.fail(err)
+			}
+		})
+		if end > stageInEnd {
+			stageInEnd = end
+		}
+	}
+	// Phase 2 begins when all inputs are resident.
+	r.eng.Schedule(stageInEnd, func(now units.Duration) {
+		for _, t := range r.wf.Tasks() {
+			if r.depsLeft[t.ID] == 0 {
+				r.enqueueReady(t.ID)
+			}
+		}
+		r.dispatch(now)
+	})
+}
+
+func (r *runner) finishResident(now units.Duration) {
+	r.execEnd = now
+	r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(now)
+	r.reliableCapAtExecEnd = r.cluster.ReliableCapacityProcSeconds(now)
+	// Phase 3: stage out the declared outputs in name order, then delete
+	// everything still resident ("after that ... all the files are
+	// deleted from the storage resource").
+	var lastEnd units.Duration = now
+	for _, f := range r.wf.OutputFiles() {
+		_, end, err := r.reserveAvail(now, f.Size, cloudsim.Out)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		if end > lastEnd {
+			lastEnd = end
+		}
+	}
+	r.eng.Schedule(lastEnd, func(t units.Duration) {
+		for _, f := range r.wf.Files() {
+			if r.storage.Has(f.Name) {
+				if err := r.storage.Delete(t, f.Name); err != nil {
+					r.fail(err)
+					return
+				}
+			}
+		}
+		r.makespan = t
+	})
+}
+
+// ---- Remote I/O ----
+
+// remoteKey namespaces a file per task: in remote I/O two concurrent
+// tasks each hold their own staged copy of a shared input.
+func remoteKey(id dag.TaskID, file string) string {
+	return fmt.Sprintf("t%d/%s", id, file)
+}
+
+func (r *runner) startRemoteIO() {
+	for _, t := range r.wf.Tasks() {
+		if r.depsLeft[t.ID] == 0 {
+			r.beginStaging(t.ID)
+		}
+	}
+}
+
+// beginStaging starts the input transfers of a remote-I/O task.  The
+// task fetches its files over its own connection, one after another, at
+// full bandwidth; concurrent tasks do not contend (each remote-I/O task
+// is an independent stream in the paper's model).
+func (r *runner) beginStaging(id dag.TaskID) {
+	t := r.wf.Task(id)
+	r.phase[id] = phaseStaging
+	cur := r.eng.Now()
+	inputs := append([]string(nil), t.Inputs...)
+	sort.Strings(inputs)
+	for _, name := range inputs {
+		f := r.wf.File(name)
+		key := remoteKey(id, name)
+		cur = r.avail(cur)
+		_, end, err := r.link.Record(cur, f.Size, cloudsim.In)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		size := f.Size
+		r.eng.Schedule(end, func(at units.Duration) {
+			if err := r.storage.Put(at, key, size); err != nil {
+				r.fail(err)
+			}
+		})
+		cur = end
+	}
+	r.eng.Schedule(cur, func(at units.Duration) {
+		r.phase[id] = phaseReady
+		r.enqueueReady(id)
+		r.dispatch(at)
+	})
+}
+
+// finishRemoteTask stages out every output of a completed remote-I/O
+// task, then deletes the task's staged inputs and outputs.
+func (r *runner) finishRemoteTask(id dag.TaskID, now units.Duration) {
+	t := r.wf.Task(id)
+	// Outputs become resident at completion...
+	for _, name := range t.Outputs {
+		f := r.wf.File(name)
+		if err := r.storage.Put(now, remoteKey(id, name), f.Size); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+	// ...are transferred to the user over the task's own stream...
+	outputs := append([]string(nil), t.Outputs...)
+	sort.Strings(outputs)
+	cur := now
+	for _, name := range outputs {
+		f := r.wf.File(name)
+		cur = r.avail(cur)
+		_, end, err := r.link.Record(cur, f.Size, cloudsim.Out)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		cur = end
+	}
+	// ...and then inputs and outputs are deleted from the resource.
+	r.eng.Schedule(cur, func(at units.Duration) {
+		for _, name := range t.Inputs {
+			if err := r.storage.Delete(at, remoteKey(id, name)); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		for _, name := range t.Outputs {
+			if err := r.storage.Delete(at, remoteKey(id, name)); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+		r.stagedOut++
+		r.makespan = at
+		// Children depend on the data reaching the user.
+		for _, c := range t.Children() {
+			r.depsLeft[c]--
+			if r.depsLeft[c] == 0 {
+				r.beginStaging(c)
+			}
+		}
+		if r.stagedOut == r.wf.NumTasks() {
+			r.execEnd = at
+			r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(at)
+			r.reliableCapAtExecEnd = r.cluster.ReliableCapacityProcSeconds(at)
+		}
+	})
+}

@@ -22,268 +22,30 @@
 // A processor is held only while a task computes; the provisioned-mode
 // CPU bill (processors x provisioned window) is derived by package cost
 // from the metrics reported here.
+//
+// Every scheduling and recovery decision point is delegated to a named
+// policy from package policy (Config.Policies): reliable-slot placement,
+// reclaim victim selection and checkpoint spacing.  The zero bundle
+// reproduces the historical hard-coded behavior exactly.
+//
+// The package is split by concern: config.go (run configuration),
+// metrics.go (measurements), events.go (data-staging event flows),
+// dispatch.go (processor scheduling) and preempt.go (spot reclaims and
+// recovery); this file holds the entry points and the runner core.
 package exec
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/cloudsim"
 	"repro/internal/dag"
 	"repro/internal/datamgmt"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
-
-// Config parameterizes one simulated run.
-type Config struct {
-	// Mode selects the data-management model.
-	Mode datamgmt.Mode
-	// Processors is the size of the provisioned pool; 0 means "enough
-	// for the workflow's maximum parallelism", the paper's on-demand
-	// setup.
-	Processors int
-	// Bandwidth of the user<->cloud link; 0 defaults to 10 Mbps.
-	Bandwidth units.Bandwidth
-	// RecordCurve retains the full storage usage curve in the metrics.
-	RecordCurve bool
-	// RecordSchedule retains the per-task Gantt trace in the metrics.
-	RecordSchedule bool
-
-	// VMStartup models the cost the paper's §8 excludes from the main
-	// study: "launching and configuring a virtual machine".  The whole
-	// run is delayed by this much, and the provisioned pool is charged
-	// for it (VMs bill from launch).  Zero, the paper's assumption, by
-	// default.
-	VMStartup units.Duration
-
-	// Outages are the storage-unavailability windows of §8's reliability
-	// discussion ("when the system goes down, as it did twice in the
-	// first 7 months of 2008").  While an outage is open no new task may
-	// start and no transfer may begin; work already in flight finishes.
-	// Windows must be disjoint and sorted by start time.
-	Outages []Outage
-
-	// Policy orders the ready queue when processors are scarce.  The
-	// default (FIFO by task ID) matches the paper's GridSim setup; the
-	// alternatives exist for the scheduler ablation.
-	Policy Policy
-
-	// FailureProb is the per-attempt probability that a task fails and
-	// must be retried (a §8 reliability extension; the failed attempt's
-	// CPU time is still billed).  Must be in [0, 1); zero, the paper's
-	// assumption, disables failures.
-	FailureProb float64
-	// FailureSeed drives the deterministic failure sampling.
-	FailureSeed int64
-
-	// Preemptions are spot capacity-reclaim events (a post-paper
-	// extension: Amazon introduced spot instances in 2009).  Each one
-	// revokes processors at a scheduled instant, killing the most
-	// recently started tasks when idle slots do not cover it.  Events
-	// must be sorted by reclaim time; empty reproduces the paper's
-	// reliable capacity.
-	Preemptions []Preemption
-	// OnDemandProcessors carves a reliable on-demand sub-pool out of the
-	// processor pool: a mixed fleet.  These processors can never be
-	// revoked, the scheduler places critical-path tasks (largest upward
-	// rank) on them first, and reclaim victims are confined to the
-	// remaining spot sub-pool.  Zero means the whole pool is revocable,
-	// reproducing the single-market scenarios.
-	OnDemandProcessors int
-	// Recovery decides how a preempted task resumes: the zero value
-	// re-runs it from scratch, Checkpoint restarts it from its last
-	// durable checkpoint.
-	Recovery Recovery
-}
-
-// Policy selects the ready-queue order of the list scheduler.
-type Policy int
-
-const (
-	// FIFO runs ready tasks in task-ID order (submission order).
-	FIFO Policy = iota
-	// LongestFirst runs the longest ready task first (LPT list
-	// scheduling, the classic makespan heuristic).
-	LongestFirst
-	// ShortestFirst runs the shortest ready task first.
-	ShortestFirst
-)
-
-// String names the policy.
-func (p Policy) String() string {
-	switch p {
-	case LongestFirst:
-		return "longest-first"
-	case ShortestFirst:
-		return "shortest-first"
-	default:
-		return "fifo"
-	}
-}
-
-// ParsePolicy parses a policy name.
-func ParsePolicy(s string) (Policy, error) {
-	switch s {
-	case "fifo":
-		return FIFO, nil
-	case "longest-first", "lpt":
-		return LongestFirst, nil
-	case "shortest-first", "spt":
-		return ShortestFirst, nil
-	default:
-		return 0, fmt.Errorf("exec: unknown policy %q (want fifo, longest-first or shortest-first)", s)
-	}
-}
-
-// MarshalText encodes the policy name.
-func (p Policy) MarshalText() ([]byte, error) {
-	if p < FIFO || p > ShortestFirst {
-		return nil, fmt.Errorf("exec: cannot marshal unknown policy %d", int(p))
-	}
-	return []byte(p.String()), nil
-}
-
-// UnmarshalText decodes a policy name.
-func (p *Policy) UnmarshalText(text []byte) error {
-	parsed, err := ParsePolicy(string(text))
-	if err != nil {
-		return err
-	}
-	*p = parsed
-	return nil
-}
-
-// Outage is a half-open window [Start, End) during which the storage
-// service is unreachable.
-type Outage struct {
-	Start units.Duration
-	End   units.Duration
-}
-
-// validateOutages checks ordering and disjointness.
-func validateOutages(outages []Outage) error {
-	for i, o := range outages {
-		if o.End <= o.Start || o.Start < 0 {
-			return fmt.Errorf("exec: invalid outage window [%v,%v)", o.Start, o.End)
-		}
-		if i > 0 && o.Start < outages[i-1].End {
-			return fmt.Errorf("exec: outage windows overlap or are unsorted at index %d", i)
-		}
-	}
-	return nil
-}
-
-// nextAvailable returns the earliest time >= now outside every outage.
-// Windows may be back-to-back (Start == prev.End), so leaving one window
-// can land exactly inside the next; the scan must continue until a time
-// falls strictly before the next window's start.
-func nextAvailable(outages []Outage, now units.Duration) units.Duration {
-	for _, o := range outages {
-		if now < o.Start {
-			return now
-		}
-		if now < o.End {
-			now = o.End
-		}
-	}
-	return now
-}
-
-// DefaultBandwidth is the paper's user-to-storage link speed.
-var DefaultBandwidth = units.Mbps(10)
-
-// Metrics is everything measured during one run.
-type Metrics struct {
-	Workflow   string
-	Mode       datamgmt.Mode
-	Processors int
-
-	// ExecTime is the window during which the provisioned processors are
-	// held: input staging plus task execution.  This is the "execution
-	// time" plotted in Figs. 4-6.
-	ExecTime units.Duration
-	// Makespan additionally includes the final stage-out of the outputs
-	// to the user.
-	Makespan units.Duration
-
-	// BytesIn and BytesOut are the data volumes moved over the link,
-	// split by direction because Amazon charges them differently.
-	BytesIn  units.Bytes
-	BytesOut units.Bytes
-
-	// StorageByteSeconds is the area under the storage usage curve.
-	StorageByteSeconds float64
-	// PeakStorage is the high-water mark of resident bytes.
-	PeakStorage units.Bytes
-
-	// CPUSeconds is the total compute time consumed, including failed
-	// attempts: the on-demand CPU bill.
-	CPUSeconds float64
-	// SpotCPUSeconds is the share of CPUSeconds consumed on the
-	// revocable spot sub-pool, billed at the spot rate in a mixed fleet.
-	// With no reliable sub-pool the whole pool is revocable, so this
-	// equals CPUSeconds.
-	SpotCPUSeconds float64
-	// OnDemandProcessors is the reliable sub-pool size of a mixed fleet;
-	// 0 means the whole pool is revocable.
-	OnDemandProcessors int
-	// CapacityProcSeconds is the integral of available processors over
-	// the ExecTime window: the capacity-seconds actually present, which
-	// revocations shrink and restores grow back.
-	CapacityProcSeconds float64
-	// ReliableCapacityProcSeconds is the reliable on-demand sub-pool's
-	// share of CapacityProcSeconds; revocations never touch it, so it is
-	// exactly the sub-pool size times the ExecTime window.
-	ReliableCapacityProcSeconds float64
-	// SpotCapacityProcSeconds is the revocable spot sub-pool's share of
-	// CapacityProcSeconds: what fleet-sizing dashboards divide the spot
-	// consumption by.  On a uniform pool it equals CapacityProcSeconds.
-	SpotCapacityProcSeconds float64
-	// Utilization is CPUSeconds over CapacityProcSeconds: consumption
-	// against the capacity that was actually available, not the static
-	// provisioned pool.  Without revocations the two denominators agree.
-	Utilization float64
-
-	TasksRun int
-	// Retries counts failed task attempts that were re-run.
-	Retries int
-	// Preempted counts task attempts killed by capacity reclaims.
-	Preempted int
-	// WastedCPUSeconds is the busy processor time burned by preempted
-	// attempts that did not survive as banked progress: billed, lost.
-	WastedCPUSeconds float64
-	// Checkpoints counts durable checkpoints written (periodic plus
-	// warning-window emergency ones).
-	Checkpoints int
-	// CheckpointBytesWritten is the data volume moved into cloud storage
-	// by checkpoint writes (Checkpoints x Recovery.Bytes); zero when the
-	// recovery policy declares no checkpoint size.
-	CheckpointBytesWritten units.Bytes
-	// CheckpointBytesRestored is the data volume read back out of cloud
-	// storage by attempts resuming from a checkpoint.
-	CheckpointBytesRestored units.Bytes
-	// Curve is the storage usage curve (only when Config.RecordCurve).
-	Curve []cloudsim.UsagePoint
-	// Schedule is the per-task Gantt trace in completion order (only
-	// when Config.RecordSchedule).
-	Schedule []TaskSpan
-}
-
-// TaskSpan is one task's compute window.
-type TaskSpan struct {
-	Task   dag.TaskID
-	Name   string
-	Type   string
-	Start  units.Duration
-	Finish units.Duration
-}
-
-// GBHoursStorage returns the storage integral in GB-hours, the unit of
-// Figs. 7-9.
-func (m Metrics) GBHoursStorage() float64 { return units.GBHours(m.StorageByteSeconds) }
 
 // Run simulates wf under cfg and returns the measured metrics.
 func Run(wf *dag.Workflow, cfg Config) (Metrics, error) {
@@ -320,6 +82,13 @@ func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, err
 	if err := cfg.Recovery.validate(); err != nil {
 		return Metrics{}, err
 	}
+	if cfg.SpotRatePerHour < 0 {
+		return Metrics{}, fmt.Errorf("exec: negative spot rate %v/hour", cfg.SpotRatePerHour)
+	}
+	resolved, err := cfg.Policies.Resolve()
+	if err != nil {
+		return Metrics{}, fmt.Errorf("exec: %w", err)
+	}
 	procs := cfg.Processors
 	if procs == 0 {
 		procs = wf.MaxParallelism()
@@ -349,12 +118,13 @@ func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, err
 		return Metrics{}, err
 	}
 	r := &runner{
-		wf:      wf,
-		cfg:     cfg,
-		eng:     &sim.Engine{},
-		storage: cloudsim.NewStorage(cfg.RecordCurve),
-		link:    link,
-		cluster: cluster,
+		wf:       wf,
+		cfg:      cfg,
+		policies: resolved,
+		eng:      &sim.Engine{},
+		storage:  cloudsim.NewStorage(cfg.RecordCurve),
+		link:     link,
+		cluster:  cluster,
 	}
 	if cfg.Mode == datamgmt.Cleanup {
 		if r.analyzer, err = datamgmt.NewAnalyzer(wf); err != nil {
@@ -378,8 +148,9 @@ const (
 )
 
 type runner struct {
-	wf  *dag.Workflow
-	cfg Config
+	wf       *dag.Workflow
+	cfg      Config
+	policies policy.Resolved
 
 	eng      *sim.Engine
 	storage  *cloudsim.Storage
@@ -403,22 +174,26 @@ type runner struct {
 	// Preemption bookkeeping, all indexed by task ID: the attempt
 	// counter disarms stale completion events, banked is the useful work
 	// preserved across kills, runStart/runRem describe the attempt in
-	// flight, onReliable records which sub-pool the attempt occupies.
+	// flight, onReliable records which sub-pool the attempt occupies,
+	// runRec is the attempt's effective recovery policy (the checkpoint
+	// trigger may space each attempt's snapshots differently).
 	attempt      []uint32
 	banked       []units.Duration
 	runStart     []units.Duration
 	runRem       []units.Duration
 	onReliable   []bool
+	runRec       []Recovery
 	preempted    int
 	wasted       float64
 	checkpoints  int
 	ckptWritten  units.Bytes
 	ckptRestored units.Bytes
 
-	// rank holds the upward (bottom-level) CCR ranks of a mixed fleet:
-	// critical-path tasks claim reliable slots first.  Nil on uniform
-	// pools, where placement is irrelevant.
-	rank []units.Duration
+	// prio holds the placement priorities of a mixed fleet: tasks with
+	// larger priority claim reliable slots first.  Nil on uniform pools
+	// (placement is irrelevant) and under placements that keep the
+	// ready-queue order.
+	prio []float64
 	// capacityAtExecEnd snapshots the cluster's capacity integral when
 	// the execution window closes: the utilization denominator.
 	// reliableCapAtExecEnd is the reliable sub-pool's share of it.
@@ -460,8 +235,17 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 	r.runStart = make([]units.Duration, n)
 	r.runRem = make([]units.Duration, n)
 	r.onReliable = make([]bool, n)
+	r.runRec = make([]Recovery, n)
 	if r.cluster.Reliable() > 0 && r.cluster.Reliable() < r.cluster.Provisioned() {
-		r.rank = r.wf.UpwardRanks()
+		bw := r.cfg.Bandwidth
+		if bw == 0 {
+			bw = DefaultBandwidth
+		}
+		r.prio = r.policies.Placement.Priorities(r.wf, policy.PlacementContext{Bandwidth: bw})
+		if r.prio != nil && len(r.prio) != n {
+			return Metrics{}, fmt.Errorf("exec: placement policy %q returned %d priorities for %d tasks",
+				r.policies.Placement.Name(), len(r.prio), n)
+		}
 	}
 	if r.cfg.RecordSchedule {
 		r.spanOf = make(map[dag.TaskID]int)
@@ -549,396 +333,4 @@ func (r *runner) run(ctx context.Context) (Metrics, error) {
 		m.Utilization = utilization(want, m.CapacityProcSeconds)
 	}
 	return m, nil
-}
-
-// utilization guards the CPUSeconds / capacity-proc-seconds division: a
-// run that accumulated no available capacity (zero width or an all-idle
-// window) reports 0 utilization, never NaN or Inf -- either would poison
-// the JSON encoding of every result document downstream (encoding/json
-// rejects non-finite floats).
-func utilization(cpuSeconds, capacityProcSeconds float64) float64 {
-	if capacityProcSeconds <= 0 {
-		return 0
-	}
-	return cpuSeconds / capacityProcSeconds
-}
-
-// ---- Regular / Cleanup ----
-
-func (r *runner) startResident() {
-	// Phase 1: stage in every external input, serialized on the link in
-	// name order.  Each file becomes resident on arrival.
-	start := r.avail(r.eng.Now())
-	stageInEnd := start
-	for _, f := range r.wf.ExternalInputs() {
-		f := f
-		_, end, err := r.reserveAvail(start, f.Size, cloudsim.In)
-		if err != nil {
-			r.fail(err)
-			return
-		}
-		r.eng.Schedule(end, func(now units.Duration) {
-			if err := r.storage.Put(now, f.Name, f.Size); err != nil {
-				r.fail(err)
-			}
-		})
-		if end > stageInEnd {
-			stageInEnd = end
-		}
-	}
-	// Phase 2 begins when all inputs are resident.
-	r.eng.Schedule(stageInEnd, func(now units.Duration) {
-		for _, t := range r.wf.Tasks() {
-			if r.depsLeft[t.ID] == 0 {
-				r.enqueueReady(t.ID)
-			}
-		}
-		r.dispatch(now)
-	})
-}
-
-func (r *runner) finishResident(now units.Duration) {
-	r.execEnd = now
-	r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(now)
-	r.reliableCapAtExecEnd = r.cluster.ReliableCapacityProcSeconds(now)
-	// Phase 3: stage out the declared outputs in name order, then delete
-	// everything still resident ("after that ... all the files are
-	// deleted from the storage resource").
-	var lastEnd units.Duration = now
-	for _, f := range r.wf.OutputFiles() {
-		_, end, err := r.reserveAvail(now, f.Size, cloudsim.Out)
-		if err != nil {
-			r.fail(err)
-			return
-		}
-		if end > lastEnd {
-			lastEnd = end
-		}
-	}
-	r.eng.Schedule(lastEnd, func(t units.Duration) {
-		for _, f := range r.wf.Files() {
-			if r.storage.Has(f.Name) {
-				if err := r.storage.Delete(t, f.Name); err != nil {
-					r.fail(err)
-					return
-				}
-			}
-		}
-		r.makespan = t
-	})
-}
-
-// ---- Remote I/O ----
-
-// remoteKey namespaces a file per task: in remote I/O two concurrent
-// tasks each hold their own staged copy of a shared input.
-func remoteKey(id dag.TaskID, file string) string {
-	return fmt.Sprintf("t%d/%s", id, file)
-}
-
-func (r *runner) startRemoteIO() {
-	for _, t := range r.wf.Tasks() {
-		if r.depsLeft[t.ID] == 0 {
-			r.beginStaging(t.ID)
-		}
-	}
-}
-
-// beginStaging starts the input transfers of a remote-I/O task.  The
-// task fetches its files over its own connection, one after another, at
-// full bandwidth; concurrent tasks do not contend (each remote-I/O task
-// is an independent stream in the paper's model).
-func (r *runner) beginStaging(id dag.TaskID) {
-	t := r.wf.Task(id)
-	r.phase[id] = phaseStaging
-	cur := r.eng.Now()
-	inputs := append([]string(nil), t.Inputs...)
-	sort.Strings(inputs)
-	for _, name := range inputs {
-		f := r.wf.File(name)
-		key := remoteKey(id, name)
-		cur = r.avail(cur)
-		_, end, err := r.link.Record(cur, f.Size, cloudsim.In)
-		if err != nil {
-			r.fail(err)
-			return
-		}
-		size := f.Size
-		r.eng.Schedule(end, func(at units.Duration) {
-			if err := r.storage.Put(at, key, size); err != nil {
-				r.fail(err)
-			}
-		})
-		cur = end
-	}
-	r.eng.Schedule(cur, func(at units.Duration) {
-		r.phase[id] = phaseReady
-		r.enqueueReady(id)
-		r.dispatch(at)
-	})
-}
-
-// finishRemoteTask stages out every output of a completed remote-I/O
-// task, then deletes the task's staged inputs and outputs.
-func (r *runner) finishRemoteTask(id dag.TaskID, now units.Duration) {
-	t := r.wf.Task(id)
-	// Outputs become resident at completion...
-	for _, name := range t.Outputs {
-		f := r.wf.File(name)
-		if err := r.storage.Put(now, remoteKey(id, name), f.Size); err != nil {
-			r.fail(err)
-			return
-		}
-	}
-	// ...are transferred to the user over the task's own stream...
-	outputs := append([]string(nil), t.Outputs...)
-	sort.Strings(outputs)
-	cur := now
-	for _, name := range outputs {
-		f := r.wf.File(name)
-		cur = r.avail(cur)
-		_, end, err := r.link.Record(cur, f.Size, cloudsim.Out)
-		if err != nil {
-			r.fail(err)
-			return
-		}
-		cur = end
-	}
-	// ...and then inputs and outputs are deleted from the resource.
-	r.eng.Schedule(cur, func(at units.Duration) {
-		for _, name := range t.Inputs {
-			if err := r.storage.Delete(at, remoteKey(id, name)); err != nil {
-				r.fail(err)
-				return
-			}
-		}
-		for _, name := range t.Outputs {
-			if err := r.storage.Delete(at, remoteKey(id, name)); err != nil {
-				r.fail(err)
-				return
-			}
-		}
-		r.stagedOut++
-		r.makespan = at
-		// Children depend on the data reaching the user.
-		for _, c := range t.Children() {
-			r.depsLeft[c]--
-			if r.depsLeft[c] == 0 {
-				r.beginStaging(c)
-			}
-		}
-		if r.stagedOut == r.wf.NumTasks() {
-			r.execEnd = at
-			r.capacityAtExecEnd = r.cluster.CapacityProcSeconds(at)
-			r.reliableCapAtExecEnd = r.cluster.ReliableCapacityProcSeconds(at)
-		}
-	})
-}
-
-// ---- shared scheduling ----
-
-// releaseSlot frees the processor a task's attempt occupies, in the
-// sub-pool it was placed on.
-func (r *runner) releaseSlot(id dag.TaskID, now units.Duration) error {
-	if r.onReliable[id] {
-		r.onReliable[id] = false
-		return r.cluster.ReleaseReliable(now)
-	}
-	return r.cluster.ReleaseSpot(now)
-}
-
-// readyBefore orders the ready queue per the scheduling policy, with
-// task ID as the deterministic tie-breaker.
-func (r *runner) readyBefore(a, b dag.TaskID) bool {
-	ra, rb := r.wf.Task(a).Runtime, r.wf.Task(b).Runtime
-	switch r.cfg.Policy {
-	case LongestFirst:
-		if ra != rb {
-			return ra > rb
-		}
-	case ShortestFirst:
-		if ra != rb {
-			return ra < rb
-		}
-	}
-	return a < b
-}
-
-func (r *runner) enqueueReady(id dag.TaskID) {
-	r.phase[id] = phaseReady
-	i := sort.Search(len(r.ready), func(i int) bool { return !r.readyBefore(r.ready[i], id) })
-	r.ready = append(r.ready, 0)
-	copy(r.ready[i+1:], r.ready[i:])
-	r.ready[i] = id
-}
-
-// dispatch greedily assigns ready tasks (policy order) to free
-// processors.  During a storage outage no task may start (it could not
-// read its inputs); dispatching resumes when the window closes.  On a
-// mixed fleet the batch that starts now is placed by upward rank: the
-// most critical tasks claim the reliable on-demand slots, the rest run
-// on revocable spot capacity.
-func (r *runner) dispatch(now units.Duration) {
-	if a := r.avail(now); a > now {
-		if !r.dispatchDeferred {
-			r.dispatchDeferred = true
-			r.eng.Schedule(a, func(at units.Duration) {
-				r.dispatchDeferred = false
-				r.dispatch(at)
-			})
-		}
-		return
-	}
-	n := r.cluster.Free()
-	if n > len(r.ready) {
-		n = len(r.ready)
-	}
-	if n <= 0 {
-		return
-	}
-	batch := append([]dag.TaskID(nil), r.ready[:n]...)
-	r.ready = r.ready[n:]
-	if r.rank != nil && r.cluster.FreeReliable() > 0 {
-		// Placement order, not start order: everything in the batch
-		// starts at the same instant, so reordering only decides which
-		// tasks land on the reliable sub-pool.
-		sort.SliceStable(batch, func(i, j int) bool {
-			a, b := batch[i], batch[j]
-			if r.rank[a] != r.rank[b] {
-				return r.rank[a] > r.rank[b]
-			}
-			return a < b
-		})
-	}
-	for _, id := range batch {
-		r.startTask(id, now)
-	}
-}
-
-// startTask begins one attempt on a free processor, reliable sub-pool
-// first (on a uniform pool every slot is spot capacity).
-func (r *runner) startTask(id dag.TaskID, now units.Duration) {
-	r.onReliable[id] = r.cluster.AcquireReliable(now)
-	if !r.onReliable[id] && !r.cluster.AcquireSpot(now) {
-		r.fail(fmt.Errorf("exec: dispatch overran the free processors at %v", now))
-		return
-	}
-	r.phase[id] = phaseRunning
-	t := r.wf.Task(id)
-	// The attempt resumes from the banked progress and pays the
-	// recovery policy's checkpoint overhead along the way.
-	rem := t.Runtime - r.banked[id]
-	wall := r.cfg.Recovery.attemptWall(rem)
-	r.runStart[id] = now
-	r.runRem[id] = rem
-	// Checkpoint data volumes: resuming from a checkpoint reads its image
-	// back out of storage, and a task's first durable checkpoint makes
-	// its image resident until the task completes (replacement writes
-	// keep the size constant, so only the first write changes occupancy).
-	if rec := r.cfg.Recovery; rec.Checkpoint && rec.Bytes > 0 {
-		if r.banked[id] > 0 {
-			r.ckptRestored += rec.Bytes
-		}
-		if rec.checkpointsFor(rem) > 0 && !r.storage.Has(ckptKey(id)) {
-			firstAtt := r.attempt[id]
-			r.eng.Schedule(now+rec.Interval+rec.Overhead, func(at units.Duration) {
-				if r.attempt[id] != firstAtt || r.storage.Has(ckptKey(id)) {
-					return
-				}
-				if err := r.storage.Put(at, ckptKey(id), rec.Bytes); err != nil {
-					r.fail(err)
-				}
-			})
-		}
-	}
-	if r.cfg.RecordSchedule {
-		r.spanOf[id] = len(r.schedule)
-		r.schedule = append(r.schedule, TaskSpan{
-			Task: id, Name: t.Name, Type: t.Type,
-			Start: now, Finish: now + wall,
-		})
-	}
-	att := r.attempt[id]
-	r.eng.Schedule(now+wall, func(at units.Duration) {
-		// A preemption between dispatch and completion bumps the
-		// attempt counter; this event then belongs to a dead attempt.
-		if r.attempt[id] != att {
-			return
-		}
-		r.completeTask(id, at)
-	})
-}
-
-func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
-	if err := r.releaseSlot(id, now); err != nil {
-		r.fail(err)
-		return
-	}
-	if r.cfg.RecordSchedule {
-		delete(r.spanOf, id)
-	}
-	// Reliability extension: the attempt may fail, in which case the
-	// task goes back to the ready queue and the burned CPU time stays on
-	// the bill.  An application failure discards the whole attempt,
-	// checkpoints included: the crash is presumed to have poisoned them.
-	if r.failRNG != nil && r.failRNG.Float64() < r.cfg.FailureProb {
-		r.retries++
-		// The crash poisons the failed attempt's own checkpoints, but
-		// progress banked by earlier preemptions survives (banked[id] is
-		// untouched), so its backing image must stay resident for the
-		// retry to restore from.  Only an image with nothing banked
-		// behind it is poisoned garbage.
-		if r.banked[id] == 0 {
-			if err := r.dropCheckpoint(id, now); err != nil {
-				r.fail(err)
-				return
-			}
-		}
-		r.enqueueReady(id)
-		r.dispatch(now)
-		return
-	}
-	n := r.cfg.Recovery.checkpointsFor(r.runRem[id])
-	r.checkpoints += n
-	r.ckptWritten += units.Bytes(n) * r.cfg.Recovery.Bytes
-	// A completed task's checkpoint image is garbage; free the storage.
-	if err := r.dropCheckpoint(id, now); err != nil {
-		r.fail(err)
-		return
-	}
-	r.phase[id] = phaseDone
-	r.doneTasks++
-	t := r.wf.Task(id)
-
-	switch r.cfg.Mode {
-	case datamgmt.Regular, datamgmt.Cleanup:
-		for _, name := range t.Outputs {
-			f := r.wf.File(name)
-			if err := r.storage.Put(now, name, f.Size); err != nil {
-				r.fail(err)
-				return
-			}
-		}
-		if r.analyzer != nil {
-			for _, dead := range r.analyzer.TaskDone(id) {
-				if err := r.storage.Delete(now, dead); err != nil {
-					r.fail(err)
-					return
-				}
-			}
-		}
-		for _, c := range t.Children() {
-			r.depsLeft[c]--
-			if r.depsLeft[c] == 0 {
-				r.enqueueReady(c)
-			}
-		}
-		if r.doneTasks == r.wf.NumTasks() {
-			r.finishResident(now)
-			return
-		}
-	case datamgmt.RemoteIO:
-		r.finishRemoteTask(id, now)
-	}
-	r.dispatch(now)
 }

@@ -1,0 +1,113 @@
+package exec
+
+// Everything one run measures: the metrics document the paper's figures
+// and the service's result documents are built from.
+
+import (
+	"repro/internal/cloudsim"
+	"repro/internal/dag"
+	"repro/internal/datamgmt"
+	"repro/internal/units"
+)
+
+// Metrics is everything measured during one run.
+type Metrics struct {
+	Workflow   string
+	Mode       datamgmt.Mode
+	Processors int
+
+	// ExecTime is the window during which the provisioned processors are
+	// held: input staging plus task execution.  This is the "execution
+	// time" plotted in Figs. 4-6.
+	ExecTime units.Duration
+	// Makespan additionally includes the final stage-out of the outputs
+	// to the user.
+	Makespan units.Duration
+
+	// BytesIn and BytesOut are the data volumes moved over the link,
+	// split by direction because Amazon charges them differently.
+	BytesIn  units.Bytes
+	BytesOut units.Bytes
+
+	// StorageByteSeconds is the area under the storage usage curve.
+	StorageByteSeconds float64
+	// PeakStorage is the high-water mark of resident bytes.
+	PeakStorage units.Bytes
+
+	// CPUSeconds is the total compute time consumed, including failed
+	// attempts: the on-demand CPU bill.
+	CPUSeconds float64
+	// SpotCPUSeconds is the share of CPUSeconds consumed on the
+	// revocable spot sub-pool, billed at the spot rate in a mixed fleet.
+	// With no reliable sub-pool the whole pool is revocable, so this
+	// equals CPUSeconds.
+	SpotCPUSeconds float64
+	// OnDemandProcessors is the reliable sub-pool size of a mixed fleet;
+	// 0 means the whole pool is revocable.
+	OnDemandProcessors int
+	// CapacityProcSeconds is the integral of available processors over
+	// the ExecTime window: the capacity-seconds actually present, which
+	// revocations shrink and restores grow back.
+	CapacityProcSeconds float64
+	// ReliableCapacityProcSeconds is the reliable on-demand sub-pool's
+	// share of CapacityProcSeconds; revocations never touch it, so it is
+	// exactly the sub-pool size times the ExecTime window.
+	ReliableCapacityProcSeconds float64
+	// SpotCapacityProcSeconds is the revocable spot sub-pool's share of
+	// CapacityProcSeconds: what fleet-sizing dashboards divide the spot
+	// consumption by.  On a uniform pool it equals CapacityProcSeconds.
+	SpotCapacityProcSeconds float64
+	// Utilization is CPUSeconds over CapacityProcSeconds: consumption
+	// against the capacity that was actually available, not the static
+	// provisioned pool.  Without revocations the two denominators agree.
+	Utilization float64
+
+	TasksRun int
+	// Retries counts failed task attempts that were re-run.
+	Retries int
+	// Preempted counts task attempts killed by capacity reclaims.
+	Preempted int
+	// WastedCPUSeconds is the busy processor time burned by preempted
+	// attempts that did not survive as banked progress: billed, lost.
+	WastedCPUSeconds float64
+	// Checkpoints counts durable checkpoints written (periodic plus
+	// warning-window emergency ones).
+	Checkpoints int
+	// CheckpointBytesWritten is the data volume moved into cloud storage
+	// by checkpoint writes (Checkpoints x Recovery.Bytes); zero when the
+	// recovery policy declares no checkpoint size.
+	CheckpointBytesWritten units.Bytes
+	// CheckpointBytesRestored is the data volume read back out of cloud
+	// storage by attempts resuming from a checkpoint.
+	CheckpointBytesRestored units.Bytes
+	// Curve is the storage usage curve (only when Config.RecordCurve).
+	Curve []cloudsim.UsagePoint
+	// Schedule is the per-task Gantt trace in completion order (only
+	// when Config.RecordSchedule).
+	Schedule []TaskSpan
+}
+
+// TaskSpan is one task's compute window.
+type TaskSpan struct {
+	Task   dag.TaskID
+	Name   string
+	Type   string
+	Start  units.Duration
+	Finish units.Duration
+}
+
+// GBHoursStorage returns the storage integral in GB-hours, the unit of
+// Figs. 7-9.
+func (m Metrics) GBHoursStorage() float64 { return units.GBHours(m.StorageByteSeconds) }
+
+// utilization guards the CPUSeconds / capacity-proc-seconds division: a
+// run that accumulated no available capacity (zero width or an all-idle
+// window) reports 0 utilization, never NaN or Inf -- either would poison
+// the JSON encoding of every result document downstream (encoding/json
+// rejects non-finite floats).
+func utilization(cpuSeconds, capacityProcSeconds float64) float64 {
+	if capacityProcSeconds <= 0 {
+		return 0
+	}
+	return cpuSeconds / capacityProcSeconds
+}

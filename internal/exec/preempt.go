@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/policy"
 	"repro/internal/units"
 )
 
@@ -197,7 +198,7 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 		return // earlier, still-open reclaims already took the whole spot pool
 	}
 	if need := k - r.cluster.SpotFree(); need > 0 {
-		for _, id := range r.pickVictims(need) {
+		for _, id := range r.pickVictims(need, now) {
 			r.preemptTask(id, now, p.Warning)
 			if r.err != nil {
 				return
@@ -228,28 +229,51 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 	}
 }
 
-// pickVictims selects need running tasks to kill: latest start first
-// (the least sunk work), task ID descending as the deterministic
-// tie-break.  Only tasks on the spot sub-pool are candidates -- reliable
-// on-demand capacity is exactly the capacity reclaims cannot touch.
-func (r *runner) pickVictims(need int) []dag.TaskID {
-	var running []dag.TaskID
+// pickVictims selects need running tasks to kill, scored by the victim
+// policy: the largest scores die first, task ID descending as the
+// deterministic tie-break.  Only tasks on the spot sub-pool are
+// candidates -- reliable on-demand capacity is exactly the capacity
+// reclaims cannot touch.
+func (r *runner) pickVictims(need int, now units.Duration) []dag.TaskID {
+	var cands []policy.VictimCandidate
 	for id, ph := range r.phase {
-		if ph == phaseRunning && !r.onReliable[id] {
-			running = append(running, dag.TaskID(id))
+		if ph != phaseRunning || r.onReliable[id] {
+			continue
 		}
+		tid := dag.TaskID(id)
+		rec := r.runRec[tid]
+		elapsed := now - r.runStart[tid]
+		rem := r.runRem[tid]
+		saved, _ := rec.bankedDuring(elapsed, rem)
+		cands = append(cands, policy.VictimCandidate{
+			Task:      tid,
+			Start:     r.runStart[tid],
+			Elapsed:   elapsed,
+			Remaining: rem,
+			Runtime:   r.wf.Task(tid).Runtime,
+			Banked:    r.banked[tid],
+			Useful:    rec.usefulDuring(elapsed, rem),
+			Saved:     saved,
+		})
 	}
-	sort.Slice(running, func(i, j int) bool {
-		a, b := running[i], running[j]
-		if r.runStart[a] != r.runStart[b] {
-			return r.runStart[a] > r.runStart[b]
+	score := make([]float64, len(cands))
+	for i, c := range cands {
+		score[i] = r.policies.Victim.Score(c)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if score[i] != score[j] {
+			return score[i] > score[j]
 		}
-		return a > b
+		return cands[i].Task > cands[j].Task
 	})
-	if need > len(running) {
-		need = len(running)
+	if need > len(cands) {
+		need = len(cands)
 	}
-	return running[:need]
+	out := make([]dag.TaskID, need)
+	for i := range out {
+		out[i] = cands[i].Task
+	}
+	return out
 }
 
 // preemptTask kills one running attempt: bank whatever the recovery
@@ -257,7 +281,7 @@ func (r *runner) pickVictims(need int) []dag.TaskID {
 // processor.  The pending completion event is disarmed by the attempt
 // counter.
 func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Duration) {
-	rec := r.cfg.Recovery
+	rec := r.runRec[id]
 	elapsed := now - r.runStart[id]
 	rem := r.runRem[id]
 	saved, ckpts := rec.bankedDuring(elapsed, rem)

@@ -21,6 +21,13 @@ type Params struct {
 	// is how a registered experiment is expressed as a v2 scenario
 	// sweep: a base Scenario document plus {axis, values} pairs.
 	Grid *wire.SweepRequest
+	// Scenario overrides the base scenario of the policy tournament;
+	// nil keeps the canned default arena.
+	Scenario *wire.Scenario
+	// Bundles overrides the policy bundles the tournament fields; empty
+	// keeps the default roster (every registered competitor, one slot
+	// varied at a time).
+	Bundles []wire.PoliciesSection
 }
 
 // Experiment is one registered paper experiment: a stable name, a short
@@ -94,6 +101,8 @@ func Registry() []Experiment {
 			}},
 		{"scenario-grid", "declarative any-axis scenario sweep (default: spot.rate_per_hour; ?seed= reseeds the revocations; POST a {grid} to /v2/experiments/scenario-grid to sweep anything)",
 			scenarioGridTables},
+		{"policy-tournament", "rank scheduling/recovery policy bundles on one scenario by cost, makespan and wasted CPU (?seed= reseeds the revocations; POST {scenario, bundles} to /v2/experiments/policy-tournament for the NDJSON stream)",
+			tournamentTables},
 	}
 }
 

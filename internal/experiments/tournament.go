@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+	"repro/internal/report"
+	"repro/wire"
+)
+
+// The policy tournament runs one base scenario under several policy
+// bundles and ranks them: the composable-policy analogue of the paper's
+// single-strategy study.  Every entry is a deterministic simulation of
+// the same workload and market, so the ranking isolates exactly the
+// policy choices.
+
+// DefaultTournamentSeed seeds the default tournament's revocation
+// sampling.
+const DefaultTournamentSeed int64 = 2026
+
+// DefaultTournamentScenario is the canned arena: the 1-degree workflow
+// on a 16-processor fleet with a 4-slot reliable floor, renting from a
+// reclaiming spot market with checkpoint/restart enabled -- a scenario
+// where all four policy slots have work to do.
+func DefaultTournamentScenario() wire.Scenario {
+	return wire.Scenario{
+		Version:  wire.Version,
+		Workflow: wire.WorkflowSection{Name: "1deg"},
+		Fleet:    &wire.FleetSection{Processors: 16, Reliable: 4},
+		Spot:     &wire.SpotSection{RatePerHour: 1, Seed: DefaultTournamentSeed, Discount: 0.65},
+		Recovery: &wire.RecoverySection{CheckpointSeconds: 300, CheckpointOverheadSeconds: 10, CheckpointBytes: 1e8},
+	}
+}
+
+// DefaultTournamentBundles is the default roster: the historical
+// defaults plus every registered competitor, varied one slot at a time
+// -- at least two challengers per policy slot, so each decision point
+// is ranked in isolation against the baseline.
+func DefaultTournamentBundles() []wire.PoliciesSection {
+	return []wire.PoliciesSection{
+		{}, // the historical defaults
+		{Placement: "heft"},
+		{Placement: "fifo"},
+		{Victim: "cost-aware"},
+		{Victim: "least-progress"},
+		{Checkpoint: "adaptive"},
+		{Checkpoint: "risk"},
+		{Sizing: "quarter"},
+		{Sizing: "half"},
+	}
+}
+
+// TournamentEntry is one resolved competitor: the bundle, the base
+// scenario with that bundle substituted, and its runnable (spec, plan).
+type TournamentEntry struct {
+	Index    int
+	Bundle   wire.PoliciesSection
+	Scenario wire.Scenario
+	Spec     montage.Spec
+	Plan     core.Plan
+}
+
+// TournamentEntries resolves every bundle against the base scenario,
+// failing with the offending entry index on a malformed combination.
+// Each entry's scenario is the base document with its policies section
+// replaced outright (not merged), so an entry is exactly what a direct
+// POST of that document would run.
+func TournamentEntries(base wire.Scenario, bundles []wire.PoliciesSection) ([]TournamentEntry, error) {
+	if len(bundles) == 0 {
+		return nil, fmt.Errorf("experiments: tournament with no bundles")
+	}
+	if len(bundles) > wire.MaxGridPoints {
+		return nil, fmt.Errorf("experiments: tournament exceeds %d bundles", wire.MaxGridPoints)
+	}
+	out := make([]TournamentEntry, len(bundles))
+	for i, b := range bundles {
+		b := b
+		s := base
+		s.Policies = &b
+		spec, plan, err := s.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tournament bundle %d: %w", i, err)
+		}
+		out[i] = TournamentEntry{Index: i, Bundle: b, Scenario: s, Spec: spec, Plan: plan}
+	}
+	return out, nil
+}
+
+// TournamentRow is one competitor's measured outcome.
+type TournamentRow struct {
+	Entry  TournamentEntry
+	Result core.Result
+}
+
+// tournamentSweep wraps the entries in the shared concurrent grid
+// engine.
+func tournamentSweep(entries []TournamentEntry) Sweep[TournamentEntry, TournamentRow] {
+	return Sweep[TournamentEntry, TournamentRow]{
+		Name:   "policy-tournament",
+		Points: entries,
+		Run: func(ctx context.Context, e TournamentEntry) (TournamentRow, error) {
+			wf, err := montage.Cached(e.Spec)
+			if err != nil {
+				return TournamentRow{}, err
+			}
+			res, err := core.RunContext(ctx, wf, e.Plan)
+			if err != nil {
+				return TournamentRow{}, err
+			}
+			return TournamentRow{Entry: e, Result: res}, nil
+		},
+	}
+}
+
+// Tournament runs every bundle on the base scenario concurrently,
+// returning rows in entry order.
+func Tournament(ctx context.Context, base wire.Scenario, bundles []wire.PoliciesSection) ([]TournamentRow, error) {
+	entries, err := TournamentEntries(base, bundles)
+	if err != nil {
+		return nil, err
+	}
+	return tournamentSweep(entries).Do(ctx)
+}
+
+// TournamentStream is Tournament with streaming delivery: emit receives
+// each row in entry order as soon as it and every earlier entry have
+// finished.
+func TournamentStream(ctx context.Context, base wire.Scenario, bundles []wire.PoliciesSection, emit func(TournamentRow) error) error {
+	entries, err := TournamentEntries(base, bundles)
+	if err != nil {
+		return err
+	}
+	return tournamentSweep(entries).DoEach(ctx, emit)
+}
+
+// RankTournament orders the rows best-first -- total cost, then
+// makespan, then wasted CPU, then entry index as the deterministic
+// tie-break -- and returns the standings.
+func RankTournament(rows []TournamentRow) []wire.TournamentStanding {
+	standings := make([]wire.TournamentStanding, len(rows))
+	for i, r := range rows {
+		standings[i] = wire.TournamentStanding{
+			Index:            r.Entry.Index,
+			Bundle:           r.Entry.Bundle,
+			CostDollars:      r.Result.Cost.Total().Dollars(),
+			MakespanSeconds:  r.Result.Metrics.Makespan.Seconds(),
+			WastedCPUSeconds: r.Result.Metrics.WastedCPUSeconds,
+		}
+	}
+	sort.SliceStable(standings, func(i, j int) bool {
+		a, b := standings[i], standings[j]
+		if a.CostDollars != b.CostDollars {
+			return a.CostDollars < b.CostDollars
+		}
+		if a.MakespanSeconds != b.MakespanSeconds {
+			return a.MakespanSeconds < b.MakespanSeconds
+		}
+		if a.WastedCPUSeconds != b.WastedCPUSeconds {
+			return a.WastedCPUSeconds < b.WastedCPUSeconds
+		}
+		return a.Index < b.Index
+	})
+	for i := range standings {
+		standings[i].Rank = i + 1
+	}
+	return standings
+}
+
+// bundleLabel names a bundle compactly: only the slots that deviate
+// from the defaults, or "defaults" for the baseline.
+func bundleLabel(b wire.PoliciesSection) string {
+	s := ""
+	add := func(k, v string) {
+		if v == "" {
+			return
+		}
+		if s != "" {
+			s += " "
+		}
+		s += k + "=" + v
+	}
+	add("place", b.Placement)
+	add("victim", b.Victim)
+	add("ckpt", b.Checkpoint)
+	add("size", b.Sizing)
+	if s == "" {
+		return "defaults"
+	}
+	return s
+}
+
+// TournamentTable renders the standings, best bundle first.
+func TournamentTable(rows []TournamentRow) (*report.Table, error) {
+	standings := RankTournament(rows)
+	tbl := report.New(fmt.Sprintf("Policy tournament: %d bundles ranked by cost, makespan, wasted CPU", len(rows)),
+		"rank", "bundle", "total$", "makespan", "wasted-cpu-s", "preempted", "ckpts")
+	for _, st := range standings {
+		m := rows[st.Index].Result.Metrics
+		if err := tbl.Add(
+			fmt.Sprint(st.Rank),
+			bundleLabel(st.Bundle),
+			report.F(st.CostDollars, 4),
+			m.Makespan.String(),
+			report.F(st.WastedCPUSeconds, 0),
+			fmt.Sprint(m.Preempted),
+			fmt.Sprint(m.Checkpoints),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// ReseedSpot returns the scenario with its spot seed replaced,
+// mutating a copy of the section rather than the caller's document.
+func ReseedSpot(s wire.Scenario, seed int64) wire.Scenario {
+	spot := wire.SpotSection{}
+	if s.Spot != nil {
+		spot = *s.Spot
+	}
+	spot.Seed = seed
+	s.Spot = &spot
+	return s
+}
+
+// tournamentTables is the registry runner: the caller's scenario and
+// bundles from Params, or the canned defaults; Params.Seed reseeds the
+// revocation sampling like every other stochastic experiment.
+func tournamentTables(ctx context.Context, p Params) ([]*report.Table, error) {
+	base := DefaultTournamentScenario()
+	if p.Scenario != nil {
+		base = *p.Scenario
+	}
+	bundles := DefaultTournamentBundles()
+	if len(p.Bundles) > 0 {
+		bundles = p.Bundles
+	}
+	if p.Seed != nil {
+		base = ReseedSpot(base, *p.Seed)
+	}
+	rows, err := Tournament(ctx, base, bundles)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := TournamentTable(rows)
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{tbl}, nil
+}

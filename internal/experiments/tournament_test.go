@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/wire"
+)
+
+func TestTournamentEntriesValidation(t *testing.T) {
+	base := DefaultTournamentScenario()
+	if _, err := TournamentEntries(base, nil); err == nil {
+		t.Error("empty roster accepted")
+	}
+	over := make([]wire.PoliciesSection, wire.MaxGridPoints+1)
+	if _, err := TournamentEntries(base, over); err == nil {
+		t.Error("oversized roster accepted")
+	}
+	bad := []wire.PoliciesSection{{}, {Placement: "astrology"}}
+	if _, err := TournamentEntries(base, bad); err == nil {
+		t.Error("unregistered policy accepted")
+	} else if !strings.Contains(err.Error(), "bundle 1") {
+		t.Errorf("error does not name the offending entry: %v", err)
+	}
+}
+
+// TestTournamentEntriesReplaceOutright: an entry's scenario is the base
+// document with its policies section REPLACED, not merged -- the empty
+// bundle competes as the true defaults even when the base names
+// something else.
+func TestTournamentEntriesReplaceOutright(t *testing.T) {
+	base := DefaultTournamentScenario()
+	base.Policies = &wire.PoliciesSection{Checkpoint: "risk"}
+	entries, err := TournamentEntries(base, []wire.PoliciesSection{{}, {Placement: "heft"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries[0].Plan.Policies.Canonical().Checkpoint; got != "interval" {
+		t.Errorf("empty bundle inherited the base checkpoint policy %q", got)
+	}
+	if got := entries[1].Plan.Policies.Canonical(); got.Placement != "heft" || got.Checkpoint != "interval" {
+		t.Errorf("bundle 1 plan policies = %+v", got)
+	}
+}
+
+func TestDefaultTournamentCoversEverySlot(t *testing.T) {
+	bundles := DefaultTournamentBundles()
+	if bundles[0] != (wire.PoliciesSection{}) {
+		t.Error("roster does not open with the historical defaults")
+	}
+	var place, victim, ckpt, size int
+	for _, b := range bundles[1:] {
+		switch {
+		case b.Placement != "":
+			place++
+		case b.Victim != "":
+			victim++
+		case b.Checkpoint != "":
+			ckpt++
+		case b.Sizing != "":
+			size++
+		}
+	}
+	for slot, n := range map[string]int{"placement": place, "victim": victim, "checkpoint": ckpt, "sizing": size} {
+		if n < 2 {
+			t.Errorf("%s has %d challengers, want >= 2", slot, n)
+		}
+	}
+}
+
+// TestTournamentDeterministicAndRanked runs the full default tournament
+// twice: the rows come back in entry order, the standings rank every
+// bundle exactly once, and the whole thing is a pure function of the
+// scenario.
+func TestTournamentDeterministicAndRanked(t *testing.T) {
+	base := DefaultTournamentScenario()
+	bundles := DefaultTournamentBundles()
+	rows, err := Tournament(context.Background(), base, bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bundles) {
+		t.Fatalf("%d rows for %d bundles", len(rows), len(bundles))
+	}
+	for i, r := range rows {
+		if r.Entry.Index != i || r.Entry.Bundle != bundles[i] {
+			t.Fatalf("row %d carries entry %d (%+v)", i, r.Entry.Index, r.Entry.Bundle)
+		}
+		if r.Result.Metrics.Makespan <= 0 {
+			t.Fatalf("row %d has no makespan", i)
+		}
+	}
+
+	standings := RankTournament(rows)
+	seen := make(map[int]bool)
+	for i, st := range standings {
+		if st.Rank != i+1 {
+			t.Errorf("standing %d has rank %d", i, st.Rank)
+		}
+		if seen[st.Index] {
+			t.Errorf("entry %d ranked twice", st.Index)
+		}
+		seen[st.Index] = true
+		if i > 0 && st.CostDollars < standings[i-1].CostDollars {
+			t.Errorf("standings not cost-sorted at %d: %v < %v", i, st.CostDollars, standings[i-1].CostDollars)
+		}
+	}
+
+	again, err := Tournament(context.Background(), base, bundles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(RankTournament(again), standings) {
+		t.Error("repeat tournament produced different standings")
+	}
+}
+
+func TestTournamentStreamOrder(t *testing.T) {
+	var got []int
+	err := TournamentStream(context.Background(), DefaultTournamentScenario(),
+		[]wire.PoliciesSection{{}, {Victim: "cost-aware"}, {Sizing: "half"}},
+		func(r TournamentRow) error {
+			got = append(got, r.Entry.Index)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("stream order = %v", got)
+	}
+}
+
+func TestBundleLabel(t *testing.T) {
+	if got := bundleLabel(wire.PoliciesSection{}); got != "defaults" {
+		t.Errorf("empty bundle label = %q", got)
+	}
+	b := wire.PoliciesSection{Placement: "heft", Checkpoint: "adaptive"}
+	if got := bundleLabel(b); got != "place=heft ckpt=adaptive" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestReseedSpotDoesNotMutateCaller(t *testing.T) {
+	base := DefaultTournamentScenario()
+	re := ReseedSpot(base, 99)
+	if re.Spot.Seed != 99 {
+		t.Errorf("reseeded seed = %d", re.Spot.Seed)
+	}
+	if base.Spot.Seed != DefaultTournamentSeed {
+		t.Error("ReseedSpot mutated the caller's section")
+	}
+	// A scenario with no spot section grows one carrying the seed.
+	if got := ReseedSpot(wire.Scenario{}, 7); got.Spot == nil || got.Spot.Seed != 7 {
+		t.Errorf("reseed without section = %+v", got.Spot)
+	}
+}

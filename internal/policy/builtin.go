@@ -1,0 +1,190 @@
+package policy
+
+// The built-in policies: the historical defaults plus the competitors
+// the policy tournament ranks against them.  All are parameterless pure
+// functions, so a bundle of names fully determines behavior.
+
+import (
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+func init() {
+	RegisterPlacement(rankPlacement{})
+	RegisterPlacement(heftPlacement{})
+	RegisterPlacement(fifoPlacement{})
+
+	RegisterVictim(deterministicVictim{})
+	RegisterVictim(costAwareVictim{})
+	RegisterVictim(leastProgressVictim{})
+
+	RegisterCheckpoint(intervalTrigger{})
+	RegisterCheckpoint(adaptiveTrigger{})
+	RegisterCheckpoint(riskTrigger{})
+
+	RegisterSizing(staticSizing{})
+	RegisterSizing(fractionSizing{name: "quarter", num: 1, den: 4})
+	RegisterSizing(fractionSizing{name: "half", num: 1, den: 2})
+}
+
+// ---- placement ----
+
+// rankPlacement is the historical default: runtime-weighted upward
+// ranks, so critical-path tasks claim the reliable slots first.
+type rankPlacement struct{}
+
+func (rankPlacement) Name() string { return DefaultPlacement }
+
+func (rankPlacement) Priorities(wf *dag.Workflow, _ PlacementContext) []float64 {
+	ranks := wf.UpwardRanks()
+	out := make([]float64, len(ranks))
+	for i, r := range ranks {
+		out[i] = float64(r)
+	}
+	return out
+}
+
+// heftPlacement ranks tasks HEFT-style: upward ranks weighting both
+// computation and the data each dependency edge must move at the run's
+// bandwidth.  Tasks whose completion unblocks the longest
+// compute-plus-transfer chain -- the earliest-finish-critical work --
+// claim the reliable slots first.
+type heftPlacement struct{}
+
+func (heftPlacement) Name() string { return "heft" }
+
+func (heftPlacement) Priorities(wf *dag.Workflow, ctx PlacementContext) []float64 {
+	ranks := wf.HEFTRanks(ctx.Bandwidth)
+	out := make([]float64, len(ranks))
+	for i, r := range ranks {
+		out[i] = float64(r)
+	}
+	return out
+}
+
+// fifoPlacement keeps the ready-queue order: reliable slots go to
+// whichever tasks the list scheduler dequeues first, with no
+// critical-path awareness.  The naive baseline competitor.
+type fifoPlacement struct{}
+
+func (fifoPlacement) Name() string { return "fifo" }
+
+func (fifoPlacement) Priorities(*dag.Workflow, PlacementContext) []float64 { return nil }
+
+// ---- victim selection ----
+
+// deterministicVictim is the historical default: kill the most recently
+// started attempts first (the least sunk wall-clock work), task ID
+// descending as the tie-break.
+type deterministicVictim struct{}
+
+func (deterministicVictim) Name() string { return DefaultVictim }
+
+func (deterministicVictim) Score(c VictimCandidate) float64 { return float64(c.Start) }
+
+// costAwareVictim kills the attempt whose death burns the least billed
+// CPU: elapsed wall-clock minus the progress already durably
+// checkpointed.  A freshly restarted task that just restored a large
+// checkpoint is cheap to kill again; an hour of unbanked work is not.
+type costAwareVictim struct{}
+
+func (costAwareVictim) Name() string { return "cost-aware" }
+
+func (costAwareVictim) Score(c VictimCandidate) float64 { return -float64(c.WastedIfKilled()) }
+
+// leastProgressVictim kills the attempt of the task farthest from
+// completion: tasks near the finish line keep their slot, minimizing
+// the work the workflow re-queues.
+type leastProgressVictim struct{}
+
+func (leastProgressVictim) Name() string { return "least-progress" }
+
+func (leastProgressVictim) Score(c VictimCandidate) float64 { return -c.Progress() }
+
+// ---- checkpoint triggering ----
+
+// intervalTrigger is the historical default: checkpoint every configured
+// interval of useful compute, regardless of where the attempt runs.
+type intervalTrigger struct{}
+
+func (intervalTrigger) Name() string { return DefaultCheckpoint }
+
+func (intervalTrigger) EffectiveInterval(ctx CheckpointContext) units.Duration {
+	return ctx.Interval
+}
+
+// adaptiveTrigger spaces checkpoints with the Young/Daly first-order
+// optimum sqrt(2 * overhead * MTBF), where the mean time between
+// failures is the inverse of the per-instance spot reclaim rate.
+// Attempts on reliable capacity (which no reclaim can touch) and runs
+// with no declared hazard rate skip straight to the base behavior:
+// reliable attempts write no periodic checkpoints at all, spot attempts
+// under an external schedule keep the configured interval.
+type adaptiveTrigger struct{}
+
+func (adaptiveTrigger) Name() string { return "adaptive" }
+
+func (adaptiveTrigger) EffectiveInterval(ctx CheckpointContext) units.Duration {
+	if ctx.OnReliable {
+		return ctx.Remaining // nothing can kill this attempt; finishing is durable
+	}
+	if ctx.SpotRatePerHour <= 0 || ctx.Overhead <= 0 {
+		return ctx.Interval
+	}
+	mtbf := units.SecondsPerHour / ctx.SpotRatePerHour
+	iv := units.Duration(math.Sqrt(2 * float64(ctx.Overhead) * mtbf))
+	if iv < 1 {
+		iv = 1 // floor the spacing: sub-second checkpointing is all overhead
+	}
+	return iv
+}
+
+// riskTrigger writes no periodic checkpoints at all: it banks progress
+// only when a reclaim warning arrives, via the shared warning-window
+// emergency checkpoint.  Zero steady-state overhead bought with maximum
+// exposure to warningless kills.
+type riskTrigger struct{}
+
+func (riskTrigger) Name() string { return "risk" }
+
+func (riskTrigger) EffectiveInterval(ctx CheckpointContext) units.Duration {
+	return ctx.Remaining
+}
+
+// ---- pool sizing ----
+
+// staticSizing is the historical default: the scenario's configured
+// reliable/spot split, unchanged.
+type staticSizing struct{}
+
+func (staticSizing) Name() string { return DefaultSizing }
+
+func (staticSizing) Reliable(_, configured int, _ bool) int { return configured }
+
+// fractionSizing pins a fixed fraction of the fleet as the reliable
+// floor while the spot market can actually revoke capacity, clamped to
+// leave at least one revocable slot; under a calm market (no reclaims
+// possible) a reliable floor buys nothing, so the configured split is
+// kept.  Registered as "quarter" (procs/4) and "half" (procs/2).
+type fractionSizing struct {
+	name     string
+	num, den int
+}
+
+func (f fractionSizing) Name() string { return f.name }
+
+func (f fractionSizing) Reliable(procs, configured int, spotActive bool) int {
+	if !spotActive {
+		return configured
+	}
+	r := (procs*f.num + f.den - 1) / f.den // ceil(procs * num/den)
+	if r > procs-1 {
+		r = procs - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}

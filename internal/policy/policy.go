@@ -1,0 +1,237 @@
+// Package policy turns the scheduling and recovery decisions of the
+// simulator into named, composable policies.
+//
+// The paper's study hard-codes one strategy: upward-rank placement onto
+// the reliable sub-pool, latest-start victim selection under spot
+// reclaims, fixed-interval checkpointing, and a static reliable/spot
+// fleet split.  This package carves each of those decision points into
+// an interface with a string-keyed registry, re-registers the historical
+// behavior as the default, and adds competitors -- so a v2 scenario
+// document can name its policies, sweeps can use policy names as axes,
+// and tournaments can rank policy bundles against each other.
+//
+// Four decision points, four interfaces:
+//
+//   - Placement: which ready task claims a reliable slot of a mixed
+//     fleet ("rank" is the default).
+//   - Victim: which running spot attempt a capacity reclaim kills
+//     ("deterministic" is the default).
+//   - CheckpointTrigger: how often a running attempt snapshots
+//     ("interval" is the default).
+//   - PoolSizing: how the reliable/spot split is sized ("static" is the
+//     default).
+//
+// Every policy is a pure, deterministic function of its inputs: the same
+// scenario always reproduces the same metrics, so policy-parameterized
+// runs stay cacheable and sweep-safe.  The zero Bundle resolves to the
+// defaults and reproduces every pre-policy run byte for byte.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+// PlacementContext is the run-level context a placement policy may
+// consult when computing priorities.
+type PlacementContext struct {
+	// Bandwidth of the user<->cloud link, the cost basis of
+	// communication-inclusive (HEFT) ranks.
+	Bandwidth units.Bandwidth
+}
+
+// Placement decides which ready tasks claim the reliable on-demand
+// slots of a mixed fleet.  Everything in a dispatch batch starts at the
+// same instant, so placement only chooses who gets revocation-proof
+// capacity, not who runs first.
+type Placement interface {
+	Name() string
+	// Priorities returns each task's placement priority, indexed by task
+	// ID: when a dispatch batch starts, tasks with larger priority claim
+	// reliable slots first (ties broken by task ID ascending).  A nil
+	// return keeps the ready-queue order unchanged.
+	Priorities(wf *dag.Workflow, ctx PlacementContext) []float64
+}
+
+// VictimCandidate describes one running spot attempt at reclaim time:
+// everything a victim policy may weigh when choosing whom to kill.
+type VictimCandidate struct {
+	// Task is the candidate's ID.
+	Task dag.TaskID
+	// Start is when the attempt began.
+	Start units.Duration
+	// Elapsed is the wall-clock time the attempt has run so far.
+	Elapsed units.Duration
+	// Remaining is the useful work the attempt set out to complete.
+	Remaining units.Duration
+	// Runtime is the task's full runtime on the reference CPU.
+	Runtime units.Duration
+	// Banked is the useful work preserved by earlier preemptions.
+	Banked units.Duration
+	// Useful is the useful compute finished so far in this attempt
+	// (checkpoint-overhead windows excluded).
+	Useful units.Duration
+	// Saved is the useful work already durably checkpointed this
+	// attempt: what survives a kill before any warning-window emergency
+	// checkpoint.
+	Saved units.Duration
+}
+
+// WastedIfKilled returns the busy processor time this attempt would burn
+// without surviving as banked progress if killed right now (ignoring any
+// emergency checkpoint the warning window may still buy).
+func (c VictimCandidate) WastedIfKilled() units.Duration { return c.Elapsed - c.Saved }
+
+// Progress returns the fraction of the task's total work that is done or
+// durably banked, in [0, 1]; tasks with zero runtime count as complete.
+func (c VictimCandidate) Progress() float64 {
+	if c.Runtime <= 0 {
+		return 1
+	}
+	p := float64(c.Banked+c.Useful) / float64(c.Runtime)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Victim decides which running spot attempts a capacity reclaim kills.
+type Victim interface {
+	Name() string
+	// Score returns the candidate's kill preference: candidates with the
+	// largest scores are killed first, ties broken by task ID
+	// descending.  Scores must be a deterministic function of the
+	// candidate.
+	Score(c VictimCandidate) float64
+}
+
+// CheckpointContext is everything a checkpoint trigger may consult when
+// spacing one attempt's snapshots.
+type CheckpointContext struct {
+	// Interval is the configured base checkpoint spacing.
+	Interval units.Duration
+	// Overhead is the wall-clock cost of writing one checkpoint.
+	Overhead units.Duration
+	// Remaining is the useful work of the attempt being started.
+	Remaining units.Duration
+	// OnReliable reports whether the attempt occupies a reliable
+	// on-demand slot, which no reclaim can ever touch.
+	OnReliable bool
+	// SpotRatePerHour is the per-instance reclaim intensity of the spot
+	// market, the hazard rate adaptive triggers optimize against; 0
+	// means the revocation schedule is external or absent.
+	SpotRatePerHour float64
+}
+
+// CheckpointTrigger decides the effective checkpoint spacing of one
+// attempt.  The periodic checkpoint machinery (overhead per write,
+// warning-window emergency checkpoints, banked-progress restarts) is
+// shared; the trigger only chooses the interval.
+type CheckpointTrigger interface {
+	Name() string
+	// EffectiveInterval returns the useful-compute spacing between this
+	// attempt's checkpoints.  An interval >= Remaining writes no
+	// periodic checkpoints (completing is durable by itself); a
+	// non-positive return falls back to the configured base interval.
+	EffectiveInterval(ctx CheckpointContext) units.Duration
+}
+
+// PoolSizing decides the reliable/spot split of the fleet before a run
+// starts.
+type PoolSizing interface {
+	Name() string
+	// Reliable returns the reliable sub-pool size for a fleet of procs
+	// processors, given the scenario's configured static split.
+	// spotActive reports whether capacity reclaims can occur; when it is
+	// true the result must leave at least one revocable slot
+	// (implementations clamp to procs-1).
+	Reliable(procs, configured int, spotActive bool) int
+}
+
+// Default policy names: the historical hard-coded behavior, re-registered
+// under these keys.  A Bundle with empty fields resolves to them.
+const (
+	DefaultPlacement  = "rank"
+	DefaultVictim     = "deterministic"
+	DefaultCheckpoint = "interval"
+	DefaultSizing     = "static"
+)
+
+// Bundle names one policy per decision point.  The zero value selects
+// the defaults; it is a flat comparable value struct, so it travels on
+// the wire and feeds canonical cache keys directly.
+type Bundle struct {
+	Placement  string
+	Victim     string
+	Checkpoint string
+	Sizing     string
+}
+
+// Canonical fills empty slots with the default policy names: the form
+// bundles must be reduced to before being compared or used as a cache
+// key, since an empty slot and an explicit default describe the same
+// run.
+func (b Bundle) Canonical() Bundle {
+	if b.Placement == "" {
+		b.Placement = DefaultPlacement
+	}
+	if b.Victim == "" {
+		b.Victim = DefaultVictim
+	}
+	if b.Checkpoint == "" {
+		b.Checkpoint = DefaultCheckpoint
+	}
+	if b.Sizing == "" {
+		b.Sizing = DefaultSizing
+	}
+	return b
+}
+
+// IsDefault reports whether the bundle reproduces the historical
+// hard-coded behavior.
+func (b Bundle) IsDefault() bool {
+	return b.Canonical() == Bundle{
+		Placement:  DefaultPlacement,
+		Victim:     DefaultVictim,
+		Checkpoint: DefaultCheckpoint,
+		Sizing:     DefaultSizing,
+	}
+}
+
+// Validate rejects bundles naming unregistered policies.
+func (b Bundle) Validate() error {
+	_, err := b.Resolve()
+	return err
+}
+
+// Resolved is a bundle with every name looked up in its registry.
+type Resolved struct {
+	Placement  Placement
+	Victim     Victim
+	Checkpoint CheckpointTrigger
+	Sizing     PoolSizing
+}
+
+// Resolve looks up every slot of the (canonicalized) bundle, failing
+// with the offending slot and the registered alternatives on an unknown
+// name.
+func (b Bundle) Resolve() (Resolved, error) {
+	c := b.Canonical()
+	var r Resolved
+	var ok bool
+	if r.Placement, ok = LookupPlacement(c.Placement); !ok {
+		return Resolved{}, fmt.Errorf("policy: unknown placement policy %q (registered: %v)", c.Placement, Placements())
+	}
+	if r.Victim, ok = LookupVictim(c.Victim); !ok {
+		return Resolved{}, fmt.Errorf("policy: unknown victim policy %q (registered: %v)", c.Victim, Victims())
+	}
+	if r.Checkpoint, ok = LookupCheckpoint(c.Checkpoint); !ok {
+		return Resolved{}, fmt.Errorf("policy: unknown checkpoint policy %q (registered: %v)", c.Checkpoint, Checkpoints())
+	}
+	if r.Sizing, ok = LookupSizing(c.Sizing); !ok {
+		return Resolved{}, fmt.Errorf("policy: unknown pool-sizing policy %q (registered: %v)", c.Sizing, Sizings())
+	}
+	return r, nil
+}

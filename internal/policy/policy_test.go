@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/units"
+)
+
+// chainWorkflow builds a tiny DAG where runtime-only and
+// communication-inclusive ranks disagree: a -> b moves a 12.5 MB file
+// (10 s at the 10 Mbps reference link) while c runs alone.
+//
+//	UpwardRanks:          a=10, b=5, c=12   (c beats a)
+//	HEFTRanks @ 10 Mbps:  a=20, b=5, c=12   (a beats c)
+func chainWorkflow(t *testing.T) *dag.Workflow {
+	t.Helper()
+	wf := dag.New("chain")
+	if _, err := wf.AddFile("f", 1.25e7, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range []struct {
+		name            string
+		runtime         units.Duration
+		inputs, outputs []string
+	}{
+		{"a", 5, nil, []string{"f"}},
+		{"b", 5, []string{"f"}, nil},
+		{"c", 12, nil, nil},
+	} {
+		if _, err := wf.AddTask(task.name, "t", task.runtime, task.inputs, task.outputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wf.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func TestRegistriesHoldDefaultsAndCompetitors(t *testing.T) {
+	for kind, got := range map[string][]string{
+		"placement":  Placements(),
+		"victim":     Victims(),
+		"checkpoint": Checkpoints(),
+		"sizing":     Sizings(),
+	} {
+		if len(got) < 3 {
+			t.Errorf("%s registry has %d policies, want >= 3 (default + 2 competitors): %v", kind, len(got), got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Errorf("%s names not sorted: %v", kind, got)
+			}
+		}
+	}
+	// The empty name resolves to the default in every registry.
+	if p, ok := LookupPlacement(""); !ok || p.Name() != DefaultPlacement {
+		t.Errorf(`LookupPlacement("") = %v, %v`, p, ok)
+	}
+	if v, ok := LookupVictim(""); !ok || v.Name() != DefaultVictim {
+		t.Errorf(`LookupVictim("") = %v, %v`, v, ok)
+	}
+	if c, ok := LookupCheckpoint(""); !ok || c.Name() != DefaultCheckpoint {
+		t.Errorf(`LookupCheckpoint("") = %v, %v`, c, ok)
+	}
+	if s, ok := LookupSizing(""); !ok || s.Name() != DefaultSizing {
+		t.Errorf(`LookupSizing("") = %v, %v`, s, ok)
+	}
+	if _, ok := LookupPlacement("no-such-policy"); ok {
+		t.Error("unknown placement name resolved")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate", func() { RegisterPlacement(fifoPlacement{}) })
+	mustPanic("empty name", func() { RegisterVictim(emptyNameVictim{}) })
+}
+
+type emptyNameVictim struct{}
+
+func (emptyNameVictim) Name() string                  { return "" }
+func (emptyNameVictim) Score(VictimCandidate) float64 { return 0 }
+
+func TestBundleCanonicalAndDefault(t *testing.T) {
+	want := Bundle{
+		Placement:  DefaultPlacement,
+		Victim:     DefaultVictim,
+		Checkpoint: DefaultCheckpoint,
+		Sizing:     DefaultSizing,
+	}
+	if got := (Bundle{}).Canonical(); got != want {
+		t.Errorf("zero bundle canonicalizes to %+v", got)
+	}
+	if !(Bundle{}).IsDefault() || !(Bundle{Victim: DefaultVictim}).IsDefault() {
+		t.Error("defaults not recognized")
+	}
+	if (Bundle{Checkpoint: "adaptive"}).IsDefault() {
+		t.Error("non-default bundle claims to be the default")
+	}
+	// Canonical keeps explicit non-default slots untouched.
+	mixed := Bundle{Placement: "heft"}.Canonical()
+	if mixed.Placement != "heft" || mixed.Victim != DefaultVictim {
+		t.Errorf("mixed canonical = %+v", mixed)
+	}
+}
+
+func TestBundleResolveNamesOffendingSlot(t *testing.T) {
+	if _, err := (Bundle{}).Resolve(); err != nil {
+		t.Fatalf("zero bundle does not resolve: %v", err)
+	}
+	for slot, b := range map[string]Bundle{
+		"placement":   {Placement: "bogus"},
+		"victim":      {Victim: "bogus"},
+		"checkpoint":  {Checkpoint: "bogus"},
+		"pool-sizing": {Sizing: "bogus"},
+	} {
+		err := b.Validate()
+		if err == nil {
+			t.Errorf("%s: bogus name accepted", slot)
+			continue
+		}
+		if !strings.Contains(err.Error(), slot) || !strings.Contains(err.Error(), "bogus") {
+			t.Errorf("%s error does not name the slot and value: %v", slot, err)
+		}
+	}
+}
+
+func TestPlacementPriorities(t *testing.T) {
+	wf := chainWorkflow(t)
+	ctx := PlacementContext{Bandwidth: units.Mbps(10)}
+
+	rank, _ := LookupPlacement(DefaultPlacement)
+	heft, _ := LookupPlacement("heft")
+	fifo, _ := LookupPlacement("fifo")
+
+	if got := fifo.Priorities(wf, ctx); got != nil {
+		t.Errorf("fifo priorities = %v, want nil (keep queue order)", got)
+	}
+	r := rank.Priorities(wf, ctx)
+	h := heft.Priorities(wf, ctx)
+	if len(r) != wf.NumTasks() || len(h) != wf.NumTasks() {
+		t.Fatalf("priority lengths %d/%d, want %d", len(r), len(h), wf.NumTasks())
+	}
+	a, c := wf.Tasks()[0].ID, wf.Tasks()[2].ID
+	// Runtime-only ranks put the long independent task first; pricing the
+	// 10-second file transfer flips the order toward the chain head.
+	if r[a] >= r[c] {
+		t.Errorf("rank: a=%v c=%v, want c ahead", r[a], r[c])
+	}
+	if h[a] <= h[c] {
+		t.Errorf("heft: a=%v c=%v, want a ahead", h[a], h[c])
+	}
+	if want := 20.0; h[a] != want {
+		t.Errorf("heft rank of a = %v, want %v (5 + 10s transfer + 5)", h[a], want)
+	}
+}
+
+func TestVictimScores(t *testing.T) {
+	det, _ := LookupVictim(DefaultVictim)
+	cost, _ := LookupVictim("cost-aware")
+	least, _ := LookupVictim("least-progress")
+
+	young := VictimCandidate{Task: 1, Start: 900, Elapsed: 50, Remaining: 400, Runtime: 500, Banked: 100, Useful: 40, Saved: 30}
+	old := VictimCandidate{Task: 2, Start: 100, Elapsed: 800, Remaining: 900, Runtime: 1000, Banked: 0, Useful: 750, Saved: 600}
+
+	// Deterministic: latest start dies first.
+	if det.Score(young) <= det.Score(old) {
+		t.Error("deterministic does not prefer the most recent attempt")
+	}
+	// Cost-aware: the attempt with less unbanked wall-clock dies first.
+	// young wastes 50-30=20s, old wastes 800-600=200s.
+	if cost.Score(young) <= cost.Score(old) {
+		t.Error("cost-aware does not prefer the cheaper kill")
+	}
+	// Least-progress: young is 140/500 done, old is 750/1000 done.
+	if least.Score(young) <= least.Score(old) {
+		t.Error("least-progress does not prefer the task farthest from done")
+	}
+
+	if got := young.WastedIfKilled(); got != 20 {
+		t.Errorf("WastedIfKilled = %v, want 20", got)
+	}
+	if got := young.Progress(); got != 0.28 {
+		t.Errorf("Progress = %v, want 0.28", got)
+	}
+	if got := (VictimCandidate{Runtime: 0}).Progress(); got != 1 {
+		t.Errorf("zero-runtime progress = %v, want 1", got)
+	}
+	if got := (VictimCandidate{Runtime: 10, Banked: 20}).Progress(); got != 1 {
+		t.Errorf("overbanked progress = %v, want capped at 1", got)
+	}
+}
+
+func TestCheckpointTriggers(t *testing.T) {
+	interval, _ := LookupCheckpoint(DefaultCheckpoint)
+	adaptive, _ := LookupCheckpoint("adaptive")
+	risk, _ := LookupCheckpoint("risk")
+
+	base := CheckpointContext{Interval: 300, Overhead: 10, Remaining: 5000, SpotRatePerHour: 1}
+
+	if got := interval.EffectiveInterval(base); got != 300 {
+		t.Errorf("interval trigger = %v, want the configured 300", got)
+	}
+	if got := risk.EffectiveInterval(base); got != base.Remaining {
+		t.Errorf("risk trigger = %v, want Remaining (no periodic checkpoints)", got)
+	}
+
+	// Young/Daly: sqrt(2 * 10 * 3600) ~= 268.3 at one reclaim per hour.
+	want := units.Duration(math.Sqrt(2 * 10 * 3600))
+	if got := adaptive.EffectiveInterval(base); got != want {
+		t.Errorf("adaptive spot interval = %v, want %v", got, want)
+	}
+	// Reliable attempts cannot be reclaimed: no periodic checkpoints.
+	rel := base
+	rel.OnReliable = true
+	if got := adaptive.EffectiveInterval(rel); got != base.Remaining {
+		t.Errorf("adaptive on reliable = %v, want Remaining", got)
+	}
+	// No declared hazard rate: keep the external schedule's interval.
+	calm := base
+	calm.SpotRatePerHour = 0
+	if got := adaptive.EffectiveInterval(calm); got != 300 {
+		t.Errorf("adaptive without hazard rate = %v, want base interval", got)
+	}
+	// The spacing floors at one second of useful compute.
+	frantic := CheckpointContext{Interval: 300, Overhead: 1e-9, Remaining: 5000, SpotRatePerHour: 1e6}
+	if got := adaptive.EffectiveInterval(frantic); got != 1 {
+		t.Errorf("adaptive floor = %v, want 1", got)
+	}
+}
+
+func TestPoolSizing(t *testing.T) {
+	static, _ := LookupSizing(DefaultSizing)
+	quarter, _ := LookupSizing("quarter")
+	half, _ := LookupSizing("half")
+
+	if got := static.Reliable(16, 4, true); got != 4 {
+		t.Errorf("static = %d, want the configured 4", got)
+	}
+	if got := quarter.Reliable(16, 0, true); got != 4 {
+		t.Errorf("quarter of 16 = %d, want 4", got)
+	}
+	if got := half.Reliable(16, 4, true); got != 8 {
+		t.Errorf("half of 16 = %d, want 8", got)
+	}
+	// Ceiling division: half of 5 is 3, quarter of 5 is 2.
+	if got := half.Reliable(5, 0, true); got != 3 {
+		t.Errorf("half of 5 = %d, want 3", got)
+	}
+	if got := quarter.Reliable(5, 0, true); got != 2 {
+		t.Errorf("quarter of 5 = %d, want 2", got)
+	}
+	// A reliable floor must leave one revocable slot.
+	if got := half.Reliable(1, 0, true); got != 0 {
+		t.Errorf("half of 1 = %d, want clamped to 0", got)
+	}
+	// A calm market makes the floor pointless: keep the configured split.
+	if got := half.Reliable(16, 4, false); got != 4 {
+		t.Errorf("half under calm market = %d, want the configured 4", got)
+	}
+}

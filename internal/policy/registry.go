@@ -1,0 +1,108 @@
+package policy
+
+// String-keyed policy registries.  Registration happens in package
+// init (builtin.go) and, for experimental policies, from other
+// packages' init functions; lookups after init are read-only, so a
+// plain RWMutex keeps the registries safe for concurrent resolution
+// inside the server's worker pool.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu      sync.RWMutex
+	placements = map[string]Placement{}
+	victims    = map[string]Victim{}
+	triggers   = map[string]CheckpointTrigger{}
+	sizings    = map[string]PoolSizing{}
+)
+
+func register[P interface{ Name() string }](kind string, reg map[string]P, p P) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := p.Name()
+	if name == "" {
+		panic(fmt.Sprintf("policy: %s policy with an empty name", kind))
+	}
+	if _, dup := reg[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate %s policy %q", kind, name))
+	}
+	reg[name] = p
+}
+
+func lookup[P any](reg map[string]P, name string) (P, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := reg[name]
+	return p, ok
+}
+
+func names[P any](reg map[string]P) []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterPlacement adds a placement policy; duplicate names panic.
+func RegisterPlacement(p Placement) { register("placement", placements, p) }
+
+// RegisterVictim adds a victim policy; duplicate names panic.
+func RegisterVictim(v Victim) { register("victim", victims, v) }
+
+// RegisterCheckpoint adds a checkpoint trigger; duplicate names panic.
+func RegisterCheckpoint(t CheckpointTrigger) { register("checkpoint", triggers, t) }
+
+// RegisterSizing adds a pool-sizing policy; duplicate names panic.
+func RegisterSizing(s PoolSizing) { register("pool-sizing", sizings, s) }
+
+// LookupPlacement finds a placement policy; "" means the default.
+func LookupPlacement(name string) (Placement, bool) {
+	if name == "" {
+		name = DefaultPlacement
+	}
+	return lookup(placements, name)
+}
+
+// LookupVictim finds a victim policy; "" means the default.
+func LookupVictim(name string) (Victim, bool) {
+	if name == "" {
+		name = DefaultVictim
+	}
+	return lookup(victims, name)
+}
+
+// LookupCheckpoint finds a checkpoint trigger; "" means the default.
+func LookupCheckpoint(name string) (CheckpointTrigger, bool) {
+	if name == "" {
+		name = DefaultCheckpoint
+	}
+	return lookup(triggers, name)
+}
+
+// LookupSizing finds a pool-sizing policy; "" means the default.
+func LookupSizing(name string) (PoolSizing, bool) {
+	if name == "" {
+		name = DefaultSizing
+	}
+	return lookup(sizings, name)
+}
+
+// Placements lists the registered placement policy names, sorted.
+func Placements() []string { return names(placements) }
+
+// Victims lists the registered victim policy names, sorted.
+func Victims() []string { return names(victims) }
+
+// Checkpoints lists the registered checkpoint trigger names, sorted.
+func Checkpoints() []string { return names(triggers) }
+
+// Sizings lists the registered pool-sizing policy names, sorted.
+func Sizings() []string { return names(sizings) }

@@ -186,10 +186,14 @@ func (s *Server) handleAdvisorV2(w http.ResponseWriter, r *http.Request) {
 // ---- POST /v2/experiments/{name} ----
 
 // experimentParamsDoc is the POST body of a v2 experiment invocation:
-// the wire form of experiments.Params.
+// the wire form of experiments.Params.  (policy-tournament has its own
+// POST route streaming NDJSON; scenario/bundles here serve any future
+// table-shaped policy experiments.)
 type experimentParamsDoc struct {
-	Seed *int64             `json:"seed,omitempty"`
-	Grid *wire.SweepRequest `json:"grid,omitempty"`
+	Seed     *int64                 `json:"seed,omitempty"`
+	Grid     *wire.SweepRequest     `json:"grid,omitempty"`
+	Scenario *wire.Scenario         `json:"scenario,omitempty"`
+	Bundles  []wire.PoliciesSection `json:"bundles,omitempty"`
 }
 
 func (s *Server) handleExperimentV2(w http.ResponseWriter, r *http.Request) {
@@ -212,7 +216,9 @@ func (s *Server) handleExperimentV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	tables, err := experiments.Run(r.Context(), name, experiments.Params{Seed: doc.Seed, Grid: doc.Grid})
+	tables, err := experiments.Run(r.Context(), name, experiments.Params{
+		Seed: doc.Seed, Grid: doc.Grid, Scenario: doc.Scenario, Bundles: doc.Bundles,
+	})
 	if err != nil {
 		s.fail(w, r, statusFor(err), err)
 		return
@@ -221,4 +227,80 @@ func (s *Server) handleExperimentV2(w http.ResponseWriter, r *http.Request) {
 		Name   string     `json:"name"`
 		Tables []tableDoc `json:"tables"`
 	}{Name: name, Tables: tableDocs(tables)})
+}
+
+// ---- POST /v2/experiments/policy-tournament ----
+
+// handleTournamentV2 streams a policy tournament as NDJSON: one row per
+// bundle in entry order, then a terminal done envelope carrying the
+// ranking (best bundle first).  The exact-path route wins over the
+// generic POST /v2/experiments/{name} handler.
+func (s *Server) handleTournamentV2(w http.ResponseWriter, r *http.Request) {
+	s.metrics.count("tournament_v2")
+	var req wire.TournamentRequest
+	if r.ContentLength != 0 {
+		if err := decodeBody(r, &req); err != nil {
+			s.fail(w, r, http.StatusBadRequest, err)
+			return
+		}
+	}
+	base := experiments.DefaultTournamentScenario()
+	if req.Scenario != nil {
+		base = *req.Scenario
+	}
+	bundles := experiments.DefaultTournamentBundles()
+	if len(req.Bundles) > 0 {
+		bundles = req.Bundles
+	}
+	if req.Seed != nil {
+		base = experiments.ReseedSpot(base, *req.Seed)
+	}
+	// Every entry resolves before the first row streams, so a malformed
+	// bundle is a clean 400 instead of a mid-stream error envelope.
+	if _, err := experiments.TournamentEntries(base, bundles); err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+
+	release, err := s.admit(r.Context())
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var rows []experiments.TournamentRow
+	err = experiments.TournamentStream(r.Context(), base, bundles, func(row experiments.TournamentRow) error {
+		doc := wire.TournamentRow{
+			Index:         row.Entry.Index,
+			Bundle:        row.Entry.Bundle,
+			RunDocumentV2: wire.NewRunDocumentV2(row.Entry.Spec, row.Result),
+		}
+		if err := enc.Encode(wire.TournamentEnvelope{Row: &doc}); err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		if len(rows) == 0 {
+			s.fail(w, r, statusFor(err), err)
+			return
+		}
+		s.metrics.errors.Add(1)
+		if r.Context().Err() == nil {
+			enc.Encode(wire.TournamentEnvelope{Error: err.Error()}) //nolint:errcheck
+		}
+		return
+	}
+	enc.Encode(wire.TournamentEnvelope{Done: &wire.TournamentDone{ //nolint:errcheck
+		Rows:    len(rows),
+		Ranking: experiments.RankTournament(rows),
+	}})
 }

@@ -130,6 +130,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v2/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v2/experiments/{name}", s.handleExperiment)
 	mux.HandleFunc("POST /v2/experiments/{name}", s.handleExperimentV2)
+	mux.HandleFunc("POST /v2/experiments/policy-tournament", s.handleTournamentV2)
 	mux.HandleFunc("GET /v2/advisor", s.handleAdvisorV2)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/wire"
+)
+
+// TestTournamentV2StreamsRowsAndRanking posts a three-bundle tournament
+// and checks the NDJSON contract: one row envelope per bundle in entry
+// order, then a terminal done envelope whose ranking covers every
+// bundle exactly once, best (lowest cost) first.
+func TestTournamentV2StreamsRowsAndRanking(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{
+		"bundles": [
+			{},
+			{"placement": "heft", "victim": "cost-aware"},
+			{"checkpoint": "adaptive", "sizing": "half"}
+		]
+	}`
+	resp, raw := postJSON(t, ts.URL+"/v2/experiments/policy-tournament", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var rows []wire.TournamentRow
+	var done *wire.TournamentDone
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var env wire.TournamentEnvelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad envelope %q: %v", sc.Text(), err)
+		}
+		if env.Error != "" {
+			t.Fatalf("error envelope: %s", env.Error)
+		}
+		if done != nil {
+			t.Fatal("envelope after done")
+		}
+		if env.Row != nil {
+			rows = append(rows, *env.Row)
+		}
+		if env.Done != nil {
+			done = env.Done
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d row envelopes, want 3", len(rows))
+	}
+	for i, r := range rows {
+		if r.Index != i {
+			t.Errorf("row %d carries index %d", i, r.Index)
+		}
+		if r.Version != 2 || r.Workflow == "" || r.Metrics.Makespan <= 0 {
+			t.Errorf("row %d is not a full v2 run document: %+v", i, r.RunDocumentV2)
+		}
+	}
+	// The non-default bundles echo their policies; the defaults do not.
+	if rows[0].Scenario.Policies != nil {
+		t.Error("default bundle echoed a policies section")
+	}
+	if rows[1].Scenario.Policies == nil || rows[1].Scenario.Policies.Placement != "heft" {
+		t.Errorf("bundle 1 echo = %+v", rows[1].Scenario.Policies)
+	}
+
+	if done == nil {
+		t.Fatal("stream did not end with a done envelope")
+	}
+	if done.Rows != 3 || len(done.Ranking) != 3 {
+		t.Fatalf("done = %d rows, %d standings", done.Rows, len(done.Ranking))
+	}
+	seen := map[int]bool{}
+	for i, st := range done.Ranking {
+		if st.Rank != i+1 {
+			t.Errorf("standing %d has rank %d", i, st.Rank)
+		}
+		if seen[st.Index] || st.Index < 0 || st.Index > 2 {
+			t.Errorf("bad or duplicate index %d in ranking", st.Index)
+		}
+		seen[st.Index] = true
+		if i > 0 && st.CostDollars < done.Ranking[i-1].CostDollars {
+			t.Errorf("ranking not cost-sorted at %d", i)
+		}
+	}
+}
+
+// TestTournamentV2Defaults: an empty body runs the canned scenario
+// against the full default roster.
+func TestTournamentV2Defaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v2/experiments/policy-tournament", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	lines := bytes.Count(bytes.TrimSpace(raw), []byte("\n")) + 1
+	// 9 default bundles + the done envelope.
+	if lines != 10 {
+		t.Errorf("%d NDJSON lines, want 10", lines)
+	}
+}
+
+// TestTournamentV2RejectsBadBundles: malformed rosters fail as a clean
+// 400 before any row streams.
+func TestTournamentV2RejectsBadBundles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"unknown policy": `{"bundles": [{"placement": "astrology"}]}`,
+		"unknown field":  `{"bundles": [{"placemnt": "heft"}]}`,
+		"bad scenario":   `{"scenario": {"version": 2, "workflow": {"name": "11deg"}}}`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v2/experiments/policy-tournament", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d: %s", name, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestTournamentV2SeedChangesOutcome: the seed knob reseeds the spot
+// revocation sampling, so two seeds disagree somewhere in the metrics
+// while the same seed reproduces itself.
+func TestTournamentV2SeedChangesOutcome(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post := func(seed string) []byte {
+		t.Helper()
+		resp, raw := postJSON(t, ts.URL+"/v2/experiments/policy-tournament",
+			`{"seed": `+seed+`, "bundles": [{}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %s: status %d: %s", seed, resp.StatusCode, raw)
+		}
+		return raw
+	}
+	a, b, c := post("1"), post("2"), post("1")
+	if bytes.Equal(a, b) {
+		t.Error("different seeds produced identical streams")
+	}
+	if !bytes.Equal(a, c) {
+		t.Error("same seed did not reproduce the stream")
+	}
+}

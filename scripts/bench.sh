@@ -1,0 +1,40 @@
+#!/bin/sh
+# Run the executor and event-engine benchmark suites with repeats and
+# emit the results as BENCH_exec.json at the repo root: one JSON object
+# per benchmark run, carrying name, iterations, ns/op and (when the
+# suite reports them) B/op and allocs/op.
+#
+#   make bench                 # 3 repeats, writes BENCH_exec.json
+#   BENCH_COUNT=5 make bench   # more repeats
+#   BENCH_OUT=out.json make bench
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-3}"
+OUT="${BENCH_OUT:-BENCH_exec.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench . -benchmem -count "$COUNT" \
+	./internal/exec/ ./internal/sim/ | tee "$TMP"
+
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+	name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op")     ns = $(i-1)
+		if ($i == "B/op")      bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { print "\n]" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark runs)"

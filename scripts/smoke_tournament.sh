@@ -1,0 +1,46 @@
+#!/bin/sh
+# Smoke test the policy-tournament endpoint: boot reprosrv, POST a
+# two-bundle tournament and assert the NDJSON contract -- one row
+# envelope per bundle, then a terminal done envelope carrying the
+# ranking.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18766}"
+BIN="$(mktemp -d)/reprosrv"
+OUT="$(mktemp)"
+LOG="$(mktemp)"
+SRV=""
+cleanup() {
+	[ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+	rm -rf "$(dirname "$BIN")" "$OUT" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/reprosrv
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+SRV=$!
+
+ok=""
+for _ in $(seq 1 50); do
+	if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then ok=1; break; fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "smoke: server never became healthy"; cat "$LOG"; exit 1; }
+
+curl -sf -X POST "http://$ADDR/v2/experiments/policy-tournament" \
+	-H 'Content-Type: application/json' \
+	-d '{"bundles":[{},{"placement":"heft","victim":"cost-aware","checkpoint":"adaptive","sizing":"half"}]}' \
+	>"$OUT"
+
+fail() { echo "smoke: $1"; cat "$OUT"; exit 1; }
+
+rows=$(grep -c '"row"' "$OUT" || true)
+[ "$rows" -eq 2 ] || fail "expected 2 row envelopes, got $rows"
+last=$(tail -n 1 "$OUT")
+echo "$last" | grep -q '"done"' || fail "stream did not end with a done envelope"
+echo "$last" | grep -q '"ranking"' || fail "done envelope carries no ranking"
+echo "$last" | grep -q '"rank":1' || fail "ranking is missing rank 1"
+echo "$last" | grep -q '"rank":2' || fail "ranking is missing rank 2"
+
+echo "smoke ok: 2 rows + ranking envelope on $ADDR"

@@ -40,9 +40,11 @@ func CanonicalRunKey(spec montage.Spec, plan core.Plan) string {
 	}
 	fmt.Fprintf(&b, "] recovery{ckpt=%t iv=%g oh=%g bytes=%d}",
 		p.Recovery.Checkpoint, float64(p.Recovery.Interval), float64(p.Recovery.Overhead), int64(p.Recovery.Bytes))
-	fmt.Fprintf(&b, " spot{rate=%g warn=%g down=%g seed=%d disc=%g ondemand=%d}}",
+	fmt.Fprintf(&b, " spot{rate=%g warn=%g down=%g seed=%d disc=%g ondemand=%d}",
 		p.Spot.RatePerHour, float64(p.Spot.Warning), float64(p.Spot.Downtime),
 		p.Spot.Seed, p.Spot.Discount, p.Spot.OnDemand)
+	fmt.Fprintf(&b, " policies{place=%s victim=%s ckpt=%s size=%s}}",
+		p.Policies.Placement, p.Policies.Victim, p.Policies.Checkpoint, p.Policies.Sizing)
 	return b.String()
 }
 

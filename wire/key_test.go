@@ -9,6 +9,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/montage"
+	"repro/internal/policy"
 )
 
 // TestCanonicalRunKeyCoverage forces key maintenance: the explicit
@@ -19,11 +20,12 @@ func TestCanonicalRunKeyCoverage(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"core.Plan":     {reflect.TypeOf(core.Plan{}), 14},
+		"core.Plan":     {reflect.TypeOf(core.Plan{}), 15},
 		"montage.Spec":  {reflect.TypeOf(montage.Spec{}), 9},
 		"core.SpotPlan": {reflect.TypeOf(core.SpotPlan{}), 6},
 		"exec.Recovery": {reflect.TypeOf(exec.Recovery{}), 4},
 		"cost.Pricing":  {reflect.TypeOf(cost.Pricing{}), 5},
+		"policy.Bundle": {reflect.TypeOf(policy.Bundle{}), 4},
 	} {
 		if n := tc.typ.NumField(); n != tc.want {
 			t.Errorf("%s has %d fields; update CanonicalRunKey and this count (want %d)", name, n, tc.want)
@@ -70,6 +72,10 @@ func TestCanonicalRunKeyNewKnobsDistinct(t *testing.T) {
 		"cpu rate":         func(s Scenario) (Scenario, error) { return s.With("pricing.cpu_per_hour", 0.2) },
 		"granularity":      func(s Scenario) (Scenario, error) { return s.With("pricing.granularity", "per-hour") },
 		"fleet split":      func(s Scenario) (Scenario, error) { return s.With("fleet.reliable", 8) },
+		"placement policy": func(s Scenario) (Scenario, error) { return s.With("policies.placement", "heft") },
+		"victim policy":    func(s Scenario) (Scenario, error) { return s.With("policies.victim", "cost-aware") },
+		"ckpt policy":      func(s Scenario) (Scenario, error) { return s.With("policies.checkpoint", "adaptive") },
+		"sizing policy":    func(s Scenario) (Scenario, error) { return s.With("policies.sizing", "half") },
 	} {
 		mutated, err := mutate(base)
 		if err != nil {

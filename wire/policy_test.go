@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/montage"
+	"repro/internal/policy"
+)
+
+// TestWithPolicyAxes: every policy slot is a sweepable axis, and the
+// substitution materializes the policies section on a document that
+// never mentioned it.
+func TestWithPolicyAxes(t *testing.T) {
+	for path, value := range map[string]string{
+		"policies.placement":  "heft",
+		"policies.victim":     "cost-aware",
+		"policies.checkpoint": "adaptive",
+		"policies.sizing":     "half",
+	} {
+		s, err := base1deg().With(path, value)
+		if err != nil {
+			t.Errorf("With(%q, %q): %v", path, value, err)
+			continue
+		}
+		if s.Policies == nil {
+			t.Errorf("With(%q, %q) did not materialize the policies section", path, value)
+			continue
+		}
+		if _, _, err := s.Resolve(); err != nil {
+			t.Errorf("With(%q, %q) does not resolve: %v", path, value, err)
+		}
+	}
+}
+
+func TestWithPolicyErrors(t *testing.T) {
+	if _, err := base1deg().With("policies.placement", 3); err == nil {
+		t.Error("numeric value accepted for a policy-name axis")
+	}
+	if _, err := base1deg().With("policies.placment", "heft"); err == nil {
+		t.Error("misspelled policy leaf accepted")
+	}
+	// A registered axis path with an unregistered policy name passes the
+	// structural substitution but must fail at Resolve, like a direct
+	// POST of the same document.
+	s, err := base1deg().With("policies.victim", "coin-flip")
+	if err != nil {
+		t.Fatalf("structural substitution rejected a string value: %v", err)
+	}
+	if _, _, err := s.Resolve(); err == nil {
+		t.Error("unregistered policy name resolved")
+	} else if !strings.Contains(err.Error(), "coin-flip") {
+		t.Errorf("resolve error does not name the bad policy: %v", err)
+	}
+}
+
+// TestScenarioPoliciesResolve pins the wire -> core plumbing: the
+// section lands on the plan as a bundle, and unknown names fail with
+// the wire prefix.
+func TestScenarioPoliciesResolve(t *testing.T) {
+	s := base1deg()
+	s.Policies = &PoliciesSection{Placement: "heft", Checkpoint: "adaptive"}
+	_, plan, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := policy.Bundle{
+		Placement:  "heft",
+		Victim:     policy.DefaultVictim,
+		Checkpoint: "adaptive",
+		Sizing:     policy.DefaultSizing,
+	}
+	if plan.Policies != want {
+		t.Errorf("plan bundle = %+v, want %+v", plan.Policies, want)
+	}
+
+	s.Policies = &PoliciesSection{Sizing: "golden-ratio"}
+	if _, _, err := s.Resolve(); err == nil {
+		t.Error("unknown sizing policy resolved")
+	} else if !strings.HasPrefix(err.Error(), "wire:") {
+		t.Errorf("resolve error lost the wire prefix: %v", err)
+	}
+}
+
+// TestEchoScenarioPolicies: the default bundle is omitted from echoes
+// (pre-policy documents stay byte-identical), a non-default bundle is
+// echoed with every slot filled.
+func TestEchoScenarioPolicies(t *testing.T) {
+	spec, plan, err := base1deg().Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo := EchoScenario(spec, plan); echo.Policies != nil {
+		t.Errorf("default bundle echoed: %+v", echo.Policies)
+	}
+
+	s := base1deg()
+	s.Policies = &PoliciesSection{Victim: "cost-aware"}
+	spec, plan, err = s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	echo := EchoScenario(spec, plan)
+	if echo.Policies == nil {
+		t.Fatal("non-default bundle not echoed")
+	}
+	want := PoliciesSection{
+		Placement:  policy.DefaultPlacement,
+		Victim:     "cost-aware",
+		Checkpoint: policy.DefaultCheckpoint,
+		Sizing:     policy.DefaultSizing,
+	}
+	if *echo.Policies != want {
+		t.Errorf("echoed policies = %+v, want every slot canonical: %+v", *echo.Policies, want)
+	}
+}
+
+// TestPolicyRefactorByteIdentity is the acceptance criterion of the
+// policy extraction: run documents under the default bundle must match
+// the fixtures captured BEFORE the decision points were carved out of
+// the executor, byte for byte.  These two goldens are frozen
+// pre-refactor artifacts -- deliberately outside the -update flow, so a
+// behavior change in a default policy cannot be silently baked in by
+// regenerating them.
+func TestPolicyRefactorByteIdentity(t *testing.T) {
+	for name, s := range map[string]Scenario{
+		"baseline": {Version: 2, Workflow: WorkflowSection{Name: "1deg"}},
+		"spot_mixed": {
+			Version:  2,
+			Workflow: WorkflowSection{Name: "1deg"},
+			Fleet:    &FleetSection{Processors: 16, Reliable: 4},
+			Spot:     &SpotSection{RatePerHour: 1, Seed: 7, Discount: 0.6},
+			Recovery: &RecoverySection{CheckpointSeconds: 300, CheckpointOverheadSeconds: 10, CheckpointBytes: 1e8},
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			spec, plan, err := s.Resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wf, err := montage.Cached(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(wf, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewRunDocumentV2(spec, res).Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden_v2_run_"+name+".json")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing frozen pre-refactor fixture: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("default-bundle document drifted from the pre-refactor capture %s", path)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datamgmt"
 	"repro/internal/exec"
 	"repro/internal/montage"
+	"repro/internal/policy"
 	"repro/internal/units"
 )
 
@@ -39,6 +40,10 @@ type Scenario struct {
 	Spot *SpotSection `json:"spot,omitempty"`
 	// Recovery decides how preempted tasks resume.
 	Recovery *RecoverySection `json:"recovery,omitempty"`
+	// Policies names the scheduling and recovery policies, one per
+	// decision point.  Omitted (or empty) slots select the historical
+	// defaults, so older documents resolve unchanged.
+	Policies *PoliciesSection `json:"policies,omitempty"`
 }
 
 // WorkflowSection selects the workload: a preset by name, or a custom
@@ -121,6 +126,36 @@ type RecoverySection struct {
 	// moves this much data into cloud storage (charged as storage
 	// occupancy and inbound transfer) and each restore reads it back.
 	CheckpointBytes float64 `json:"checkpoint_bytes,omitempty"`
+}
+
+// PoliciesSection names one policy per scheduling/recovery decision
+// point, each a key into the corresponding registry.  Empty slots mean
+// the historical defaults (rank placement, deterministic victims,
+// interval checkpointing, static sizing), so a document written before
+// this section existed resolves to byte-identical results.
+type PoliciesSection struct {
+	// Placement decides which ready tasks claim the reliable slots of a
+	// mixed fleet: rank (default), heft or fifo.
+	Placement string `json:"placement,omitempty"`
+	// Victim decides which running spot attempt a reclaim kills:
+	// deterministic (default), cost-aware or least-progress.
+	Victim string `json:"victim,omitempty"`
+	// Checkpoint spaces a running attempt's snapshots: interval
+	// (default), adaptive (Young/Daly) or risk (warning-window only).
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Sizing decides the reliable/spot split: static (default), quarter
+	// or half.
+	Sizing string `json:"sizing,omitempty"`
+}
+
+// bundle converts the section to its core policy value.
+func (p PoliciesSection) bundle() policy.Bundle {
+	return policy.Bundle{
+		Placement:  p.Placement,
+		Victim:     p.Victim,
+		Checkpoint: p.Checkpoint,
+		Sizing:     p.Sizing,
+	}
 }
 
 // maxRequestDegrees caps custom mosaic sizes on the wire.  Task count
@@ -333,6 +368,15 @@ func (s Scenario) Resolve() (montage.Spec, core.Plan, error) {
 		}
 	}
 
+	// Policy names must be registered: an unknown name is the caller's
+	// typo and costs a 400 here, not a 500 at run time.
+	if pol := s.Policies; pol != nil {
+		plan.Policies = pol.bundle()
+		if err := plan.Policies.Validate(); err != nil {
+			return fail(fmt.Errorf("wire: %w", err))
+		}
+	}
+
 	return spec, plan.Canonical(), nil
 }
 
@@ -400,6 +444,17 @@ func EchoScenario(spec montage.Spec, plan core.Plan) Scenario {
 			CheckpointSeconds:         p.Recovery.Interval.Seconds(),
 			CheckpointOverheadSeconds: p.Recovery.Overhead.Seconds(),
 			CheckpointBytes:           float64(p.Recovery.Bytes),
+		}
+	}
+	// The default bundle is omitted rather than echoed: pre-policy
+	// documents must echo byte-identically.
+	if !p.Policies.IsDefault() {
+		b := p.Policies.Canonical()
+		s.Policies = &PoliciesSection{
+			Placement:  b.Placement,
+			Victim:     b.Victim,
+			Checkpoint: b.Checkpoint,
+			Sizing:     b.Sizing,
 		}
 	}
 	return s

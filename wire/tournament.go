@@ -1,0 +1,60 @@
+package wire
+
+// The policy-tournament wire surface: POST /v2/experiments/policy-tournament
+// runs one base scenario under several policy bundles and streams the
+// outcomes as NDJSON, then ranks the bundles in the terminal envelope.
+
+// TournamentRequest is the POST body of a policy tournament: a base
+// scenario plus the policy bundles competing on it.  A nil scenario
+// runs the canned default (1-degree workflow, mixed 16/4 fleet under a
+// reclaiming spot market with checkpointing); empty bundles run the
+// default roster, which fields at least two competitors per policy
+// slot.  Seed, when set, reseeds the base scenario's spot revocation
+// sampling.
+type TournamentRequest struct {
+	Scenario *Scenario         `json:"scenario,omitempty"`
+	Bundles  []PoliciesSection `json:"bundles,omitempty"`
+	Seed     *int64            `json:"seed,omitempty"`
+}
+
+// TournamentRow is one bundle's outcome within a tournament stream: the
+// entry index, the competing bundle, and the full run document of the
+// base scenario under it.
+type TournamentRow struct {
+	Index  int             `json:"index"`
+	Bundle PoliciesSection `json:"bundle"`
+	RunDocumentV2
+}
+
+// TournamentStanding is one line of the final ranking, best first:
+// bundles are ordered by total cost, then makespan, then wasted CPU.
+type TournamentStanding struct {
+	Rank             int             `json:"rank"`
+	Index            int             `json:"index"`
+	Bundle           PoliciesSection `json:"bundle"`
+	CostDollars      float64         `json:"cost_dollars"`
+	MakespanSeconds  float64         `json:"makespan_seconds"`
+	WastedCPUSeconds float64         `json:"wasted_cpu_seconds"`
+}
+
+// TournamentDone is the success sentinel of a tournament stream: the
+// row count and the full ranking, best bundle first.
+type TournamentDone struct {
+	Rows    int                  `json:"rows"`
+	Ranking []TournamentStanding `json:"ranking"`
+}
+
+// TournamentEnvelope is one NDJSON line of a tournament response.
+// Exactly one field is set:
+//
+//	{"row": {...}}                       one bundle's outcome, in entry order
+//	{"done": {"rows": N, "ranking": [...]}}  terminal: the ranking
+//	{"error": "..."}                     terminal: the tournament failed
+//
+// Like the sweep stream, a response that ends without "done" or
+// "error" was truncated.
+type TournamentEnvelope struct {
+	Row   *TournamentRow  `json:"row,omitempty"`
+	Done  *TournamentDone `json:"done,omitempty"`
+	Error string          `json:"error,omitempty"`
+}

@@ -227,8 +227,8 @@ func TestCanonicalRunKeySpotDistinct(t *testing.T) {
 // explicit encoding must be extended whenever Plan or Spec grows a
 // field, or new knobs would silently collide in the cache.
 func TestCanonicalRunKeyCoversPlan(t *testing.T) {
-	if n := reflect.TypeOf(Plan{}).NumField(); n != 14 {
-		t.Errorf("core.Plan has %d fields; update CanonicalRunKey and this count (want 14)", n)
+	if n := reflect.TypeOf(Plan{}).NumField(); n != 15 {
+		t.Errorf("core.Plan has %d fields; update CanonicalRunKey and this count (want 15)", n)
 	}
 	if n := reflect.TypeOf(Spec{}).NumField(); n != 9 {
 		t.Errorf("montage.Spec has %d fields; update CanonicalRunKey and this count (want 9)", n)
