@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench smoke check
+.PHONY: build test vet race bench bench-check smoke smoke-trace check
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,20 @@ race:
 bench:
 	sh scripts/bench.sh
 
+# bench-check is the benchmark-regression gate: re-run the suites and
+# fail if any benchmark's mean ns/op regressed more than 25% against
+# the committed BENCH_exec.json baseline.
+bench-check:
+	sh scripts/bench.sh -check
+
 # smoke boots reprosrv, POSTs a two-bundle policy tournament and
 # asserts the NDJSON ranking envelope.
 smoke:
 	sh scripts/smoke_tournament.sh
 
-check: build vet test race smoke
+# smoke-trace boots reprosrv, runs a traced spot scenario through both
+# /v2/run surfaces and checks the telemetry families on /metrics.
+smoke-trace:
+	sh scripts/smoke_trace.sh
+
+check: build vet test race smoke smoke-trace

@@ -51,6 +51,7 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -79,6 +80,7 @@ func main() {
 	ckptPolicy := flag.String("checkpoint-policy", "", "custom run: checkpoint trigger policy (interval, adaptive, risk)")
 	poolSizing := flag.String("pool-sizing", "", "custom run: reliable/spot pool-sizing policy (static, quarter, half)")
 	csvOut := flag.Bool("csv", false, "scenario run: emit the result table (or sweep grid table) as CSV")
+	tracePath := flag.String("trace", "", "custom or scenario run: write the flight-recorder timeline as a Chrome trace-event file (open in Perfetto)")
 	flag.Parse()
 
 	// Ctrl-C cancels the whole experiment grid cooperatively: in-flight
@@ -130,18 +132,21 @@ func main() {
 	if spot != (repro.SpotRequest{}) {
 		req.Spot = &spot
 	}
-	if err := realMain(ctx, *exp, fmtArg, *scenario, req, bundle); err != nil {
+	if err := realMain(ctx, *exp, fmtArg, *scenario, req, bundle, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "montagesim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.RunRequest, bundle policy.Bundle) error {
+func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.RunRequest, bundle policy.Bundle, tracePath string) error {
 	selected := 0
 	for _, set := range []bool{exp != "", req.Workflow != "", scenarioPath != ""} {
 		if set {
 			selected++
 		}
+	}
+	if tracePath != "" && (exp != "" || selected == 0) {
+		return fmt.Errorf("-trace applies to single -run or -scenario runs")
 	}
 	switch {
 	case selected > 1:
@@ -149,9 +154,9 @@ func realMain(ctx context.Context, exp, format, scenarioPath string, req repro.R
 	case exp != "":
 		return runExperiment(ctx, exp, format, os.Stdout)
 	case req.Workflow != "":
-		return runCustom(ctx, req, bundle, format, os.Stdout)
+		return runCustom(ctx, req, bundle, format, tracePath, os.Stdout)
 	case scenarioPath != "":
-		return runScenario(ctx, scenarioPath, format, os.Stdout)
+		return runScenario(ctx, scenarioPath, format, tracePath, os.Stdout)
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -exp, -run or -scenario")
@@ -223,14 +228,18 @@ func runExperiment(ctx context.Context, name, format string, w io.Writer) error 
 // runCustom resolves a v1 request and runs it.  The policy bundle is
 // applied to the resolved plan -- the v1 wire shape is frozen, so policy
 // selection is a CLI-level knob here and a scenario section on v2.
-func runCustom(ctx context.Context, req repro.RunRequest, bundle policy.Bundle, format string, w io.Writer) error {
+func runCustom(ctx context.Context, req repro.RunRequest, bundle policy.Bundle, format, tracePath string, w io.Writer) error {
 	spec, plan, err := req.Resolve()
 	if err != nil {
 		return err
 	}
 	plan.Policies = bundle
+	rec := maybeRecorder(&plan, tracePath)
 	res, err := simulate(ctx, spec, plan)
 	if err != nil {
+		return err
+	}
+	if err := maybeWriteTrace(tracePath, rec); err != nil {
 		return err
 	}
 	if format == "json" {
@@ -247,7 +256,7 @@ func runCustom(ctx context.Context, req repro.RunRequest, bundle policy.Bundle, 
 // runScenario runs one v2 document: a plain scenario (single run) or a
 // {scenario, axes} sweep request (NDJSON grid stream, byte-identical to
 // a POST /v2/sweep response).
-func runScenario(ctx context.Context, path, format string, w io.Writer) error {
+func runScenario(ctx context.Context, path, format, tracePath string, w io.Writer) error {
 	raw, err := readInput(path)
 	if err != nil {
 		return err
@@ -259,6 +268,9 @@ func runScenario(ctx context.Context, path, format string, w io.Writer) error {
 		return fmt.Errorf("scenario document: %w", err)
 	}
 	if _, ok := probe["axes"]; ok {
+		if tracePath != "" {
+			return fmt.Errorf("-trace applies to single runs, not sweeps")
+		}
 		var req wire.SweepRequest
 		if err := wire.DecodeStrict(bytes.NewReader(raw), &req); err != nil {
 			return err
@@ -276,12 +288,25 @@ func runScenario(ctx context.Context, path, format string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The scenario's trace knob and the -trace flag both arm the
+	// recorder; the flag additionally picks the Chrome-trace output.
+	if sc.Trace || tracePath != "" {
+		plan.Recorder = obs.NewRecorder(0)
+	}
 	res, err := simulate(ctx, spec, plan)
 	if err != nil {
 		return err
 	}
+	if err := maybeWriteTrace(tracePath, plan.Recorder); err != nil {
+		return err
+	}
 	if format == "json" {
-		body, err := wire.NewRunDocumentV2(spec, res).Encode()
+		var body []byte
+		if sc.Trace {
+			body, err = wire.NewTracedRunDocumentV2(spec, res, plan.Recorder).Encode()
+		} else {
+			body, err = wire.NewRunDocumentV2(spec, res).Encode()
+		}
 		if err != nil {
 			return err
 		}
@@ -347,6 +372,33 @@ func readInput(path string) ([]byte, error) {
 		return io.ReadAll(os.Stdin)
 	}
 	return os.ReadFile(path)
+}
+
+// maybeRecorder arms the plan's flight recorder when a trace output was
+// requested, returning it (nil otherwise).
+func maybeRecorder(plan *repro.Plan, tracePath string) *obs.Recorder {
+	if tracePath == "" {
+		return nil
+	}
+	plan.Recorder = obs.NewRecorder(0)
+	return plan.Recorder
+}
+
+// maybeWriteTrace renders the recorder's timeline as a Chrome
+// trace-event file (viewable in Perfetto or chrome://tracing).
+func maybeWriteTrace(tracePath string, rec *obs.Recorder) error {
+	if tracePath == "" || rec == nil {
+		return nil
+	}
+	body, err := obs.ChromeTrace(rec.Events())
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(tracePath, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "montagesim: wrote %d trace events to %s\n", rec.Len(), tracePath)
+	return nil
 }
 
 // simulate generates (through the process-wide workflow cache) and runs

@@ -54,7 +54,7 @@ func TestRunExperimentErrors(t *testing.T) {
 
 func TestRunCustom(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "cleanup", Processors: 8, Billing: "provisioned"}, policy.Bundle{}, "text", &b); err != nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "cleanup", Processors: 8, Billing: "provisioned"}, policy.Bundle{}, "text", "", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -67,7 +67,7 @@ func TestRunCustom(t *testing.T) {
 
 func TestRunCustomJSON(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4, Billing: "on-demand"}, policy.Bundle{}, "json", &b); err != nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4, Billing: "on-demand"}, policy.Bundle{}, "json", "", &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -82,7 +82,7 @@ func TestRunCustomJSONMatchesWireDocument(t *testing.T) {
 	// The -json document must be byte-identical to what the server
 	// builds for the same request: both go through RunDocument.Encode.
 	var b strings.Builder
-	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4, Billing: "on-demand"}, policy.Bundle{}, "json", &b); err != nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4, Billing: "on-demand"}, policy.Bundle{}, "json", "", &b); err != nil {
 		t.Fatal(err)
 	}
 	spec, plan, err := repro.RunRequest{Workflow: "1deg", Mode: "regular", Processors: 4}.Resolve()
@@ -119,7 +119,7 @@ func TestRunCustomSpotJSONMatchesWireDocument(t *testing.T) {
 		},
 	}
 	var b strings.Builder
-	if err := runCustom(context.Background(), req, policy.Bundle{}, "json", &b); err != nil {
+	if err := runCustom(context.Background(), req, policy.Bundle{}, "json", "", &b); err != nil {
 		t.Fatal(err)
 	}
 	spec, plan, err := req.Resolve()
@@ -148,25 +148,25 @@ func TestRunCustomSpotJSONMatchesWireDocument(t *testing.T) {
 
 func TestRunCustomErrors(t *testing.T) {
 	var b strings.Builder
-	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "9deg", Mode: "regular", Billing: "on-demand"}, policy.Bundle{}, "text", &b); err == nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "9deg", Mode: "regular", Billing: "on-demand"}, policy.Bundle{}, "text", "", &b); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "sideways", Billing: "on-demand"}, policy.Bundle{}, "text", &b); err == nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "sideways", Billing: "on-demand"}, policy.Bundle{}, "text", "", &b); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Billing: "prepaid"}, policy.Bundle{}, "text", &b); err == nil {
+	if err := runCustom(context.Background(), repro.RunRequest{Workflow: "1deg", Mode: "regular", Billing: "prepaid"}, policy.Bundle{}, "text", "", &b); err == nil {
 		t.Error("unknown billing accepted")
 	}
 }
 
 func TestRealMainArgs(t *testing.T) {
-	if err := realMain(context.Background(), "fig4", "text", "", repro.RunRequest{Workflow: "1deg"}, policy.Bundle{}); err == nil {
+	if err := realMain(context.Background(), "fig4", "text", "", repro.RunRequest{Workflow: "1deg"}, policy.Bundle{}, ""); err == nil {
 		t.Error("-exp together with -run accepted")
 	}
-	if err := realMain(context.Background(), "fig4", "text", "file.json", repro.RunRequest{}, policy.Bundle{}); err == nil {
+	if err := realMain(context.Background(), "fig4", "text", "file.json", repro.RunRequest{}, policy.Bundle{}, ""); err == nil {
 		t.Error("-exp together with -scenario accepted")
 	}
-	if err := realMain(context.Background(), "", "text", "", repro.RunRequest{}, policy.Bundle{}); err == nil {
+	if err := realMain(context.Background(), "", "text", "", repro.RunRequest{}, policy.Bundle{}, ""); err == nil {
 		t.Error("no action accepted")
 	}
 }

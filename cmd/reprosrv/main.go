@@ -5,10 +5,16 @@
 //
 //	reprosrv -addr 127.0.0.1:8080
 //	reprosrv -addr 127.0.0.1:0 -workers 8 -queue 128 -cache 2048
+//	reprosrv -addr 127.0.0.1:8080 -debug-addr 127.0.0.1:6060
 //
 // Endpoints (see internal/server): POST /v1/run, POST /v1/sweep (NDJSON
 // stream), GET /v1/experiments, GET /v1/experiments/{name},
 // GET /v1/advisor, GET /healthz, GET /metrics.
+//
+// Every request is logged as one structured line (request ID, endpoint,
+// status, latency) via log/slog; -quiet drops them.  -debug-addr serves
+// net/http/pprof on a separate listener, kept off the public mux so
+// profiling endpoints are never exposed by accident.
 //
 // The daemon prints "listening on HOST:PORT" once the socket is open
 // (so -addr :0 is scriptable) and drains in-flight requests on SIGTERM
@@ -20,7 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,22 +38,42 @@ import (
 	"repro/internal/server"
 )
 
+// version is the build version, stamped via
+// -ldflags "-X main.version=...".  "dev" for plain go-build binaries.
+var version = "dev"
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max requests waiting for a worker before 503 (0 = 64)")
 	cache := flag.Int("cache", 0, "result cache entries (0 = 1024)")
 	drain := flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = disabled)")
+	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	if *debugAddr != "" {
+		if err := serveDebug(ctx, *debugAddr, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "reprosrv: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if err := run(ctx, *addr, server.Config{
 		MaxConcurrent: *workers,
 		QueueDepth:    *queue,
 		CacheEntries:  *cache,
 		DrainTimeout:  *drain,
+		Version:       version,
+		Logger:        logger,
 	}, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "reprosrv: %v\n", err)
 		os.Exit(1)
@@ -60,4 +89,29 @@ func run(ctx context.Context, addr string, cfg server.Config, w io.Writer) error
 	}
 	fmt.Fprintf(w, "listening on %s\n", l.Addr())
 	return server.New(cfg).Serve(ctx, l)
+}
+
+// serveDebug opens the pprof listener and serves it in the background.
+// The profiling mux is built by hand rather than using http.DefaultServeMux,
+// so nothing else that registers against the default mux leaks onto the
+// debug port.
+func serveDebug(ctx context.Context, addr string, w io.Writer) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(w, "pprof on %s\n", l.Addr())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	go srv.Serve(l) //nolint:errcheck
+	return nil
 }

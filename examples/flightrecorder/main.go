@@ -1,0 +1,126 @@
+// Flightrecorder: trace a preemption-heavy spot run with the flight
+// recorder and render what the simulator saw.  The recorder is a pure
+// observer -- attaching it never changes a run's metrics or cost -- and
+// captures every dispatch, start, finish, spot revocation, victim kill,
+// checkpoint, restore and restart as a deterministic event timeline.
+//
+// The program prints a digest of the timeline (event counts by kind and
+// the recovery story of the first preempted task), the critical-path
+// summary (the tasks that blocked the makespan longest), and writes
+// trace.json, a Chrome trace-event file: open it at https://ui.perfetto.dev
+// or chrome://tracing to scrub through the run lane by lane.
+//
+//	go run ./examples/flightrecorder
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+func main() {
+	wf, err := repro.Generate(repro.OneDegree())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A mixed fleet in a hot spot market: 4 reliable processors, 12
+	// revocable ones, seeded reclaims, periodic checkpoints.  Plenty of
+	// preemptions for the recorder to narrate.
+	plan := repro.DefaultPlan()
+	plan.Processors = 16
+	plan.Spot = repro.SpotPlan{
+		RatePerHour: 1.5,
+		Warning:     120,
+		Downtime:    600,
+		Seed:        7,
+		Discount:    0.65,
+		OnDemand:    4,
+	}
+	plan.Recovery = repro.Recovery{Checkpoint: true, Interval: 300, Overhead: 10}
+
+	// Arm the recorder.  0 means the default event bound; a traced run
+	// is byte-identical to an untraced one apart from the timeline.
+	rec := obs.NewRecorder(0)
+	plan.Recorder = rec
+
+	res, err := repro.Run(wf, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run: makespan %v, cost %s, %d preempted, %d checkpoints\n\n",
+		res.Metrics.Makespan, res.Cost.Total(), res.Metrics.Preempted, res.Metrics.Checkpoints)
+
+	// The timeline, by kind.
+	counts := map[string]int{}
+	for _, e := range rec.Events() {
+		counts[e.Kind]++
+	}
+	fmt.Printf("timeline: %d events\n", rec.Len())
+	for _, kind := range []string{
+		obs.KindReady, obs.KindDispatch, obs.KindStart, obs.KindFinish,
+		obs.KindTransfer, obs.KindRevoke, obs.KindVictim, obs.KindCheckpoint,
+		obs.KindRestore, obs.KindRestart, obs.KindResize,
+	} {
+		if counts[kind] > 0 {
+			fmt.Printf("  %-10s %5d\n", kind, counts[kind])
+		}
+	}
+
+	// The recovery story of the first victim: revocation, kill,
+	// emergency checkpoint, restart, restore, finish.
+	var victim int = -1
+	fmt.Println("\nfirst preemption, as the recorder saw it:")
+	for _, e := range rec.Events() {
+		if victim < 0 && e.Kind != obs.KindVictim && e.Kind != obs.KindRevoke {
+			continue
+		}
+		switch {
+		case victim < 0 && e.Kind == obs.KindRevoke:
+			fmt.Printf("  t=%8.1fs  reclaim takes %d spot processor(s)\n", e.T, e.Procs)
+		case victim < 0 && e.Kind == obs.KindVictim:
+			victim = e.Task
+			fmt.Printf("  t=%8.1fs  %s (task %d) killed, victim score %.3f\n", e.T, e.Name, e.Task, e.Score)
+		case victim >= 0 && e.Task == victim:
+			switch e.Kind {
+			case obs.KindCheckpoint:
+				fmt.Printf("  t=%8.1fs  %s checkpoint (%d write(s), %d bytes)\n", e.T, e.Detail, e.Count, e.Bytes)
+			case obs.KindRestart:
+				fmt.Printf("  t=%8.1fs  re-enters the ready queue\n", e.T)
+			case obs.KindStart:
+				fmt.Printf("  t=%8.1fs  restarts on the %s pool\n", e.T, e.Pool)
+			case obs.KindRestore:
+				fmt.Printf("  t=%8.1fs  resumes from banked progress\n", e.T)
+			case obs.KindFinish:
+				fmt.Printf("  t=%8.1fs  finishes\n", e.T)
+			}
+			if e.Kind == obs.KindFinish {
+				victim = -2 // story told
+			}
+		}
+		if victim == -2 {
+			break
+		}
+	}
+
+	// Where the time went: top tasks by blocking time.
+	fmt.Println("\ncritical path (top 5 by blocking time):")
+	for _, p := range obs.CriticalPath(rec.Events(), 5) {
+		fmt.Printf("  %-28s %2d attempt(s)  busy %7.1fs  wait %7.1fs\n",
+			fmt.Sprintf("%s (task %d)", p.Name, p.Task), p.Attempts, p.BusySeconds, p.WaitSeconds)
+	}
+
+	// And the whole run as a Chrome trace, one lane per processor slot.
+	body, err := obs.ChromeTrace(rec.Events())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("trace.json", body, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote trace.json -- open it at https://ui.perfetto.dev")
+}

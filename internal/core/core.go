@@ -23,6 +23,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/datamgmt"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sweep"
 	"repro/internal/units"
@@ -90,6 +91,12 @@ type Plan struct {
 	// one per decision point (placement, victim, checkpoint, sizing).
 	// The zero value selects the historical defaults.
 	Policies policy.Bundle
+	// Recorder, when non-nil, captures the run's flight-recorder
+	// timeline (see package obs).  It is a pure observer: it never
+	// changes what the run computes, so it is deliberately excluded from
+	// the canonical cache key -- a traced run and an untraced run of the
+	// same plan are the same result.
+	Recorder *obs.Recorder
 }
 
 // SpotPlan is a declarative spot scenario: instead of handing the plan
@@ -284,6 +291,7 @@ func RunContext(ctx context.Context, wf *dag.Workflow, plan Plan) (Result, error
 		OnDemandProcessors: onDemand,
 		Policies:           p.Policies,
 		SpotRatePerHour:    p.Spot.RatePerHour,
+		Recorder:           p.Recorder,
 	})
 	if err != nil {
 		return Result{}, err

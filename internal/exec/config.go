@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/datamgmt"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/units"
 )
@@ -86,6 +87,13 @@ type Config struct {
 	// checkpoint triggers (the schedule itself already carries the
 	// events).  Zero means reliable capacity.
 	SpotRatePerHour float64
+
+	// Recorder, when non-nil, captures the run's flight-recorder
+	// timeline: every dispatch, start, finish, retry, reclaim, victim
+	// choice, checkpoint, restore and pool resize.  It is a pure
+	// observer -- a traced run's Metrics are byte-identical to the
+	// untraced run's -- and nil (the default) records nothing.
+	Recorder *obs.Recorder
 }
 
 // Policy selects the ready-queue order of the list scheduler.

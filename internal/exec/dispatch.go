@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/datamgmt"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/units"
 )
@@ -44,6 +45,9 @@ func (r *runner) readyBefore(a, b dag.TaskID) bool {
 
 func (r *runner) enqueueReady(id dag.TaskID) {
 	r.phase[id] = phaseReady
+	if r.trace != nil {
+		r.trace.Record(r.eng.Now(), obs.Event{Kind: obs.KindReady, Task: int(id), Name: r.wf.Task(id).Name})
+	}
 	i := sort.Search(len(r.ready), func(i int) bool { return !r.readyBefore(r.ready[i], id) })
 	r.ready = append(r.ready, 0)
 	copy(r.ready[i+1:], r.ready[i:])
@@ -76,6 +80,9 @@ func (r *runner) dispatch(now units.Duration) {
 	}
 	batch := append([]dag.TaskID(nil), r.ready[:n]...)
 	r.ready = r.ready[n:]
+	if r.trace != nil {
+		r.trace.Record(now, obs.Event{Kind: obs.KindDispatch, Task: -1, Count: len(batch)})
+	}
 	if r.prio != nil && r.cluster.FreeReliable() > 0 {
 		// Placement order, not start order: everything in the batch
 		// starts at the same instant, so reordering only decides which
@@ -133,6 +140,20 @@ func (r *runner) startTask(id dag.TaskID, now units.Duration) {
 	wall := rec.attemptWall(rem)
 	r.runStart[id] = now
 	r.runRem[id] = rem
+	if r.trace != nil {
+		pool := "spot"
+		if r.onReliable[id] {
+			pool = "reliable"
+		}
+		r.trace.Record(now, obs.Event{Kind: obs.KindStart, Task: int(id), Name: t.Name, Pool: pool})
+		if r.banked[id] > 0 {
+			ev := obs.Event{Kind: obs.KindRestore, Task: int(id), Name: t.Name}
+			if rec.Checkpoint {
+				ev.Bytes = int64(rec.Bytes)
+			}
+			r.trace.Record(now, ev)
+		}
+	}
 	// Checkpoint data volumes: resuming from a checkpoint reads its image
 	// back out of storage, and a task's first durable checkpoint makes
 	// its image resident until the task completes (replacement writes
@@ -185,6 +206,9 @@ func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
 	// checkpoints included: the crash is presumed to have poisoned them.
 	if r.failRNG != nil && r.failRNG.Float64() < r.cfg.FailureProb {
 		r.retries++
+		if r.trace != nil {
+			r.trace.Record(now, obs.Event{Kind: obs.KindRetry, Task: int(id), Name: r.wf.Task(id).Name})
+		}
 		// The crash poisons the failed attempt's own checkpoints, but
 		// progress banked by earlier preemptions survives (banked[id] is
 		// untouched), so its backing image must stay resident for the
@@ -204,6 +228,15 @@ func (r *runner) completeTask(id dag.TaskID, now units.Duration) {
 	n := rec.checkpointsFor(r.runRem[id])
 	r.checkpoints += n
 	r.ckptWritten += units.Bytes(n) * rec.Bytes
+	if r.trace != nil {
+		if n > 0 {
+			r.trace.Record(now, obs.Event{
+				Kind: obs.KindCheckpoint, Task: int(id), Name: r.wf.Task(id).Name,
+				Count: n, Bytes: int64(units.Bytes(n) * rec.Bytes), Detail: "periodic",
+			})
+		}
+		r.trace.Record(now, obs.Event{Kind: obs.KindFinish, Task: int(id), Name: r.wf.Task(id).Name})
+	}
 	// A completed task's checkpoint image is garbage; free the storage.
 	if err := r.dropCheckpoint(id, now); err != nil {
 		r.fail(err)

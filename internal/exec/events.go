@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cloudsim"
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -22,10 +23,16 @@ func (r *runner) startResident() {
 	stageInEnd := start
 	for _, f := range r.wf.ExternalInputs() {
 		f := f
-		_, end, err := r.reserveAvail(start, f.Size, cloudsim.In)
+		s, end, err := r.reserveAvail(start, f.Size, cloudsim.In)
 		if err != nil {
 			r.fail(err)
 			return
+		}
+		if r.trace != nil {
+			r.trace.Record(s, obs.Event{
+				Kind: obs.KindTransfer, Task: -1, Name: f.Name,
+				Bytes: int64(f.Size), Dir: "in", End: end.Seconds(),
+			})
 		}
 		r.eng.Schedule(end, func(now units.Duration) {
 			if err := r.storage.Put(now, f.Name, f.Size); err != nil {
@@ -56,10 +63,16 @@ func (r *runner) finishResident(now units.Duration) {
 	// deleted from the storage resource").
 	var lastEnd units.Duration = now
 	for _, f := range r.wf.OutputFiles() {
-		_, end, err := r.reserveAvail(now, f.Size, cloudsim.Out)
+		s, end, err := r.reserveAvail(now, f.Size, cloudsim.Out)
 		if err != nil {
 			r.fail(err)
 			return
+		}
+		if r.trace != nil {
+			r.trace.Record(s, obs.Event{
+				Kind: obs.KindTransfer, Task: -1, Name: f.Name,
+				Bytes: int64(f.Size), Dir: "out", End: end.Seconds(),
+			})
 		}
 		if end > lastEnd {
 			lastEnd = end
@@ -108,10 +121,16 @@ func (r *runner) beginStaging(id dag.TaskID) {
 		f := r.wf.File(name)
 		key := remoteKey(id, name)
 		cur = r.avail(cur)
-		_, end, err := r.link.Record(cur, f.Size, cloudsim.In)
+		s, end, err := r.link.Record(cur, f.Size, cloudsim.In)
 		if err != nil {
 			r.fail(err)
 			return
+		}
+		if r.trace != nil {
+			r.trace.Record(s, obs.Event{
+				Kind: obs.KindTransfer, Task: int(id), Name: name,
+				Bytes: int64(f.Size), Dir: "in", End: end.Seconds(),
+			})
 		}
 		size := f.Size
 		r.eng.Schedule(end, func(at units.Duration) {
@@ -147,10 +166,16 @@ func (r *runner) finishRemoteTask(id dag.TaskID, now units.Duration) {
 	for _, name := range outputs {
 		f := r.wf.File(name)
 		cur = r.avail(cur)
-		_, end, err := r.link.Record(cur, f.Size, cloudsim.Out)
+		s, end, err := r.link.Record(cur, f.Size, cloudsim.Out)
 		if err != nil {
 			r.fail(err)
 			return
+		}
+		if r.trace != nil {
+			r.trace.Record(s, obs.Event{
+				Kind: obs.KindTransfer, Task: int(id), Name: name,
+				Bytes: int64(f.Size), Dir: "out", End: end.Seconds(),
+			})
 		}
 		cur = end
 	}

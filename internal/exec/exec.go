@@ -42,6 +42,7 @@ import (
 	"repro/internal/cloudsim"
 	"repro/internal/dag"
 	"repro/internal/datamgmt"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -125,6 +126,7 @@ func RunContext(ctx context.Context, wf *dag.Workflow, cfg Config) (Metrics, err
 		storage:  cloudsim.NewStorage(cfg.RecordCurve),
 		link:     link,
 		cluster:  cluster,
+		trace:    cfg.Recorder,
 	}
 	if cfg.Mode == datamgmt.Cleanup {
 		if r.analyzer, err = datamgmt.NewAnalyzer(wf); err != nil {
@@ -188,6 +190,11 @@ type runner struct {
 	checkpoints  int
 	ckptWritten  units.Bytes
 	ckptRestored units.Bytes
+
+	// trace is the optional flight recorder.  Every record is guarded by
+	// a nil check so untraced runs -- the cacheable common case -- pay
+	// nothing, and recording never mutates simulation state.
+	trace *obs.Recorder
 
 	// prio holds the placement priorities of a mixed fleet: tasks with
 	// larger priority claim reliable slots first.  Nil on uniform pools

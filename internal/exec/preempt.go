@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/units"
 )
@@ -197,9 +198,12 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 	if k <= 0 {
 		return // earlier, still-open reclaims already took the whole spot pool
 	}
+	if r.trace != nil {
+		r.trace.Record(now, obs.Event{Kind: obs.KindRevoke, Task: -1, Procs: k})
+	}
 	if need := k - r.cluster.SpotFree(); need > 0 {
-		for _, id := range r.pickVictims(need, now) {
-			r.preemptTask(id, now, p.Warning)
+		for _, v := range r.pickVictims(need, now) {
+			r.preemptTask(v.id, now, p.Warning, v.score)
 			if r.err != nil {
 				return
 			}
@@ -208,6 +212,9 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 	if err := r.cluster.Revoke(now, k); err != nil {
 		r.fail(err)
 		return
+	}
+	if r.trace != nil {
+		r.trace.Record(now, obs.Event{Kind: obs.KindResize, Task: -1, Procs: -k})
 	}
 	// A victim may be able to restart right away on capacity the reclaim
 	// cannot touch -- an idle reliable slot, or spot slots beyond k.  On
@@ -224,9 +231,19 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 				r.fail(err)
 				return
 			}
+			if r.trace != nil {
+				r.trace.Record(at, obs.Event{Kind: obs.KindResize, Task: -1, Procs: k})
+			}
 			r.dispatch(at)
 		})
 	}
+}
+
+// victimChoice is one victim the policy selected, with the score that
+// condemned it (surfaced on the flight recorder's victim events).
+type victimChoice struct {
+	id    dag.TaskID
+	score float64
 }
 
 // pickVictims selects need running tasks to kill, scored by the victim
@@ -234,7 +251,7 @@ func (r *runner) reclaim(p Preemption, now units.Duration) {
 // deterministic tie-break.  Only tasks on the spot sub-pool are
 // candidates -- reliable on-demand capacity is exactly the capacity
 // reclaims cannot touch.
-func (r *runner) pickVictims(need int, now units.Duration) []dag.TaskID {
+func (r *runner) pickVictims(need int, now units.Duration) []victimChoice {
 	var cands []policy.VictimCandidate
 	for id, ph := range r.phase {
 		if ph != phaseRunning || r.onReliable[id] {
@@ -257,8 +274,10 @@ func (r *runner) pickVictims(need int, now units.Duration) []dag.TaskID {
 		})
 	}
 	score := make([]float64, len(cands))
+	scoreOf := make(map[dag.TaskID]float64, len(cands))
 	for i, c := range cands {
 		score[i] = r.policies.Victim.Score(c)
+		scoreOf[c.Task] = score[i]
 	}
 	sort.SliceStable(cands, func(i, j int) bool {
 		if score[i] != score[j] {
@@ -269,9 +288,11 @@ func (r *runner) pickVictims(need int, now units.Duration) []dag.TaskID {
 	if need > len(cands) {
 		need = len(cands)
 	}
-	out := make([]dag.TaskID, need)
+	out := make([]victimChoice, need)
 	for i := range out {
-		out[i] = cands[i].Task
+		// Scores travel by task ID: the sort permutes cands, not the
+		// parallel score slice.
+		out[i] = victimChoice{id: cands[i].Task, score: scoreOf[cands[i].Task]}
 	}
 	return out
 }
@@ -280,11 +301,20 @@ func (r *runner) pickVictims(need int, now units.Duration) []dag.TaskID {
 // policy preserved, put the task back on the ready queue, and free its
 // processor.  The pending completion event is disarmed by the attempt
 // counter.
-func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Duration) {
+func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Duration, score float64) {
 	rec := r.runRec[id]
 	elapsed := now - r.runStart[id]
 	rem := r.runRem[id]
+	if r.trace != nil {
+		r.trace.Record(now, obs.Event{Kind: obs.KindVictim, Task: int(id), Name: r.wf.Task(id).Name, Score: score})
+	}
 	saved, ckpts := rec.bankedDuring(elapsed, rem)
+	if r.trace != nil && ckpts > 0 {
+		r.trace.Record(now, obs.Event{
+			Kind: obs.KindCheckpoint, Task: int(id), Name: r.wf.Task(id).Name,
+			Count: ckpts, Bytes: int64(units.Bytes(ckpts) * rec.Bytes), Detail: "periodic",
+		})
+	}
 	// The warning window lets a checkpointing task cut one final
 	// checkpoint before the capacity disappears, preserving all useful
 	// work finished by notice time -- provided the write fits in the
@@ -293,6 +323,12 @@ func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Du
 		if u := rec.usefulDuring(elapsed-warning, rem); u > saved {
 			saved = u
 			ckpts++
+			if r.trace != nil {
+				r.trace.Record(now, obs.Event{
+					Kind: obs.KindCheckpoint, Task: int(id), Name: r.wf.Task(id).Name,
+					Count: 1, Bytes: int64(rec.Bytes), Detail: "emergency",
+				})
+			}
 		}
 	}
 	r.banked[id] += saved
@@ -320,6 +356,9 @@ func (r *runner) preemptTask(id dag.TaskID, now units.Duration, warning units.Du
 	if err := r.releaseSlot(id, now); err != nil {
 		r.fail(err)
 		return
+	}
+	if r.trace != nil {
+		r.trace.Record(now, obs.Event{Kind: obs.KindRestart, Task: int(id), Name: r.wf.Task(id).Name})
 	}
 	r.enqueueReady(id)
 }

@@ -1,0 +1,120 @@
+package exec
+
+// Flight-recorder contract tests: tracing is a pure observer (traced
+// metrics byte-identical to untraced) and the timeline itself is
+// deterministic across repeated runs of the same configuration.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/datamgmt"
+	"repro/internal/obs"
+)
+
+// tracedConfig is a preemption-heavy tiny run: one reclaim mid-task
+// with checkpointing on, so the timeline must contain every event kind
+// of the recovery path.
+func tracedConfig(rec *obs.Recorder) Config {
+	return Config{
+		Mode: datamgmt.Regular, Processors: 1, Bandwidth: tinyBW,
+		Recovery:    Recovery{Checkpoint: true, Interval: 5, Overhead: 1},
+		Preemptions: []Preemption{{Reclaim: 34, Processors: 1, Restore: 40}},
+		Recorder:    rec,
+	}
+}
+
+func TestTraceIsPureObserver(t *testing.T) {
+	w := tiny(t)
+	cfg := tracedConfig(nil)
+	base, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	traced, err := Run(w, tracedConfig(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, _ := json.Marshal(base)
+	tracedJSON, _ := json.Marshal(traced)
+	if string(baseJSON) != string(tracedJSON) {
+		t.Errorf("tracing perturbed the run:\nuntraced %s\ntraced   %s", baseJSON, tracedJSON)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder saw no events")
+	}
+}
+
+func TestTraceTimelineDeterministic(t *testing.T) {
+	w := tiny(t)
+	var timelines [2][]byte
+	for i := range timelines {
+		rec := obs.NewRecorder(0)
+		if _, err := Run(w, tracedConfig(rec)); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rec.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		timelines[i] = b
+	}
+	if string(timelines[0]) != string(timelines[1]) {
+		t.Errorf("timelines differ across identical runs:\n%s\n%s", timelines[0], timelines[1])
+	}
+}
+
+func TestTraceCoversRecoveryPath(t *testing.T) {
+	w := tiny(t)
+	rec := obs.NewRecorder(0)
+	if _, err := Run(w, tracedConfig(rec)); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	lastSeq := -1
+	for _, e := range rec.Events() {
+		if e.Seq != lastSeq+1 {
+			t.Fatalf("event seq %d follows %d; sequence must be dense", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		counts[e.Kind]++
+	}
+	// The reclaim at 34 catches B mid-flight: the timeline must show
+	// the revocation, the victim choice, the pool shrinking and growing
+	// back, the checkpoint writes, the restore and the restart.
+	for _, kind := range []string{
+		obs.KindReady, obs.KindDispatch, obs.KindStart, obs.KindFinish,
+		obs.KindRevoke, obs.KindVictim, obs.KindResize,
+		obs.KindCheckpoint, obs.KindRestore, obs.KindRestart,
+		obs.KindTransfer,
+	} {
+		if counts[kind] == 0 {
+			t.Errorf("timeline has no %q events (kinds seen: %v)", kind, counts)
+		}
+	}
+	// Two resize events: -1 at the reclaim, +1 at the restore.
+	if counts[obs.KindResize] != 2 {
+		t.Errorf("resize events = %d, want 2", counts[obs.KindResize])
+	}
+}
+
+func TestTraceVictimCarriesScore(t *testing.T) {
+	w := tiny(t)
+	rec := obs.NewRecorder(0)
+	if _, err := Run(w, tracedConfig(rec)); err != nil {
+		t.Fatal(err)
+	}
+	var victims int
+	for _, e := range rec.Events() {
+		if e.Kind == obs.KindVictim {
+			victims++
+			if e.Name == "" {
+				t.Errorf("victim event without a task name: %+v", e)
+			}
+		}
+	}
+	if victims != 1 {
+		t.Errorf("victim events = %d, want 1", victims)
+	}
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format, the
+// schema chrome://tracing and Perfetto (ui.perfetto.dev) both open.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Lane bases: task attempts occupy per-pool lanes, link transfers their
+// own per-direction lanes, and run-level instants (reclaims, resizes)
+// land on lane 0.
+const (
+	laneReliableBase = 1
+	laneSpotBase     = 1001
+	laneInBase       = 2001
+	laneOutBase      = 3001
+)
+
+// lanePool assigns spans to the first lane free at their start time,
+// which turns the flat event list back into a Gantt chart: lanes are a
+// deterministic stand-in for the processors the simulator does not
+// individually identify.
+type lanePool struct {
+	base   int
+	freeAt []float64
+}
+
+func (p *lanePool) take(t float64) int {
+	for i, f := range p.freeAt {
+		if f <= t {
+			p.freeAt[i] = t
+			return p.base + i
+		}
+	}
+	p.freeAt = append(p.freeAt, t)
+	return p.base + len(p.freeAt) - 1
+}
+
+func (p *lanePool) release(lane int, t float64) {
+	if i := lane - p.base; i >= 0 && i < len(p.freeAt) {
+		p.freeAt[i] = t
+	}
+}
+
+// ChromeTrace renders a timeline as Chrome trace-event JSON, viewable
+// in Perfetto or chrome://tracing.  Task attempts become complete ("X")
+// spans on per-pool lanes, transfers become spans on per-direction link
+// lanes, and everything else becomes instant ("i") markers.  The output
+// is deterministic for a given timeline.
+func ChromeTrace(events []Event) ([]byte, error) {
+	var out []chromeEvent
+	reliable := &lanePool{base: laneReliableBase}
+	spot := &lanePool{base: laneSpotBase}
+	in := &lanePool{base: laneInBase}
+	outLink := &lanePool{base: laneOutBase}
+	type open struct {
+		lane  int
+		pool  *lanePool
+		start float64
+		name  string
+		pname string
+	}
+	running := map[int]open{}
+	usedLanes := map[int]string{}
+
+	name := func(e Event) string {
+		if e.Name != "" {
+			return e.Name
+		}
+		return fmt.Sprintf("t%d", e.Task)
+	}
+	const sec = 1e6 // seconds -> trace microseconds
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindStart:
+			pool, pname := spot, "spot"
+			if e.Pool == "reliable" {
+				pool, pname = reliable, "reliable"
+			}
+			lane := pool.take(e.T)
+			usedLanes[lane] = pname
+			running[e.Task] = open{lane: lane, pool: pool, start: e.T, name: name(e), pname: pname}
+		case KindFinish, KindVictim:
+			o, ok := running[e.Task]
+			if !ok {
+				continue
+			}
+			delete(running, e.Task)
+			o.pool.release(o.lane, e.T)
+			args := map[string]any{"task": e.Task, "pool": o.pname}
+			cat := "task"
+			if e.Kind == KindVictim {
+				cat = "preempted"
+				args["score"] = e.Score
+			}
+			out = append(out, chromeEvent{
+				Name: o.name, Cat: cat, Ph: "X",
+				Ts: o.start * sec, Dur: (e.T - o.start) * sec,
+				Pid: 1, Tid: o.lane, Args: args,
+			})
+		case KindTransfer:
+			pool, pname := in, "link in"
+			if e.Dir == "out" {
+				pool, pname = outLink, "link out"
+			}
+			lane := pool.take(e.T)
+			usedLanes[lane] = pname
+			pool.release(lane, e.End)
+			out = append(out, chromeEvent{
+				Name: name(e), Cat: "transfer", Ph: "X",
+				Ts: e.T * sec, Dur: (e.End - e.T) * sec,
+				Pid: 1, Tid: lane,
+				Args: map[string]any{"bytes": e.Bytes, "dir": e.Dir},
+			})
+		case KindRevoke, KindResize, KindCheckpoint, KindRestore, KindRestart, KindRetry:
+			lane := 0
+			if o, ok := running[e.Task]; ok {
+				lane = o.lane
+			}
+			args := map[string]any{}
+			if e.Task >= 0 {
+				args["task"] = e.Task
+			}
+			if e.Procs != 0 {
+				args["procs"] = e.Procs
+			}
+			if e.Bytes != 0 {
+				args["bytes"] = e.Bytes
+			}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			out = append(out, chromeEvent{
+				Name: e.Kind, Cat: "event", Ph: "i",
+				Ts: e.T * sec, Pid: 1, Tid: lane, S: "t", Args: args,
+			})
+		}
+	}
+
+	// Name the lanes so Perfetto shows "reliable 1" / "spot 3" / "link
+	// in" tracks instead of bare thread IDs.
+	lanes := make([]int, 0, len(usedLanes))
+	for lane := range usedLanes {
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+	meta := make([]chromeEvent, 0, len(lanes))
+	for _, lane := range lanes {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lane,
+			Args: map[string]any{"name": fmt.Sprintf("%s %d", usedLanes[lane], lane)},
+		})
+	}
+	doc := chromeDoc{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"}
+	return json.MarshalIndent(doc, "", " ")
+}

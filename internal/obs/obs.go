@@ -1,0 +1,176 @@
+// Package obs is the flight recorder of the simulator: an opt-in,
+// deterministic, allocation-bounded event timeline capturing what a run
+// actually did -- which tasks were dispatched, started, finished and
+// retried, which spot reclaims fired, which victims the policy chose
+// (and at what score), which checkpoints were written and restored, and
+// how the pool was resized.
+//
+// The paper's argument rests on explaining where a workflow's time and
+// money go; aggregate metrics answer "how much", the timeline answers
+// "why".  The recorder is a pure observer: it never schedules events,
+// never branches the simulation, and a traced run's Metrics are
+// byte-identical to the untraced run's (package exec's trace tests pin
+// this).  Because the simulator itself is deterministic, the recorded
+// event sequence is too: the same scenario always yields byte-identical
+// timelines, so traces are diffable across engine releases -- the lens
+// every performance PR is judged through.
+//
+// The package deliberately depends only on units: recording seams live
+// in internal/exec and internal/core, exporters (wire documents, Chrome
+// trace JSON) build on the plain Event slice.
+package obs
+
+import "repro/internal/units"
+
+// Event kinds recorded by the executor's seams.  A timeline is a
+// sequence of these in causal record order; each event carries only the
+// fields meaningful for its kind (the rest stay zero and are omitted
+// from the JSON encoding).
+const (
+	// KindReady marks a task entering the ready queue (dependencies
+	// satisfied, or re-queued after a retry or preemption).
+	KindReady = "ready"
+	// KindDispatch marks one dispatcher batch: Count ready tasks claimed
+	// free processors at T.
+	KindDispatch = "dispatch"
+	// KindStart marks one task attempt beginning on a processor; Pool
+	// says which sub-pool it landed on.
+	KindStart = "start"
+	// KindFinish marks a task attempt completing successfully.
+	KindFinish = "finish"
+	// KindRetry marks a failed attempt being re-queued (the burned CPU
+	// stays on the bill).
+	KindRetry = "retry"
+	// KindRevoke marks a spot capacity reclaim arriving: Procs slots are
+	// about to disappear.
+	KindRevoke = "revoke"
+	// KindVictim marks the victim policy killing one running attempt;
+	// Score is the policy's score for the choice (largest dies first).
+	KindVictim = "victim"
+	// KindCheckpoint marks durable checkpoint writes: Count checkpoints,
+	// Bytes moved into storage.  Detail distinguishes "periodic" writes
+	// (accounted when the attempt completes) from the "emergency" write
+	// cut inside a reclaim's warning window.
+	KindCheckpoint = "checkpoint"
+	// KindRestore marks an attempt resuming from its last durable
+	// checkpoint instead of from scratch; Bytes is the image read back.
+	KindRestore = "restore"
+	// KindRestart marks a preempted task re-entering the ready queue.
+	KindRestart = "restart"
+	// KindResize marks the pool shrinking (negative Procs) or growing
+	// back (positive Procs) as reclaimed capacity heals.
+	KindResize = "resize"
+	// KindTransfer marks one reserved link transfer: Bytes over the
+	// user<->cloud link, Dir "in" or "out", occupying [T, End].
+	KindTransfer = "transfer"
+)
+
+// Event is one timeline entry.  T is the simulated time the event was
+// recorded at (seconds); Seq is its position in causal record order.
+// Transfers are recorded at reservation time, so their T (the window
+// start) may lead the recording clock -- order by Seq, not T.
+type Event struct {
+	Seq  int     `json:"seq"`
+	T    float64 `json:"t"`
+	Kind string  `json:"kind"`
+	// Task is the task the event concerns; -1 for run-level events
+	// (dispatch batches, reclaims, resizes, stage-in/out transfers).
+	Task int `json:"task"`
+	// Name is the task or file name, when one applies.
+	Name string `json:"name,omitempty"`
+	// Pool is "reliable" or "spot" for start events on a mixed fleet.
+	Pool string `json:"pool,omitempty"`
+	// Procs is the processor delta of revoke/resize events.
+	Procs int `json:"procs,omitempty"`
+	// Count is the batch size of dispatch events and the checkpoint
+	// count of checkpoint events.
+	Count int `json:"count,omitempty"`
+	// Bytes is the data volume of checkpoint, restore and transfer
+	// events.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Score is the victim policy's score on victim events.
+	Score float64 `json:"score,omitempty"`
+	// End is the window end of transfer events (seconds).
+	End float64 `json:"end,omitempty"`
+	// Dir is "in" or "out" on transfer events.
+	Dir string `json:"dir,omitempty"`
+	// Detail is a kind-specific qualifier (e.g. "periodic" vs
+	// "emergency" checkpoints).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultMaxEvents bounds a recorder that was not given an explicit
+// budget.  A 1-degree mosaic's spot run records a few thousand events;
+// the bound exists so a pathological scenario cannot turn an opt-in
+// trace into an unbounded allocation.
+const DefaultMaxEvents = 1 << 17
+
+// Recorder accumulates a bounded timeline.  The zero value is unusable;
+// NewRecorder sizes it.  A nil *Recorder is a valid "tracing off"
+// recorder: every method no-ops, so recording seams need no nil guards
+// (the executor still guards hot paths to keep untraced runs free of
+// even the call overhead).
+//
+// A Recorder is not safe for concurrent use; the simulator is
+// single-threaded per run, which is exactly what makes the timeline
+// deterministic.
+type Recorder struct {
+	max     int
+	dropped int
+	events  []Event
+}
+
+// NewRecorder returns a recorder bounded to max events; max <= 0 means
+// DefaultMaxEvents.  Capacity grows geometrically from a small seed, so
+// short runs never pay for the bound.
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	seed := 256
+	if seed > max {
+		seed = max
+	}
+	return &Recorder{max: max, events: make([]Event, 0, seed)}
+}
+
+// Record appends one event at simulated time t, stamping Seq and T.
+// Beyond the bound events are counted as dropped, never stored: the
+// prefix of a truncated timeline stays exact.
+func (r *Recorder) Record(t units.Duration, e Event) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	e.Seq = len(r.events)
+	e.T = t.Seconds()
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded timeline in causal order.  The slice is
+// the recorder's backing store; callers must treat it as read-only.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len reports how many events were recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Dropped reports how many events the bound discarded.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}

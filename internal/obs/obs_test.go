@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestRecorderStampsSeqAndTime(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Record(1.5, Event{Kind: KindStart, Task: 3})
+	rec.Record(2.5, Event{Kind: KindFinish, Task: 3})
+	events := rec.Events()
+	if len(events) != 2 || rec.Len() != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Errorf("seqs = %d,%d, want 0,1", events[0].Seq, events[1].Seq)
+	}
+	if events[0].T != 1.5 || events[1].T != 2.5 {
+		t.Errorf("times = %v,%v", events[0].T, events[1].T)
+	}
+}
+
+func TestRecorderBoundsAndCountsDrops(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		rec.Record(units.Duration(i), Event{Kind: KindReady, Task: i})
+	}
+	if rec.Len() != 3 {
+		t.Errorf("len = %d, want 3 (the bound)", rec.Len())
+	}
+	if rec.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", rec.Dropped())
+	}
+	// The bound keeps the prefix: the earliest events survive, so the
+	// trace's causal head is never lost.
+	for i, e := range rec.Events() {
+		if e.Task != i {
+			t.Errorf("event %d is task %d, want %d (prefix must survive)", i, e.Task, i)
+		}
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var rec *Recorder
+	rec.Record(1, Event{Kind: KindReady}) // must not panic
+	if rec.Len() != 0 || rec.Dropped() != 0 || rec.Events() != nil {
+		t.Error("nil recorder is not inert")
+	}
+}
+
+func TestEventJSONOmitsEmptyFields(t *testing.T) {
+	b, err := json.Marshal(Event{Seq: 0, T: 1, Kind: KindReady, Task: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":0,"t":1,"kind":"ready","task":4}`
+	if string(b) != want {
+		t.Errorf("event JSON = %s, want %s", b, want)
+	}
+}
+
+// timeline is a hand-built two-task trace: task 1 runs once cleanly,
+// task 2 is killed mid-attempt and re-runs, accumulating wait time.
+var timeline = []Event{
+	{Seq: 0, T: 0, Kind: KindReady, Task: 1, Name: "mProject"},
+	{Seq: 1, T: 0, Kind: KindReady, Task: 2, Name: "mAdd"},
+	{Seq: 2, T: 1, Kind: KindStart, Task: 1},
+	{Seq: 3, T: 5, Kind: KindFinish, Task: 1},
+	{Seq: 4, T: 5, Kind: KindStart, Task: 2},
+	{Seq: 5, T: 8, Kind: KindVictim, Task: 2},
+	{Seq: 6, T: 8, Kind: KindReady, Task: 2},
+	{Seq: 7, T: 10, Kind: KindStart, Task: 2},
+	{Seq: 8, T: 16, Kind: KindFinish, Task: 2},
+	{Seq: 9, T: 16, Kind: KindTransfer, Task: -1, Name: "out.fits", Dir: "out", End: 18},
+}
+
+func TestCriticalPathRanksByBlockingTime(t *testing.T) {
+	got := CriticalPath(timeline, 10)
+	if len(got) != 2 {
+		t.Fatalf("entries = %d, want 2 (run-level events must not produce rows)", len(got))
+	}
+	// Task 2: busy (8-5)+(16-10)=9, wait (5-0)+(10-8)=7, blocking 16.
+	// Task 1: busy 4, wait 1, blocking 5.
+	if got[0].Task != 2 || got[1].Task != 1 {
+		t.Fatalf("order = %d,%d, want 2,1", got[0].Task, got[1].Task)
+	}
+	top := got[0]
+	if top.Name != "mAdd" || top.Attempts != 2 {
+		t.Errorf("top entry = %+v", top)
+	}
+	if top.BusySeconds != 9 || top.WaitSeconds != 7 || top.BlockingSeconds != 16 {
+		t.Errorf("top busy/wait/blocking = %v/%v/%v, want 9/7/16", top.BusySeconds, top.WaitSeconds, top.BlockingSeconds)
+	}
+}
+
+func TestCriticalPathTruncatesToK(t *testing.T) {
+	if got := CriticalPath(timeline, 1); len(got) != 1 || got[0].Task != 2 {
+		t.Errorf("top-1 = %+v", got)
+	}
+}
+
+func TestChromeTraceRendersSpansAndInstants(t *testing.T) {
+	b, err := ChromeTrace(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("ChromeTrace output is not JSON: %v", err)
+	}
+	var spans, instants, metas int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Errorf("span %q with dur %v", e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+		case "M":
+			metas++
+		}
+	}
+	// Three task attempts + one transfer = four spans; the victim kill
+	// renders as the preempted attempt's span, not an extra instant.
+	if spans != 4 {
+		t.Errorf("spans = %d, want 4", spans)
+	}
+	if metas == 0 {
+		t.Error("no thread_name metadata; lanes would be unlabeled in the viewer")
+	}
+
+	// Determinism: same timeline, same bytes.
+	again, err := ChromeTrace(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(b) {
+		t.Error("ChromeTrace is nondeterministic")
+	}
+}

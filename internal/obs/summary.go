@@ -1,0 +1,90 @@
+package obs
+
+import "sort"
+
+// PathEntry is one task's row in a critical-path summary: how long it
+// occupied a processor across every attempt (killed ones included), how
+// long it sat ready waiting for a slot, and how often it ran.
+// BlockingSeconds -- the ranking key -- is busy plus waiting: the wall
+// clock during which this task was either consuming capacity or
+// starved for it, the time an optimizer would attack first.
+type PathEntry struct {
+	Task            int     `json:"task"`
+	Name            string  `json:"name,omitempty"`
+	Attempts        int     `json:"attempts"`
+	BusySeconds     float64 `json:"busy_seconds"`
+	WaitSeconds     float64 `json:"wait_seconds"`
+	BlockingSeconds float64 `json:"blocking_seconds"`
+}
+
+// CriticalPath derives the top-k tasks by blocking time from a
+// timeline.  Busy time is the span from each start to its matching
+// finish or victim kill (an attempt still running when the timeline
+// ends contributes nothing -- the recorder only sees completed spans);
+// wait time is the span from each ready event to the next start.  The
+// result is deterministic: ties break on task ID ascending.
+func CriticalPath(events []Event, k int) []PathEntry {
+	type state struct {
+		entry    PathEntry
+		readyAt  float64
+		startAt  float64
+		waitOpen bool
+		runOpen  bool
+		hasRow   bool
+	}
+	byTask := map[int]*state{}
+	get := func(e Event) *state {
+		s, ok := byTask[e.Task]
+		if !ok {
+			s = &state{entry: PathEntry{Task: e.Task}}
+			byTask[e.Task] = s
+		}
+		if e.Name != "" {
+			s.entry.Name = e.Name
+		}
+		return s
+	}
+	for _, e := range events {
+		if e.Task < 0 {
+			continue
+		}
+		switch e.Kind {
+		case KindReady:
+			s := get(e)
+			s.readyAt, s.waitOpen, s.hasRow = e.T, true, true
+		case KindStart:
+			s := get(e)
+			if s.waitOpen {
+				s.entry.WaitSeconds += e.T - s.readyAt
+				s.waitOpen = false
+			}
+			s.startAt, s.runOpen, s.hasRow = e.T, true, true
+			s.entry.Attempts++
+		case KindFinish, KindVictim:
+			s := get(e)
+			if s.runOpen {
+				s.entry.BusySeconds += e.T - s.startAt
+				s.runOpen = false
+			}
+			s.hasRow = true
+		}
+	}
+	out := make([]PathEntry, 0, len(byTask))
+	for _, s := range byTask {
+		if !s.hasRow {
+			continue
+		}
+		s.entry.BlockingSeconds = s.entry.BusySeconds + s.entry.WaitSeconds
+		out = append(out, s.entry)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BlockingSeconds != out[j].BlockingSeconds {
+			return out[i].BlockingSeconds > out[j].BlockingSeconds
+		}
+		return out[i].Task < out[j].Task
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -72,7 +72,6 @@ func decodeBody(r *http.Request, v any) error {
 // ---- POST /v1/run ----
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("run")
 	var req repro.RunRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
@@ -188,7 +187,6 @@ type gridPoint struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("sweep")
 	var req SweepRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
@@ -346,7 +344,6 @@ func tableDocs(tables []*report.Table) []tableDoc {
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("experiments")
 	reg := experiments.Registry()
 	docs := make([]experimentDoc, len(reg))
 	for i, e := range reg {
@@ -356,7 +353,6 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("experiment")
 	name := r.PathValue("name")
 	if _, ok := experiments.Lookup(name); !ok {
 		s.fail(w, r, http.StatusNotFound, fmt.Errorf("server: unknown experiment %q", name))
@@ -495,7 +491,6 @@ func (s *Server) explore(w http.ResponseWriter, r *http.Request) (advisorQuery, 
 }
 
 func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("advisor")
 	aq, opts, ok := s.explore(w, r)
 	if !ok {
 		return
@@ -534,10 +529,26 @@ func (s *Server) handleAdvisor(w http.ResponseWriter, r *http.Request) {
 
 // ---- GET /healthz and /metrics ----
 
+// healthCache reports one cache's occupancy on /healthz.
+type healthCache struct {
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{Status: "ok"})
+		Status        string      `json:"status"`
+		Version       string      `json:"version"`
+		UptimeSeconds float64     `json:"uptime_seconds"`
+		ResultCache   healthCache `json:"result_cache"`
+		WorkflowCache healthCache `json:"workflow_cache"`
+	}{
+		Status:        "ok",
+		Version:       s.metrics.version,
+		UptimeSeconds: s.metrics.uptime().Seconds(),
+		ResultCache:   healthCache{Entries: s.cache.Stats().Entries, Capacity: s.cfg.CacheEntries},
+		WorkflowCache: healthCache{Entries: s.wfCache.Stats().Entries, Capacity: s.cfg.WorkflowCacheEntries},
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

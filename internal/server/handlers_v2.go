@@ -14,10 +14,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"repro"
 	"repro/internal/advisor"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/wire"
 )
@@ -25,7 +27,6 @@ import (
 // ---- POST /v2/run ----
 
 func (s *Server) handleRunV2(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("run_v2")
 	var sc wire.Scenario
 	if err := decodeBody(r, &sc); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
@@ -34,6 +35,14 @@ func (s *Server) handleRunV2(w http.ResponseWriter, r *http.Request) {
 	spec, plan, err := sc.Resolve()
 	if err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	// Traced runs bypass the result cache entirely: timeline-bearing
+	// documents would bloat the LRU, and the cache key deliberately
+	// ignores the trace knob so untraced requests keep hitting the
+	// byte-identical cached body.
+	if sc.Trace {
+		s.serveTracedRun(w, r, spec, plan)
 		return
 	}
 	s.serveCachedRun(w, r, wire.CanonicalRunKeyV2(spec, plan), func(ctx context.Context) ([]byte, error) {
@@ -49,10 +58,100 @@ func (s *Server) handleRunV2(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// runTraced executes one flight-recorded simulation inside a worker
+// slot and returns the result together with its recorder.  Shared by
+// the POST trace bypass and the GET trace stream.
+func (s *Server) runTraced(r *http.Request, spec repro.Spec, plan repro.Plan) (repro.Result, *obs.Recorder, error) {
+	release, err := s.admit(r.Context())
+	if err != nil {
+		return repro.Result{}, nil, err
+	}
+	defer release()
+	wf, err := s.wfCache.Generate(spec)
+	if err != nil {
+		return repro.Result{}, nil, err
+	}
+	rec := obs.NewRecorder(0)
+	plan.Recorder = rec
+	s.metrics.simulations.Add(1)
+	res, err := repro.RunContext(r.Context(), wf, plan)
+	if err != nil {
+		return repro.Result{}, nil, err
+	}
+	return res, rec, nil
+}
+
+// serveTracedRun answers a trace:true POST /v2/run with the full traced
+// document (timeline and critical path inline).
+func (s *Server) serveTracedRun(w http.ResponseWriter, r *http.Request, spec repro.Spec, plan repro.Plan) {
+	res, rec, err := s.runTraced(r, spec, plan)
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	body, err := wire.NewTracedRunDocumentV2(spec, res, rec).Encode()
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "bypass")
+	w.Write(body) //nolint:errcheck
+}
+
+// ---- GET /v2/run ----
+
+// handleRunTraceV2 streams a traced run's timeline as NDJSON: one
+// {"event": ...} line per flight-recorder event in causal order, then a
+// terminal {"done": ...} envelope carrying the event count, the
+// critical-path summary and the run's bottom line.  The scenario rides
+// the ?scenario= query parameter (URL-encoded JSON); its trace field is
+// implied by the route.
+func (s *Server) handleRunTraceV2(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("scenario")
+	if raw == "" {
+		s.fail(w, r, http.StatusBadRequest,
+			fmt.Errorf("server: GET /v2/run needs a ?scenario= query parameter (URL-encoded scenario JSON)"))
+		return
+	}
+	var sc wire.Scenario
+	if err := wire.DecodeStrict(strings.NewReader(raw), &sc); err != nil {
+		s.fail(w, r, http.StatusBadRequest, fmt.Errorf("server: bad scenario: %w", err))
+		return
+	}
+	spec, plan, err := sc.Resolve()
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+	res, rec, err := s.runTraced(r, spec, plan)
+	if err != nil {
+		s.fail(w, r, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	events := rec.Events()
+	for i := range events {
+		if err := enc.Encode(wire.TraceEnvelope{Event: &events[i]}); err != nil {
+			return // client hung up mid-stream; nothing left to tell it
+		}
+		if flusher != nil && i%256 == 255 {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(wire.TraceEnvelope{Done: &wire.TraceDone{ //nolint:errcheck
+		Events:       len(events),
+		Dropped:      rec.Dropped(),
+		CriticalPath: obs.CriticalPath(events, wire.CriticalPathTopK),
+		Total:        res.Cost.Total(),
+	}})
+}
+
 // ---- POST /v2/sweep ----
 
 func (s *Server) handleSweepV2(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("sweep_v2")
 	var req wire.SweepRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.fail(w, r, http.StatusBadRequest, err)
@@ -140,7 +239,6 @@ type advisorChoiceV2 struct {
 }
 
 func (s *Server) handleAdvisorV2(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("advisor_v2")
 	aq, opts, ok := s.explore(w, r)
 	if !ok {
 		return
@@ -197,7 +295,6 @@ type experimentParamsDoc struct {
 }
 
 func (s *Server) handleExperimentV2(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("experiment_v2")
 	name := r.PathValue("name")
 	if _, ok := experiments.Lookup(name); !ok {
 		s.fail(w, r, http.StatusNotFound, fmt.Errorf("server: unknown experiment %q", name))
@@ -236,7 +333,6 @@ func (s *Server) handleExperimentV2(w http.ResponseWriter, r *http.Request) {
 // ranking (best bundle first).  The exact-path route wins over the
 // generic POST /v2/experiments/{name} handler.
 func (s *Server) handleTournamentV2(w http.ResponseWriter, r *http.Request) {
-	s.metrics.count("tournament_v2")
 	var req wire.TournamentRequest
 	if r.ContentLength != 0 {
 		if err := decodeBody(r, &req); err != nil {

@@ -6,7 +6,12 @@
 // Endpoints:
 //
 //	POST /v2/run                one simulation from a declarative v2
-//	                            scenario document (cached, coalesced)
+//	                            scenario document (cached, coalesced;
+//	                            trace:true returns the flight-recorder
+//	                            timeline and bypasses the cache)
+//	GET  /v2/run                the same run streamed as an NDJSON
+//	                            flight-recorder trace (?scenario= is the
+//	                            URL-encoded scenario document)
 //	POST /v2/sweep              any-axis scenario grid ({axis, values}
 //	                            pairs over any scenario path), streamed
 //	                            as NDJSON rows in grid order
@@ -38,6 +43,7 @@ package server
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -67,6 +73,12 @@ type Config struct {
 	// DrainTimeout caps how long Serve waits for in-flight requests
 	// after its context is canceled; <= 0 means 30s.
 	DrainTimeout time.Duration
+	// Version is the build version surfaced on reprosrv_build_info and
+	// /healthz; empty means "dev".
+	Version string
+	// Logger receives one structured line per request (request ID,
+	// endpoint, status, latency); nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -91,14 +103,17 @@ func (c Config) withDefaults() Config {
 // Server is the simulation service.  Create it with New; it is safe for
 // concurrent use by the HTTP stack.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *resultCache
-	wfCache *montage.Cache
-	flights flightGroup
-	metrics *metrics
-	sem     chan struct{}
-	waiting atomic.Int64
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *resultCache
+	wfCache  *montage.Cache
+	flights  flightGroup
+	metrics  *metrics
+	sem      chan struct{}
+	waiting  atomic.Int64
+	logger   *slog.Logger
+	ridNonce string
+	ridSeq   atomic.Uint64
 
 	// testHookPreSim, when set by tests in this package, runs inside the
 	// worker slot just before a /v1/run simulation starts.
@@ -112,28 +127,38 @@ type Server struct {
 // New builds a server from the config.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheEntries),
-		wfCache: montage.NewCache(cfg.WorkflowCacheEntries),
-		metrics: newMetrics(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardLogs{})
 	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheEntries),
+		wfCache:  montage.NewCache(cfg.WorkflowCacheEntries),
+		metrics:  newMetrics(cfg.Version),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		logger:   logger,
+		ridNonce: newRequestIDNonce(),
+	}
+	// Endpoint labels are the stable metrics keys of the routes: every
+	// route is wrapped by instrument (request ID + counter + latency
+	// histogram + one structured log line).
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /v1/experiments/{name}", s.handleExperiment)
-	mux.HandleFunc("GET /v1/advisor", s.handleAdvisor)
-	mux.HandleFunc("POST /v2/run", s.handleRunV2)
-	mux.HandleFunc("POST /v2/sweep", s.handleSweepV2)
-	mux.HandleFunc("GET /v2/experiments", s.handleExperiments)
-	mux.HandleFunc("GET /v2/experiments/{name}", s.handleExperiment)
-	mux.HandleFunc("POST /v2/experiments/{name}", s.handleExperimentV2)
-	mux.HandleFunc("POST /v2/experiments/policy-tournament", s.handleTournamentV2)
-	mux.HandleFunc("GET /v2/advisor", s.handleAdvisorV2)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperiments))
+	mux.HandleFunc("GET /v1/experiments/{name}", s.instrument("experiment", s.handleExperiment))
+	mux.HandleFunc("GET /v1/advisor", s.instrument("advisor", s.handleAdvisor))
+	mux.HandleFunc("POST /v2/run", s.instrument("run_v2", s.handleRunV2))
+	mux.HandleFunc("GET /v2/run", s.instrument("trace_v2", s.handleRunTraceV2))
+	mux.HandleFunc("POST /v2/sweep", s.instrument("sweep_v2", s.handleSweepV2))
+	mux.HandleFunc("GET /v2/experiments", s.instrument("experiments", s.handleExperiments))
+	mux.HandleFunc("GET /v2/experiments/{name}", s.instrument("experiment", s.handleExperiment))
+	mux.HandleFunc("POST /v2/experiments/{name}", s.instrument("experiment_v2", s.handleExperimentV2))
+	mux.HandleFunc("POST /v2/experiments/policy-tournament", s.instrument("tournament_v2", s.handleTournamentV2))
+	mux.HandleFunc("GET /v2/advisor", s.instrument("advisor_v2", s.handleAdvisorV2))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
 	return s
 }

@@ -651,6 +651,15 @@ func TestMetricsPrometheusConformance(t *testing.T) {
 			if i := strings.IndexAny(line, "{ "); i >= 0 {
 				name = line[:i]
 			}
+			// Histogram families expose _bucket/_sum/_count sample
+			// names under the base family's HELP/TYPE.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && types[base] == "histogram" {
+					name = base
+					break
+				}
+			}
 			samples[name] = true
 			if !helps[name] || types[name] == "" {
 				t.Errorf("sample %s without preceding HELP/TYPE", name)
@@ -664,6 +673,9 @@ func TestMetricsPrometheusConformance(t *testing.T) {
 		want := "gauge"
 		if strings.HasSuffix(name, "_total") {
 			want = "counter"
+		}
+		if strings.HasSuffix(name, "_seconds") && typ == "histogram" {
+			want = "histogram"
 		}
 		if typ != want {
 			t.Errorf("%s declared %s, want %s", name, typ, want)

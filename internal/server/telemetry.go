@@ -1,0 +1,102 @@
+package server
+
+// Request-scoped telemetry: every route is wrapped by instrument, which
+// assigns a request ID (honoring a caller-supplied X-Request-Id so IDs
+// propagate through proxies), counts the request, times it into the
+// per-endpoint latency histogram and emits one structured log line.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// discardLogs is a slog.Handler that drops everything, the default when
+// no logger is configured (slog.DiscardHandler needs go 1.24; go.mod
+// declares 1.22).
+type discardLogs struct{}
+
+func (discardLogs) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardLogs) Handle(context.Context, slog.Record) error { return nil }
+func (discardLogs) WithAttrs([]slog.Attr) slog.Handler        { return discardLogs{} }
+func (discardLogs) WithGroup(string) slog.Handler             { return discardLogs{} }
+
+// newRequestIDNonce draws the per-process request-ID prefix: IDs must
+// be unique across restarts, not just within one process, or two log
+// streams could not be merged.
+func newRequestIDNonce() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "srv"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// nextRequestID mints a process-unique request ID.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("%s-%06d", s.ridNonce, s.ridSeq.Add(1))
+}
+
+// statusWriter captures the response status for the log line.  It
+// forwards Flush so the NDJSON streaming handlers (sweeps, tournaments,
+// traces) keep flushing rows through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route with the request telemetry: request ID,
+// request counter, latency histogram and a structured log line.  The
+// endpoint label is the stable, low-cardinality metrics key for the
+// route (never the raw URL path).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = s.nextRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		s.metrics.count(endpoint)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(endpoint, elapsed.Seconds())
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", status),
+			slog.Duration("duration", elapsed),
+		)
+	}
+}

@@ -7,21 +7,40 @@
 #   make bench                 # 3 repeats, writes BENCH_exec.json
 #   BENCH_COUNT=5 make bench   # more repeats
 #   BENCH_OUT=out.json make bench
+#
+# With -check the script becomes the benchmark-regression gate: it
+# re-runs the suites, compares each benchmark's mean ns/op against the
+# committed baseline (BENCH_BASELINE, default BENCH_exec.json) and
+# fails when any benchmark regressed by more than BENCH_TOLERANCE
+# percent (default 25).  Refresh the baseline with a plain `make bench`
+# when a slowdown is intentional.
+#
+#   make bench-check
+#   BENCH_TOLERANCE=40 sh scripts/bench.sh -check
 set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-3}"
 OUT="${BENCH_OUT:-BENCH_exec.json}"
+if [ "${1:-}" = "-check" ] && [ -z "${BENCH_OUT:-}" ]; then
+	# The gate must not clobber the baseline it compares against.
+	OUT="$(mktemp)"
+fi
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+BASE_MEANS="$(mktemp)"
+FRESH_MEANS="$(mktemp)"
+trap 'rm -f "$TMP" "$BASE_MEANS" "$FRESH_MEANS"' EXIT
 
 go test -run '^$' -bench . -benchmem -count "$COUNT" \
 	./internal/exec/ ./internal/sim/ | tee "$TMP"
 
+# The GOMAXPROCS suffix (-8) is stripped from names so runs from
+# different machines group under the same benchmark.
 awk '
 BEGIN { print "["; n = 0 }
 /^Benchmark/ {
 	name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+	sub(/-[0-9]+$/, "", name)
 	for (i = 3; i <= NF; i++) {
 		if ($i == "ns/op")     ns = $(i-1)
 		if ($i == "B/op")      bytes = $(i-1)
@@ -38,3 +57,55 @@ END { print "\n]" }
 ' "$TMP" > "$OUT"
 
 echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark runs)"
+
+[ "${1:-}" = "-check" ] || exit 0
+
+# ---- regression gate ----
+
+BASELINE="${BENCH_BASELINE:-BENCH_exec.json}"
+TOLERANCE="${BENCH_TOLERANCE:-25}"
+if [ ! -f "$BASELINE" ]; then
+	echo "bench: no baseline at $BASELINE; run 'make bench' and commit it" >&2
+	exit 1
+fi
+
+# mean_of_json prints "name mean_ns" per benchmark, averaging repeats.
+mean_of_json() {
+	awk '
+	{
+		if (match($0, /"name": "[^"]+"/)) {
+			name = substr($0, RSTART + 9, RLENGTH - 10)
+			sub(/-[0-9]+$/, "", name)
+			if (match($0, /"ns_per_op": [0-9.e+]+/)) {
+				ns = substr($0, RSTART + 13, RLENGTH - 13)
+				sum[name] += ns; cnt[name]++
+			}
+		}
+	}
+	END { for (n in sum) printf "%s %.1f\n", n, sum[n] / cnt[n] }
+	' "$1" | sort
+}
+
+mean_of_json "$BASELINE" > "$BASE_MEANS"
+mean_of_json "$OUT" > "$FRESH_MEANS"
+
+# Join on benchmark name; only benchmarks present in both files are
+# gated, so adding or retiring a benchmark never trips the gate.
+join "$BASE_MEANS" "$FRESH_MEANS" | awk -v tol="$TOLERANCE" '
+{
+	base = $2; fresh = $3
+	pct = (fresh - base) / base * 100
+	status = "ok"
+	if (pct > tol) { status = "REGRESSED"; bad++ }
+	printf "%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", $1, base, fresh, pct, status
+	n++
+}
+END {
+	if (n == 0) { print "bench: no benchmarks in common with the baseline" | "cat >&2"; exit 1 }
+	if (bad > 0) {
+		printf "bench: %d benchmark(s) regressed beyond %s%%\n", bad, tol | "cat >&2"
+		exit 1
+	}
+	printf "bench: %d benchmark(s) within %s%% of the baseline\n", n, tol
+}
+'

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Smoke test the flight-recorder surface: boot reprosrv, POST a traced
+# spot scenario to /v2/run and assert the timeline envelope, stream the
+# same run over GET /v2/run and assert the NDJSON contract, then check
+# the new telemetry families on /metrics.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18767}"
+BIN="$(mktemp -d)/reprosrv"
+OUT="$(mktemp)"
+LOG="$(mktemp)"
+SRV=""
+cleanup() {
+	[ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+	rm -rf "$(dirname "$BIN")" "$OUT" "$OUT.headers" "$OUT.families" "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/reprosrv
+"$BIN" -addr "$ADDR" -quiet >"$LOG" 2>&1 &
+SRV=$!
+
+ok=""
+for _ in $(seq 1 50); do
+	if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then ok=1; break; fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "smoke: server never became healthy"; cat "$LOG"; exit 1; }
+
+fail() { echo "smoke: $1"; cat "$OUT"; exit 1; }
+
+SCENARIO='{
+	"version": 2,
+	"workflow": {"name": "1deg"},
+	"fleet": {"processors": 16, "reliable": 4},
+	"spot": {"rate_per_hour": 1.5, "seed": 7, "discount": 0.65},
+	"recovery": {"checkpoint_seconds": 300, "checkpoint_overhead_seconds": 10},
+	"trace": true
+}'
+
+# Traced POST /v2/run: full document with timeline, cache bypassed.
+curl -sf -D "$OUT.headers" -X POST "http://$ADDR/v2/run" \
+	-H 'Content-Type: application/json' -d "$SCENARIO" >"$OUT"
+grep -qi '^X-Cache: bypass' "$OUT.headers" || { rm -f "$OUT.headers"; fail "traced run did not bypass the cache"; }
+rm -f "$OUT.headers"
+grep -q '"timeline"' "$OUT" || fail "traced document has no timeline"
+grep -q '"critical_path"' "$OUT" || fail "traced document has no critical_path"
+for kind in revoke checkpoint restart; do
+	grep -q "\"kind\": \"$kind\"" "$OUT" || fail "timeline has no $kind events"
+done
+
+# GET /v2/run: NDJSON stream ending in a done envelope.
+ENC=$(printf '%s' "$SCENARIO" | tr -d '\n\t' | sed 's/ /%20/g; s/"/%22/g; s/{/%7B/g; s/}/%7D/g; s/,/%2C/g')
+curl -sf "http://$ADDR/v2/run?scenario=$ENC" >"$OUT"
+grep -q '"event"' "$OUT" || fail "trace stream has no event lines"
+tail -n 1 "$OUT" | grep -q '"done"' || fail "trace stream did not end with a done envelope"
+tail -n 1 "$OUT" | grep -q '"critical_path"' || fail "done envelope has no critical_path"
+
+# Telemetry families on /metrics.
+curl -sf "http://$ADDR/metrics" >"$OUT"
+grep -q '# TYPE reprosrv_request_duration_seconds histogram' "$OUT" || fail "no latency histogram family"
+grep -q 'reprosrv_request_duration_seconds_bucket{endpoint="run_v2",le="+Inf"}' "$OUT" || fail "no run_v2 latency buckets"
+grep -q 'reprosrv_build_info{' "$OUT" || fail "no build_info metric"
+grep -q 'reprosrv_uptime_seconds' "$OUT" || fail "no uptime metric"
+# HELP/TYPE order is sorted by family name: the emitted TYPE lines must
+# already be in sort order.
+grep '^# TYPE ' "$OUT" | awk '{print $3}' >"$OUT.families"
+sort -c "$OUT.families" 2>/dev/null || { rm -f "$OUT.families"; fail "metric families are not sorted"; }
+rm -f "$OUT.families"
+
+echo "smoke ok: traced run + trace stream + telemetry families on $ADDR"

@@ -5,6 +5,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/exec"
 	"repro/internal/montage"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -111,6 +112,14 @@ type RunDocumentV2 struct {
 	Utilization UtilizationDocument `json:"utilization"`
 	Cost        cost.Breakdown      `json:"cost"`
 	Total       units.Money         `json:"total"`
+	// Timeline is the flight-recorder event sequence of a traced run
+	// (scenario.trace), in causal order.  Omitted on untraced runs, so
+	// every pre-trace document encodes byte-identically.
+	Timeline []obs.Event `json:"timeline,omitempty"`
+	// CriticalPath ranks the traced run's top tasks by blocking time
+	// (processor occupancy plus ready-queue wait), the place an
+	// optimizer should look first.
+	CriticalPath []obs.PathEntry `json:"critical_path,omitempty"`
 }
 
 // NewRunDocumentV2 builds the v2 wire document for a finished run.
@@ -134,6 +143,23 @@ func NewRunDocumentV2(spec montage.Spec, res core.Result) RunDocumentV2 {
 
 // Encode renders the document in the canonical wire encoding.
 func (d RunDocumentV2) Encode() ([]byte, error) { return encode(d) }
+
+// CriticalPathTopK is how many tasks a traced document's critical-path
+// summary ranks: enough to see where the time went, small enough to
+// read.
+const CriticalPathTopK = 10
+
+// NewTracedRunDocumentV2 builds the v2 document for a traced run: the
+// plain document plus the recorder's timeline and critical-path
+// summary, with scenario.trace echoed true so the response stays
+// re-POSTable as the traced request it answers.
+func NewTracedRunDocumentV2(spec montage.Spec, res core.Result, rec *obs.Recorder) RunDocumentV2 {
+	doc := NewRunDocumentV2(spec, res)
+	doc.Scenario.Trace = true
+	doc.Timeline = rec.Events()
+	doc.CriticalPath = obs.CriticalPath(rec.Events(), CriticalPathTopK)
+	return doc
+}
 
 // ratio guards a utilization division: an empty sub-pool reports 0,
 // never NaN or Inf (encoding/json rejects non-finite floats).
@@ -173,5 +199,32 @@ type SweepDone struct {
 type SweepEnvelope struct {
 	Row   *SweepRow  `json:"row,omitempty"`
 	Done  *SweepDone `json:"done,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// ---- v2 trace stream ----
+
+// TraceDone is the terminal line of a trace stream: the event count,
+// how many events the recorder's bound dropped, the critical-path
+// summary and the run's bottom line.
+type TraceDone struct {
+	Events       int             `json:"events"`
+	Dropped      int             `json:"dropped,omitempty"`
+	CriticalPath []obs.PathEntry `json:"critical_path,omitempty"`
+	Total        units.Money     `json:"total"`
+}
+
+// TraceEnvelope is one NDJSON line of a GET /v2/run trace stream.
+// Exactly one field is set per line:
+//
+//	{"event": {...}}   one timeline event, in causal order
+//	{"done": {...}}    terminal: the run completed
+//	{"error": "..."}   terminal: the run failed
+//
+// As with sweeps, a stream that ends without "done" or "error" was
+// truncated.
+type TraceEnvelope struct {
+	Event *obs.Event `json:"event,omitempty"`
+	Done  *TraceDone `json:"done,omitempty"`
 	Error string     `json:"error,omitempty"`
 }

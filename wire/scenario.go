@@ -44,6 +44,13 @@ type Scenario struct {
 	// decision point.  Omitted (or empty) slots select the historical
 	// defaults, so older documents resolve unchanged.
 	Policies *PoliciesSection `json:"policies,omitempty"`
+	// Trace opts the run into the flight recorder: the result document
+	// carries the event timeline and a critical-path summary.  Tracing
+	// is a pure observation knob -- it never changes what the run
+	// computes -- so it is deliberately excluded from CanonicalRunKeyV2;
+	// traced runs bypass the result cache instead of polluting it with
+	// timeline-bearing bodies.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // WorkflowSection selects the workload: a preset by name, or a custom

@@ -227,8 +227,11 @@ func TestCanonicalRunKeySpotDistinct(t *testing.T) {
 // explicit encoding must be extended whenever Plan or Spec grows a
 // field, or new knobs would silently collide in the cache.
 func TestCanonicalRunKeyCoversPlan(t *testing.T) {
-	if n := reflect.TypeOf(Plan{}).NumField(); n != 15 {
-		t.Errorf("core.Plan has %d fields; update CanonicalRunKey and this count (want 15)", n)
+	// 16th field: Recorder, the flight-recorder hook, deliberately NOT
+	// in the key -- tracing never changes a run's result, and traced
+	// requests bypass the cache anyway.
+	if n := reflect.TypeOf(Plan{}).NumField(); n != 16 {
+		t.Errorf("core.Plan has %d fields; update CanonicalRunKey and this count (want 16)", n)
 	}
 	if n := reflect.TypeOf(Spec{}).NumField(); n != 9 {
 		t.Errorf("montage.Spec has %d fields; update CanonicalRunKey and this count (want 9)", n)
