@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-check smoke smoke-trace check
+.PHONY: build test vet lint lint-vet race bench bench-check smoke smoke-trace check
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-# race-test the packages with concurrent internals that the policy
-# seams thread through: the executor and the policy registries.
+# lint runs cmd/reprolint, the repo's own analyzer suite: keycomplete,
+# determinism, strictdecode and nilrecorder (see README, "Static
+# analysis").  Any finding fails the build.
+lint:
+	$(GO) run ./cmd/reprolint ./...
+
+# lint-vet runs the same suite through `go vet -vettool=`, proving the
+# tool still speaks cmd/go's unit-checking protocol.
+lint-vet:
+	$(GO) build -o $(CURDIR)/.reprolint.bin ./cmd/reprolint
+	$(GO) vet -vettool=$(CURDIR)/.reprolint.bin ./...
+	rm -f $(CURDIR)/.reprolint.bin
+
+# race-test every package with concurrent internals: the executor and
+# policy registries, plus the server, sweep engine and the packages
+# their request paths thread through.
 race:
-	$(GO) test -race ./internal/exec/ ./internal/policy/
+	$(GO) test -race ./internal/exec/ ./internal/policy/ ./internal/server/ ./internal/sweep/ ./internal/montage/ ./internal/experiments/ ./internal/core/ ./internal/advisor/ ./cmd/reprosrv/ ./cmd/montagesim/ ./wire/
 
 # bench runs the executor and event-engine benchmark suites with
 # repeats (BENCH_COUNT, default 3) and writes BENCH_exec.json at the
@@ -42,4 +56,4 @@ smoke:
 smoke-trace:
 	sh scripts/smoke_trace.sh
 
-check: build vet test race smoke smoke-trace
+check: build vet lint test race smoke smoke-trace

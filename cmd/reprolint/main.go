@@ -1,0 +1,105 @@
+// Command reprolint is the repo's custom static-analysis suite: four
+// analyzers that prove the determinism and cache-key invariants the
+// whole service architecture rests on, at compile time instead of at
+// runtime.
+//
+//	keycomplete   every scenario/plan field is canonical-key encoded
+//	              or carries a //repro:nokey exclusion annotation
+//	determinism   no wall clock, no unseeded randomness, no
+//	              order-leaking map iteration in simulation packages
+//	strictdecode  every request-body json.Decoder disallows unknown
+//	              fields before decoding
+//	nilrecorder   every obs.Recorder method keeps its nil guard
+//
+// Two ways to run it, both offline and dependency-free:
+//
+//	go run ./cmd/reprolint ./...        # standalone (what `make lint` does)
+//	go vet -vettool=$(pwd)/reprolint ./...   # as a vet tool
+//
+// Standalone mode loads packages through `go list -export`; vet-tool
+// mode speaks cmd/go's unit-checking protocol (-V=full, -flags, and a
+// vet.cfg per package).  Diagnostics go to stderr as
+// file:line:col: analyzer: message, and any finding exits nonzero.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/keycomplete"
+	"repro/internal/lint/nilrecorder"
+	"repro/internal/lint/strictdecode"
+)
+
+// version is stamped via -ldflags "-X main.version=...": cmd/go
+// requires a "name version v..." line from -V=full for its build
+// cache fingerprint.
+var version = "v0.1.0"
+
+// analyzers is the suite, in reporting order.
+var analyzers = []*lint.Analyzer{
+	keycomplete.Analyzer,
+	determinism.Analyzer,
+	strictdecode.Analyzer,
+	nilrecorder.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	// cmd/go protocol probes.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Fprintf(stdout, "reprolint version %s\n", version)
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]") // no analyzer flags
+		return 0
+	}
+	// Unit-checking mode: the single argument is a vet.cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVet(args[0], stderr)
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := runStandalone(".", patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "reprolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// runStandalone loads the module packages matching patterns and runs
+// the full suite over each.
+func runStandalone(dir string, patterns []string) ([]lint.Diagnostic, error) {
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	lint.Sort(all)
+	return all, nil
+}

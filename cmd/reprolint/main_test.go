@@ -1,0 +1,56 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// TestModuleIsClean runs the full suite over the repository the same
+// way `make lint` does and requires zero findings, so plain
+// `go test ./...` already enforces the invariants the analyzers pin.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis shells out to go list")
+	}
+	diags, err := runStandalone("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestProtocolProbes pins the two handshake replies cmd/go sends before
+// trusting a vet tool: -V=full must yield "name version v..." and
+// -flags must yield a JSON flag list.
+func TestProtocolProbes(t *testing.T) {
+	out := captureRun(t, []string{"-V=full"})
+	if want := "reprolint version " + version + "\n"; out != want {
+		t.Errorf("-V=full printed %q, want %q", out, want)
+	}
+	if out := captureRun(t, []string{"-flags"}); out != "[]\n" {
+		t.Errorf("-flags printed %q, want %q", out, "[]\n")
+	}
+}
+
+// captureRun invokes run with stdout redirected to a pipe and returns
+// what it printed.
+func captureRun(t *testing.T, args []string) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if code := run(args, w, w); code != 0 {
+		t.Fatalf("run(%v) = %d, want 0", args, code)
+	}
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

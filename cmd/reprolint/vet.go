@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each `go vet` unit (see
+// buildVetConfig in cmd/go/internal/work): one type-checkable package
+// with export data for its dependencies.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet executes one unit of the `go vet -vettool=` protocol.
+func runVet(cfgPath string, stderr *os.File) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "reprolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects a facts file even from a tool that exports no
+	// facts; write it before anything can fail so caching stays sound.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 1
+		}
+	}
+
+	// Facts-only dependency units need no analysis, and test-augmented
+	// variants (ID "path [path.test]") would only duplicate the pure
+	// package's findings on its non-test files.
+	if cfg.VetxOnly || cfg.ID != cfg.ImportPath || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	goFiles := cfg.GoFiles
+	nonTest := goFiles[:0:0]
+	for _, f := range goFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			nonTest = append(nonTest, f)
+		}
+	}
+	if len(nonTest) == 0 {
+		return 0
+	}
+
+	pkg, err := lint.LoadUnit(cfg.ImportPath, cfg.Dir, nonTest, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 1
+	}
+	diags, err := lint.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

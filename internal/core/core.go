@@ -96,6 +96,7 @@ type Plan struct {
 	// changes what the run computes, so it is deliberately excluded from
 	// the canonical cache key -- a traced run and an untraced run of the
 	// same plan are the same result.
+	//repro:nokey recorder — pure observer; a traced and an untraced run of the same plan are the same result
 	Recorder *obs.Recorder
 }
 

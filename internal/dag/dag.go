@@ -238,11 +238,18 @@ func (w *Workflow) Finalize() error {
 	}
 
 	// Every non-external file must be consumed or be a declared output;
-	// dangling files are almost always a generator bug.
+	// dangling files are almost always a generator bug.  Collect and
+	// sort before reporting so the error names the same file on every
+	// run regardless of map iteration order.
+	var dangling []string
 	for _, f := range w.files {
 		if !f.External() && len(f.consumers) == 0 && !f.Output {
-			return fmt.Errorf("dag: file %q is produced but never consumed nor staged out", f.Name)
+			dangling = append(dangling, f.Name)
 		}
+	}
+	sort.Strings(dangling)
+	if len(dangling) > 0 {
+		return fmt.Errorf("dag: file %q is produced but never consumed nor staged out", dangling[0])
 	}
 	w.finalized = true
 	return nil

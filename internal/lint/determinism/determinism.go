@@ -1,0 +1,300 @@
+// Package determinism forbids the three classic ways a simulation
+// package stops being a pure function of its inputs:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until) -- simulated
+//     time must be threaded explicitly;
+//   - the unseeded global math/rand source (rand.Intn, rand.Float64,
+//     rand.Shuffle, ... and every other package-level draw) -- all
+//     sampling must go through rand.New(rand.NewSource(seed));
+//   - map iteration whose order can leak into results: a `for range`
+//     over a map whose body writes output, accumulates a string, or
+//     appends to a slice that no later statement in the block sorts.
+//
+// The result cache, the sweep engine, the policy-tournament goldens
+// and the flight-recorder purity tests all assume byte-identical
+// reruns; any one of these constructs silently breaks all four.
+//
+// Server-side telemetry is exactly the code that *should* read the
+// wall clock, so those packages are exempt by allowlist.  A single
+// audited site can be suppressed with a same-line or preceding-line
+// comment: //repro:nondet-ok <reason>.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, unseeded randomness and order-leaking map iteration in simulation packages",
+	Run:  run,
+}
+
+// exempt lists the packages allowed to read the wall clock and emit in
+// arbitrary order: the HTTP service layer and its binary, whose
+// telemetry is wall-clock by definition.  Everything else in the
+// module -- simulation kernel, policies, sweep engine, observability,
+// wire schema, CLIs -- must stay bit-deterministic.
+var exempt = map[string]bool{
+	"repro/internal/server": true,
+	"repro/cmd/reprosrv":    true,
+}
+
+// bannedTime are the wall-clock reads.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand are the package-level math/rand constructors that build
+// seeded generators; every other package-level rand function draws
+// from the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// emitNames are call names that write output; inside a map-range body
+// they publish iteration order.
+var emitNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true,
+	"Log": true, "Logf": true,
+}
+
+const suppressMarker = "//repro:nondet-ok"
+
+func run(pass *lint.Pass) error {
+	if exempt[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		suppressed := suppressedLines(pass.Fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCall(pass, call, suppressed)
+			}
+			for _, list := range stmtLists(n) {
+				checkStmtList(pass, list, suppressed)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock reads and global-source randomness.
+func checkCall(pass *lint.Pass, call *ast.CallExpr, suppressed map[int]bool) {
+	fn := lint.Callee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	if suppressed[pass.Fset.Position(call.Pos()).Line] {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTime[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock, which breaks bit-deterministic reruns; thread simulated time explicitly (or move this to an exempt telemetry package)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the global random source; use rand.New(rand.NewSource(seed)) so reruns are byte-identical", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}
+
+// stmtLists returns the statement lists a node carries, so range
+// checks can see their following siblings.
+func stmtLists(n ast.Node) [][]ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{n.List}
+	case *ast.CaseClause:
+		return [][]ast.Stmt{n.Body}
+	case *ast.CommClause:
+		return [][]ast.Stmt{n.Body}
+	}
+	return nil
+}
+
+// checkStmtList examines each map-range statement of one list with its
+// trailing siblings in view.
+func checkStmtList(pass *lint.Pass, list []ast.Stmt, suppressed map[int]bool) {
+	for i, stmt := range list {
+		rs, ok := unwrapLabeled(stmt).(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			continue
+		}
+		line := pass.Fset.Position(rs.Pos()).Line
+		if suppressed[line] {
+			continue
+		}
+		emits, accumulates := classifyBody(pass, rs.Body)
+		switch {
+		case emits.IsValid():
+			pass.Reportf(emits, "output written while ranging over a map publishes the iteration order; collect into a slice, sort, then emit (or annotate //repro:nondet-ok <reason>)")
+		case accumulates && !sortFollows(pass, list[i+1:]):
+			pass.Reportf(rs.Pos(), "map iteration order leaks into an accumulated value and no later statement in this block sorts it; sort the result (or annotate //repro:nondet-ok <reason>)")
+		}
+	}
+}
+
+func unwrapLabeled(s ast.Stmt) ast.Stmt {
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = ls.Stmt
+	}
+}
+
+func isMapRange(pass *lint.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// classifyBody reports whether the loop body emits output (position of
+// the first emitting call) or accumulates order-sensitive state: an
+// append or string += whose destination outlives one iteration.  A
+// destination declared inside the body is rebuilt fresh every pass, so
+// iteration order cannot leak through it.
+func classifyBody(pass *lint.Pass, body *ast.BlockStmt) (emits token.Pos, accumulates bool) {
+	local := func(expr ast.Expr) bool {
+		obj := rootObject(pass, expr)
+		return obj != nil && obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !emits.IsValid() && isEmitCall(n) {
+				emits = n.Pos()
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isAppendCall(pass, rhs) || i >= len(n.Lhs) || local(n.Lhs[i]) {
+					continue
+				}
+				accumulates = true
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && !local(n.Lhs[0]) {
+				if tv, ok := pass.Info.Types[n.Lhs[0]]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						accumulates = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return emits, accumulates
+}
+
+// isAppendCall matches a call to the append built-in.
+func isAppendCall(pass *lint.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// rootObject resolves the base identifier of an assignable expression
+// (x, x.f.g, x[i]) to its declared object.
+func rootObject(pass *lint.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			if obj := pass.Info.Defs[e]; obj != nil {
+				return obj
+			}
+			return pass.Info.Uses[e]
+		default:
+			return nil
+		}
+	}
+}
+
+// isEmitCall matches calls whose bare name is an output writer; the
+// name check is deliberately syntactic so wrappers like a logger field
+// or a strings.Builder both count.
+func isEmitCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return emitNames[fun.Name]
+	case *ast.SelectorExpr:
+		return emitNames[fun.Sel.Name]
+	}
+	return false
+}
+
+// sortFollows reports whether any trailing sibling statement sorts
+// something -- the collect-then-sort idiom that makes an accumulating
+// map range deterministic.
+func sortFollows(pass *lint.Pass, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := lint.Callee(pass.Info, call); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sort":
+					found = true
+				case "slices":
+					if strings.HasPrefix(fn.Name(), "Sort") {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressedLines maps each line carrying (or directly above) a
+// //repro:nondet-ok comment to true.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, suppressMarker) {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/linttest"
+)
+
+// TestFixture pins the banned constructs (wall clock, global rand,
+// order-leaking map ranges), the compliant forms of each, the
+// //repro:nondet-ok escape hatch and the server exemption.
+func TestFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "mod"), determinism.Analyzer)
+}

@@ -1,0 +1,75 @@
+// Package exec is the fixture simulation package: every construct the
+// determinism analyzer bans, next to the compliant form of each.
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock inside the simulation.
+func Clock() int64 {
+	return time.Now().Unix() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed is the same violation through time.Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// Draw samples from the unseeded global source.
+func Draw() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the global random source`
+}
+
+// SeededDraw is the compliant form: an explicit seeded generator.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Emit publishes map iteration order on stdout.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written while ranging over a map publishes the iteration order`
+	}
+}
+
+// Leak accumulates map keys with no later sort in the block.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order leaks into an accumulated value`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorted is the compliant collect-then-sort idiom.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerIteration appends only to a slice declared inside the loop body;
+// nothing order-sensitive survives an iteration.
+func PerIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		total += len(batch)
+	}
+	return total
+}
+
+// Audited shows the single-site escape hatch.
+func Audited() int64 {
+	//repro:nondet-ok fixture exercises the suppression marker
+	return time.Now().Unix()
+}

@@ -1,0 +1,10 @@
+// Package server is exempt by allowlist: HTTP telemetry is wall-clock
+// by definition, so nothing here may be flagged.
+package server
+
+import "time"
+
+// Stamp timestamps a telemetry record.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

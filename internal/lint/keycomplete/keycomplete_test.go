@@ -1,0 +1,16 @@
+package keycomplete_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/keycomplete"
+	"repro/internal/lint/linttest"
+)
+
+// TestFixture proves the acceptance criterion: a plan field omitted
+// from the encoders and a scenario field Resolve never reads are both
+// named, while annotated observers pass.
+func TestFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "mod"), keycomplete.Analyzer)
+}

@@ -1,0 +1,21 @@
+// Package core is the fixture stand-in for the simulation kernel: a
+// Plan with one field the key encoders forgot and one annotated
+// observer.
+package core
+
+// Recorder is the fixture observer type hanging off the plan.
+type Recorder struct {
+	Events []string
+}
+
+// Plan is the executable plan the canonical key must cover.
+type Plan struct {
+	Nodes int
+	Seed  int64
+	// Debug was added without touching the key encoders and without an
+	// exclusion annotation -- keycomplete must name it.
+	Debug bool // want `core\.Plan\.Debug is not referenced by the canonical-key encoders`
+	// Recorder is a pure observer and says so.
+	//repro:nokey recorder — pure observer, never changes what the run computes
+	Recorder *Recorder
+}

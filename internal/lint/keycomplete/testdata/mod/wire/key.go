@@ -1,0 +1,12 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CanonicalRunKey encodes the plan into its result-cache key.
+func CanonicalRunKey(plan core.Plan) string {
+	return fmt.Sprintf("v1|nodes=%d|seed=%d", plan.Nodes, plan.Seed)
+}

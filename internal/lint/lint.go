@@ -1,0 +1,168 @@
+// Package lint is the minimal analysis framework behind cmd/reprolint.
+//
+// It is a deliberate, dependency-free reduction of the
+// golang.org/x/tools/go/analysis shape -- an Analyzer with a Run
+// function over a type-checked Pass -- small enough to live in the
+// repo, so the determinism and cache-key invariants can be machine
+// checked without reaching for the module proxy.  Packages are loaded
+// either through `go list -export` (standalone mode, see Load) or from
+// the vet.cfg handed over by `go vet -vettool=` (see cmd/reprolint).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (keycomplete,
+	// determinism, strictdecode, nilrecorder).
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources, with comments.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Dir is the package's source directory.
+	Dir string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned against the pass's FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the familiar file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to the loaded package and returns the
+// findings sorted by position.  Analyzer errors (not findings) abort.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Syntax,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Dir:      pkg.Dir,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Callee resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (built-ins,
+// function-typed variables, type conversions).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// ModuleInfo locates the enclosing module of dir: its root directory
+// and module path, read from go.mod.  Analyzers use it to map import
+// paths of sibling packages back to source directories (for the
+// comment-borne //repro:nokey annotations that export data cannot
+// carry).
+func ModuleInfo(dir string) (root, path string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// PkgDir maps an import path inside the module rooted at root (module
+// path modPath) to its source directory, or "" if the package is
+// outside the module.
+func PkgDir(root, modPath, importPath string) string {
+	if importPath == modPath {
+		return root
+	}
+	rest, ok := strings.CutPrefix(importPath, modPath+"/")
+	if !ok {
+		return ""
+	}
+	return filepath.Join(root, filepath.FromSlash(rest))
+}

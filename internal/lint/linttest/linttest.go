@@ -1,0 +1,121 @@
+// Package linttest runs one analyzer over a fixture module and checks
+// its diagnostics against // want comments, the analysistest idiom
+// rebuilt on the repo's own loader:
+//
+//	return rand.Intn(10) // want `rand\.Intn draws from the global source`
+//
+// A want comment expects exactly one diagnostic on its line whose
+// message matches the backquoted (or quoted) regular expression.
+// Diagnostics with no matching expectation and expectations with no
+// matching diagnostic both fail the test, so a fixture pins the
+// analyzer's behavior in both directions: what it must flag and what
+// it must leave alone.
+//
+// Fixture modules live under testdata and declare `module repro` so
+// package paths match the production tree the analyzers anchor on
+// (wire's key.go, internal/obs, the internal/server exemption).
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one parsed // want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRE pulls the patterns out of a want comment; both backquoted and
+// double-quoted forms are accepted.
+var wantRE = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+// Run loads the fixture module rooted at dir, applies the analyzer to
+// every package in it, and verifies the diagnostics against the
+// fixture's // want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+
+	var diags []lint.Diagnostic
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		ds, err := lint.Run(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	lint.Sort(diags)
+
+	for _, d := range diags {
+		if w := match(wants, d.Pos, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// match finds the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func match(wants []*expectation, pos token.Position, msg string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans the package's parsed comments for want markers.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "// want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(c.Text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1][1 : len(m[1])-1] // strip the quotes
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

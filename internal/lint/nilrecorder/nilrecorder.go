@@ -1,0 +1,140 @@
+// Package nilrecorder keeps the flight recorder free when disabled.
+//
+// The executor calls obs.Recorder methods unconditionally on every
+// dispatch, preemption and checkpoint; an untraced run passes a nil
+// recorder and relies on every method short-circuiting.  The contract
+// is structural and easy to erode -- one new method without the guard
+// and every untraced simulation panics -- so this analyzer pins it:
+// every method declared on obs.Recorder must take a pointer receiver
+// and open with
+//
+//	if r == nil {
+//	    return ...
+//	}
+//
+// (possibly as the first operand of an || chain).
+package nilrecorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the nilrecorder check.
+var Analyzer = &lint.Analyzer{
+	Name: "nilrecorder",
+	Doc:  "require a leading nil-receiver guard on every obs.Recorder method",
+	Run:  run,
+}
+
+// recorderType names the guarded type inside its package.
+const recorderType = "Recorder"
+
+func run(pass *lint.Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			checkMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkMethod(pass *lint.Pass, fd *ast.FuncDecl) {
+	recv := fd.Recv.List[0]
+	named, pointer := receiverType(pass, recv)
+	if named == nil || named.Obj().Name() != recorderType {
+		return
+	}
+	if !pointer {
+		pass.Reportf(fd.Name.Pos(), "method %s is declared on the %s value; use a pointer receiver with a nil guard so calls on a nil recorder stay free instead of panicking", fd.Name.Name, recorderType)
+		return
+	}
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return // the receiver is unused, so a nil receiver cannot be dereferenced
+	}
+	recvObj, _ := pass.Info.Defs[recv.Names[0]].(*types.Var)
+	if fd.Body == nil || recvObj == nil {
+		return
+	}
+	if !startsWithNilGuard(pass, fd.Body, recvObj) {
+		pass.Reportf(fd.Name.Pos(), "method %s on *%s is missing its leading nil-receiver guard (if %s == nil { return ... }); tracing must stay free when disabled", fd.Name.Name, recorderType, recv.Names[0].Name)
+	}
+}
+
+// receiverType unwraps the receiver declaration to its named type.
+func receiverType(pass *lint.Pass, recv *ast.Field) (*types.Named, bool) {
+	tv, ok := pass.Info.Types[recv.Type]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	t := tv.Type
+	pointer := false
+	if p, ok := t.(*types.Pointer); ok {
+		pointer = true
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n, pointer
+}
+
+// startsWithNilGuard reports whether the body's first statement is an
+// if whose condition checks the receiver against nil and whose branch
+// returns.
+func startsWithNilGuard(pass *lint.Pass, body *ast.BlockStmt, recvObj *types.Var) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condChecksNil(pass, ifs.Cond, recvObj) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, returns := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return returns
+}
+
+// condChecksNil accepts `recv == nil` directly or as an operand of an
+// || chain.
+func condChecksNil(pass *lint.Pass, cond ast.Expr, recvObj *types.Var) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return condChecksNil(pass, e.X, recvObj) || condChecksNil(pass, e.Y, recvObj)
+		case token.EQL:
+			return operandIs(pass, e.X, recvObj) && isNil(pass, e.Y) ||
+				operandIs(pass, e.Y, recvObj) && isNil(pass, e.X)
+		}
+	}
+	return false
+}
+
+func operandIs(pass *lint.Pass, expr ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == v
+}
+
+func isNil(pass *lint.Pass, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.Info.Uses[id].(*types.Nil)
+	return isNilConst
+}

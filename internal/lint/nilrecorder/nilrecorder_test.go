@@ -1,0 +1,16 @@
+package nilrecorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nilrecorder"
+)
+
+// TestFixture pins the guard contract: unguarded and value-receiver
+// Recorder methods are findings; guarded, ||-chained and
+// receiver-free methods are clean.
+func TestFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "mod"), nilrecorder.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package obs is the nilrecorder fixture: Recorder methods with and
+// without the mandatory nil-receiver guard.
+package obs
+
+// Recorder captures run events; a nil *Recorder must be free to call.
+type Recorder struct {
+	events []string
+}
+
+// Guarded short-circuits on a nil receiver: the required shape.
+func (r *Recorder) Guarded(ev string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Chained guards through the first operand of an || chain.
+func (r *Recorder) Chained(ev string) {
+	if r == nil || ev == "" {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Unguarded would dereference a nil receiver on the first call.
+func (r *Recorder) Unguarded(ev string) { // want `method Unguarded on \*Recorder is missing its leading nil-receiver guard`
+	r.events = append(r.events, ev)
+}
+
+// Value is declared on the value type, so it can never see the nil.
+func (r Recorder) Value() int { // want `method Value is declared on the Recorder value`
+	return len(r.events)
+}
+
+// Unused never touches its receiver; no guard is needed.
+func (_ *Recorder) Unused() int {
+	return 0
+}

@@ -1,0 +1,230 @@
+// Package strictdecode enforces the service's wire discipline: every
+// json.Decoder constructed over an HTTP request body must call
+// DisallowUnknownFields before its first Decode.  A misspelled field
+// in a POSTed scenario must cost the caller a 400, never a silently
+// applied default -- with a content-addressed result cache, a silently
+// defaulted knob does not just corrupt one response, it poisons the
+// cached entry every later caller shares.
+//
+// The check is flow-light but positional: within one function body it
+// tracks decoder variables initialized from json.NewDecoder(x) where x
+// syntactically derives from an *http.Request Body (directly, or via a
+// local wrapper like http.MaxBytesReader), and requires a
+// DisallowUnknownFields call on the same variable at an earlier
+// position than every Decode.  The chained one-liner
+// json.NewDecoder(r.Body).Decode(&v) is flagged outright: the form
+// leaves no room for the required call.
+package strictdecode
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the strictdecode check.
+var Analyzer = &lint.Analyzer{
+	Name: "strictdecode",
+	Doc:  "require DisallowUnknownFields before Decode on every HTTP request-body json.Decoder",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				checkBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	derived := bodyDerivedVars(pass, body)
+
+	type decoder struct {
+		strictAt  token.Pos
+		decodeAt  token.Pos
+		decodePos []token.Pos
+	}
+	decoders := map[*types.Var]*decoder{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// d := json.NewDecoder(<request body>)
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isNewDecoder(pass, call) || !derivesFromRequestBody(pass, call, derived) {
+				return true
+			}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok {
+				if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+					decoders[v] = &decoder{}
+				} else if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+					decoders[v] = &decoder{}
+				}
+			}
+		case *ast.CallExpr:
+			fn := lint.Callee(pass.Info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+				return true
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch fn.Name() {
+			case "Decode":
+				// Chained json.NewDecoder(r.Body).Decode(&v): no room
+				// for DisallowUnknownFields at all.
+				if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok &&
+					isNewDecoder(pass, inner) && derivesFromRequestBody(pass, inner, derived) {
+					pass.Reportf(n.Pos(), "json.NewDecoder(<request body>).Decode without DisallowUnknownFields; bind the decoder to a variable and call DisallowUnknownFields first so unknown fields are a 400")
+					return true
+				}
+				if v := identVar(pass, sel.X); v != nil {
+					if d := decoders[v]; d != nil {
+						d.decodePos = append(d.decodePos, n.Pos())
+					}
+				}
+			case "DisallowUnknownFields":
+				if v := identVar(pass, sel.X); v != nil {
+					if d := decoders[v]; d != nil && !d.strictAt.IsValid() {
+						d.strictAt = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var diags []token.Pos
+	for _, d := range decoders {
+		for _, p := range d.decodePos {
+			if !d.strictAt.IsValid() || d.strictAt > p {
+				diags = append(diags, p)
+			}
+		}
+	}
+	// Map order must not surface: report in position order.
+	sort.Slice(diags, func(i, j int) bool { return diags[i] < diags[j] })
+	for _, p := range diags {
+		pass.Reportf(p, "Decode on an HTTP request-body json.Decoder with no prior DisallowUnknownFields call; unknown fields must be a 400, not a silently applied default")
+	}
+}
+
+// bodyDerivedVars collects local variables whose initializer involves
+// an *http.Request Body, iterating to a small fixpoint so one level of
+// wrapping (readers, buffers, limiters) is followed.
+func bodyDerivedVars(pass *lint.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	derived := map[*types.Var]bool{}
+	for i := 0; i < 3; i++ {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, rhs := range as.Rhs {
+				if !exprDerivesFromBody(pass, rhs, derived) {
+					continue
+				}
+				if id, ok := as.Lhs[j].(*ast.Ident); ok {
+					var v *types.Var
+					if d, ok := pass.Info.Defs[id].(*types.Var); ok {
+						v = d
+					} else if u, ok := pass.Info.Uses[id].(*types.Var); ok {
+						v = u
+					}
+					if v != nil && !derived[v] {
+						derived[v] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	return derived
+}
+
+// derivesFromRequestBody reports whether any argument of the
+// json.NewDecoder call derives from a request body.
+func derivesFromRequestBody(pass *lint.Pass, call *ast.CallExpr, derived map[*types.Var]bool) bool {
+	for _, arg := range call.Args {
+		if exprDerivesFromBody(pass, arg, derived) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprDerivesFromBody walks one expression for a `.Body` selection on
+// *net/http.Request or a variable already known to carry one.
+func exprDerivesFromBody(pass *lint.Pass, expr ast.Expr, derived map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isRequestBody(pass, n) {
+				found = true
+			}
+		case *ast.Ident:
+			if v, ok := pass.Info.Uses[n].(*types.Var); ok && derived[v] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRequestBody matches a field selection of net/http.Request.Body.
+func isRequestBody(pass *lint.Pass, sel *ast.SelectorExpr) bool {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal || s.Obj().Name() != "Body" {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, ok := recv.(*types.Named)
+	return ok && n.Obj().Name() == "Request" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net/http"
+}
+
+// isNewDecoder matches encoding/json.NewDecoder.
+func isNewDecoder(pass *lint.Pass, call *ast.CallExpr) bool {
+	fn := lint.Callee(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "encoding/json" && fn.Name() == "NewDecoder"
+}
+
+// identVar resolves a bare identifier expression to its variable.
+func identVar(pass *lint.Pass, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.Info.Uses[id].(*types.Var)
+	return v
+}

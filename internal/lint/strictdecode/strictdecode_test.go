@@ -1,0 +1,16 @@
+package strictdecode_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/strictdecode"
+)
+
+// TestFixture pins the chained, loose-variable and wrapped-body lax
+// forms as findings, and the strict idiom and client-response decode
+// as clean.
+func TestFixture(t *testing.T) {
+	linttest.Run(t, filepath.Join("testdata", "mod"), strictdecode.Analyzer)
+}

@@ -1,0 +1,59 @@
+// Package server is the strictdecode fixture: every way a handler can
+// decode a request body, strict and lax.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type payload struct {
+	Nodes int `json:"nodes"`
+}
+
+// lax is the chained one-liner: no room for DisallowUnknownFields.
+func lax(w http.ResponseWriter, r *http.Request) {
+	var p payload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil { // want `json\.NewDecoder\(<request body>\)\.Decode without DisallowUnknownFields`
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// looseVar binds a decoder variable but never makes it strict.
+func looseVar(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var p payload
+	if err := dec.Decode(&p); err != nil { // want `Decode on an HTTP request-body json\.Decoder with no prior DisallowUnknownFields`
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// strict is the required idiom.
+func strict(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var p payload
+	if err := dec.Decode(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// limited wraps the body first; the decoder still derives from it.
+func limited(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	dec := json.NewDecoder(body)
+	var p payload
+	if err := dec.Decode(&p); err != nil { // want `Decode on an HTTP request-body json\.Decoder with no prior DisallowUnknownFields`
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// response decodes an *http.Response body -- a client, not a handler;
+// out of scope for the check.
+func response(resp *http.Response) payload {
+	var p payload
+	_ = json.NewDecoder(resp.Body).Decode(&p)
+	return p
+}
+
+var _ = []any{lax, looseVar, strict, limited, response}

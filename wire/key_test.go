@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"reflect"
 	"strings"
 	"testing"
@@ -8,32 +11,74 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/exec"
+	"repro/internal/lint/nokey"
 	"repro/internal/montage"
 	"repro/internal/policy"
 )
 
-// TestCanonicalRunKeyCoverage forces key maintenance: the explicit
-// encoding must be extended whenever any struct feeding it grows a
-// field, or new knobs would silently collide in the result cache.
+// TestCanonicalRunKeyCoverage forces key maintenance field by field:
+// every exported field of every struct feeding the canonical key must
+// either appear as a selector in key.go or carry the //repro:nokey
+// annotation the keycomplete analyzer also reads.  Unlike the retired
+// reflect.NumField count guards, a failure names the missing field --
+// and a field that is both annotated and encoded fails too, because a
+// stale exclusion is as wrong as a missing encoding.
 func TestCanonicalRunKeyCoverage(t *testing.T) {
-	for name, tc := range map[string]struct {
-		typ  reflect.Type
-		want int
+	fset := token.NewFileSet()
+	encoded := keyFileSelectors(t, fset)
+
+	for _, tc := range []struct {
+		typ reflect.Type
+		dir string
 	}{
-		// core.Plan's 16th field, Recorder, is deliberately NOT part of
-		// the key: the flight recorder is a pure observer, so a traced
-		// and an untraced run of the same plan are the same result.
-		"core.Plan":     {reflect.TypeOf(core.Plan{}), 16},
-		"montage.Spec":  {reflect.TypeOf(montage.Spec{}), 9},
-		"core.SpotPlan": {reflect.TypeOf(core.SpotPlan{}), 6},
-		"exec.Recovery": {reflect.TypeOf(exec.Recovery{}), 4},
-		"cost.Pricing":  {reflect.TypeOf(cost.Pricing{}), 5},
-		"policy.Bundle": {reflect.TypeOf(policy.Bundle{}), 4},
+		{reflect.TypeOf(core.Plan{}), "../internal/core"},
+		{reflect.TypeOf(core.SpotPlan{}), "../internal/core"},
+		{reflect.TypeOf(montage.Spec{}), "../internal/montage"},
+		{reflect.TypeOf(exec.Recovery{}), "../internal/exec"},
+		{reflect.TypeOf(cost.Pricing{}), "../internal/cost"},
+		{reflect.TypeOf(policy.Bundle{}), "../internal/policy"},
 	} {
-		if n := tc.typ.NumField(); n != tc.want {
-			t.Errorf("%s has %d fields; update CanonicalRunKey and this count (want %d)", name, n, tc.want)
+		name := tc.typ.Name()
+		anns, err := nokey.ParseDir(fset, tc.dir)
+		if err != nil {
+			t.Fatalf("%s: parsing %s: %v", name, tc.dir, err)
+		}
+		for _, p := range anns.Problems() {
+			t.Errorf("%s: %s", fset.Position(p.Pos), p.Message)
+		}
+		for i := 0; i < tc.typ.NumField(); i++ {
+			f := tc.typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			_, excluded := anns.Excluded(name, f.Name)
+			switch {
+			case excluded && encoded[f.Name]:
+				t.Errorf("%s.%s carries //repro:nokey but key.go references it; drop the stale annotation or the encoding", name, f.Name)
+			case !excluded && !encoded[f.Name]:
+				t.Errorf("%s.%s is not encoded in CanonicalRunKey and has no //repro:nokey annotation; extend the key or annotate the exclusion", name, f.Name)
+			}
 		}
 	}
+}
+
+// keyFileSelectors collects every selector name key.go mentions -- the
+// syntactic approximation of "encoded" this test shares with the
+// keycomplete analyzer's type-checked version.
+func keyFileSelectors(t *testing.T, fset *token.FileSet) map[string]bool {
+	t.Helper()
+	f, err := parser.ParseFile(fset, "key.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
 }
 
 // TestCanonicalRunKeyV2Distinct: the v1 and v2 key spaces must never

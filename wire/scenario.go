@@ -50,6 +50,7 @@ type Scenario struct {
 	// computes -- so it is deliberately excluded from CanonicalRunKeyV2;
 	// traced runs bypass the result cache instead of polluting it with
 	// timeline-bearing bodies.
+	//repro:nokey trace — pure observer; traced runs bypass the result cache instead of feeding the key
 	Trace bool `json:"trace,omitempty"`
 }
 
@@ -251,15 +252,20 @@ func (s Scenario) Resolve() (montage.Spec, core.Plan, error) {
 		default:
 			return fail(fmt.Errorf("wire: unknown billing %q (want provisioned or on-demand)", pr.Billing))
 		}
-		rates := map[string]float64{
-			"cpu_per_hour":         pr.CPUPerHour,
-			"storage_per_gb_month": pr.StoragePerGBMonth,
-			"transfer_in_per_gb":   pr.TransferInPerGB,
-			"transfer_out_per_gb":  pr.TransferOutPerGB,
+		// A fixed-order list, not a map: with two negative rates the
+		// reported one must not depend on map iteration order.
+		rates := []struct {
+			name string
+			v    float64
+		}{
+			{"cpu_per_hour", pr.CPUPerHour},
+			{"storage_per_gb_month", pr.StoragePerGBMonth},
+			{"transfer_in_per_gb", pr.TransferInPerGB},
+			{"transfer_out_per_gb", pr.TransferOutPerGB},
 		}
-		for name, v := range rates {
-			if v < 0 {
-				return fail(fmt.Errorf("wire: negative pricing rate %s = %v", name, v))
+		for _, r := range rates {
+			if r.v < 0 {
+				return fail(fmt.Errorf("wire: negative pricing rate %s = %v", r.name, r.v))
 			}
 		}
 		fees := cost.Amazon2008()
