@@ -15,11 +15,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint runs cmd/reprolint, the repo's own analyzer suite: keycomplete,
-# determinism, strictdecode and nilrecorder (see README, "Static
-# analysis").  Any finding fails the build.
+# lint runs cmd/reprolint, the repo's own eight-analyzer suite:
+# keycomplete, determinism, strictdecode, nilrecorder, ctxflow,
+# goroleak, streamdone and hotpath (see README, "Static analysis").
+# Any finding fails the build; -timings prints per-analyzer wall time
+# to stderr so a slow analyzer is visible in CI logs.
 lint:
-	$(GO) run ./cmd/reprolint ./...
+	$(GO) run ./cmd/reprolint -timings ./...
 
 # lint-vet runs the same suite through `go vet -vettool=`, proving the
 # tool still speaks cmd/go's unit-checking protocol.
@@ -34,15 +36,15 @@ lint-vet:
 race:
 	$(GO) test -race ./internal/exec/ ./internal/policy/ ./internal/server/ ./internal/sweep/ ./internal/montage/ ./internal/experiments/ ./internal/core/ ./internal/advisor/ ./cmd/reprosrv/ ./cmd/montagesim/ ./wire/
 
-# bench runs the executor and event-engine benchmark suites with
-# repeats (BENCH_COUNT, default 3) and writes BENCH_exec.json at the
-# repo root.
+# bench runs the benchmark suites with repeats (BENCH_COUNT, default 3)
+# and writes one baseline per suite at the repo root: BENCH_exec.json
+# (executor + event engine) and BENCH_sweep.json (sweep-engine kernel).
 bench:
 	sh scripts/bench.sh
 
 # bench-check is the benchmark-regression gate: re-run the suites and
 # fail if any benchmark's mean ns/op regressed more than 25% against
-# the committed BENCH_exec.json baseline.
+# any committed BENCH_*.json baseline.
 bench-check:
 	sh scripts/bench.sh -check
 

@@ -13,7 +13,7 @@ func TestModuleIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module analysis shells out to go list")
 	}
-	diags, err := runStandalone("../..", []string{"./..."})
+	diags, _, err := runStandalone("../..", []string{"./..."}, false)
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}

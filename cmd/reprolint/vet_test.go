@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetUnitChecking drives one full vet.cfg round-trip per
+// flow-sensitive analyzer: harvest export data from the analyzer's
+// fixture module the way cmd/go would (`go list -deps -export -json`),
+// write the vet.cfg cmd/go writes, and require the unit checker to
+// land the fixture's planted finding -- exit code 2, diagnostic naming
+// the analyzer on stderr.  TestProtocolProbes covers the -V=full and
+// -flags probes, so together these pin the whole `go vet -vettool=`
+// protocol for the new analyzers; `make lint-vet` exercises the same
+// path over the real (clean) tree.
+func TestVetUnitChecking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harvesting export data shells out to go list")
+	}
+	cases := []struct {
+		analyzer string
+		mod      string
+		pkg      string
+		want     string
+	}{
+		{"ctxflow", "../../internal/lint/ctxflow/testdata/mod", "repro/internal/sweep", "never consults a context"},
+		{"goroleak", "../../internal/lint/goroleak/testdata/mod", "repro/internal/server", "signals completion to no one"},
+		{"streamdone", "../../internal/lint/streamdone/testdata/mod", "repro/internal/server", "terminal done/error envelope"},
+		{"hotpath", "../../internal/lint/hotpath/testdata/mod", "repro/internal/exec", "boxed into"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			cfgPath := writeVetConfig(t, tc.mod, tc.pkg)
+			r, w, err := os.Pipe()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			code := run([]string{cfgPath}, w, w)
+			w.Close()
+			out, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code != 2 {
+				t.Fatalf("run(vet.cfg) = %d, want 2 (findings)\noutput:\n%s", code, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("diagnostics missing %q:\n%s", tc.want, out)
+			}
+			if !strings.Contains(string(out), " "+tc.analyzer+": ") {
+				t.Errorf("diagnostics never name analyzer %q:\n%s", tc.analyzer, out)
+			}
+		})
+	}
+}
+
+// vetListPackage is the slice of `go list -json` output the config
+// builder needs.
+type vetListPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// writeVetConfig builds the vet.cfg cmd/go would write for one unit:
+// the target package's files plus export data for every dependency.
+func writeVetConfig(t *testing.T, modDir, target string) string {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json", target)
+	cmd.Dir = modDir
+	// The fixture module must resolve on its own terms, never against
+	// an enclosing workspace file.
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go list %s: %v\n%s", target, err, errb.String())
+	}
+
+	packageFile := map[string]string{}
+	importMap := map[string]string{}
+	standard := map[string]bool{}
+	var tgt *vetListPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p vetListPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+			importMap[p.ImportPath] = p.ImportPath
+		}
+		if p.Standard {
+			standard[p.ImportPath] = true
+		}
+		if p.ImportPath == target {
+			q := p
+			tgt = &q
+		}
+	}
+	if tgt == nil {
+		t.Fatalf("go list never yielded the target package %s", target)
+	}
+
+	goFiles := make([]string, len(tgt.GoFiles))
+	for i, f := range tgt.GoFiles {
+		goFiles[i] = filepath.Join(tgt.Dir, f)
+	}
+	dir := t.TempDir()
+	cfg := vetConfig{
+		ID:          target,
+		Compiler:    "gc",
+		Dir:         tgt.Dir,
+		ImportPath:  target,
+		GoFiles:     goFiles,
+		ImportMap:   importMap,
+		PackageFile: packageFile,
+		Standard:    standard,
+		VetxOutput:  filepath.Join(dir, "unit.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}

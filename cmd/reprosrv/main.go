@@ -108,10 +108,12 @@ func serveDebug(ctx context.Context, addr string, w io.Writer) error {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	fmt.Fprintf(w, "pprof on %s\n", l.Addr())
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	//repro:detached watchdog closes the debug server on shutdown and dies with the process
 	go func() {
 		<-ctx.Done()
 		srv.Close()
 	}()
+	//repro:detached debug pprof server serves until the watchdog closes it at process exit
 	go srv.Serve(l) //nolint:errcheck
 	return nil
 }

@@ -43,6 +43,10 @@ func (r *runner) readyBefore(a, b dag.TaskID) bool {
 	return a < b
 }
 
+// enqueueReady inserts the task into the ready queue at its policy
+// position (binary search + shift, no re-sort).
+//
+//repro:hot
 func (r *runner) enqueueReady(id dag.TaskID) {
 	r.phase[id] = phaseReady
 	if r.trace != nil {
@@ -60,6 +64,8 @@ func (r *runner) enqueueReady(id dag.TaskID) {
 // mixed fleet the batch that starts now is placed by the placement
 // policy's priorities: the highest-priority tasks claim the reliable
 // on-demand slots, the rest run on revocable spot capacity.
+//
+//repro:hot
 func (r *runner) dispatch(now units.Duration) {
 	if a := r.avail(now); a > now {
 		if !r.dispatchDeferred {

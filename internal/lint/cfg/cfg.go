@@ -1,0 +1,578 @@
+// Package cfg builds intra-procedural control-flow graphs over plain
+// go/ast, the shared layer under the flow-sensitive analyzers
+// (goroleak, streamdone).  Like the rest of internal/lint it is a
+// deliberate, dependency-free reduction of the x/tools shape
+// (golang.org/x/tools/go/cfg): a function body becomes basic blocks of
+// atomic nodes joined by successor edges, plus the two queries the
+// analyzers need -- "does SOME path from here reach a node like X" and
+// "does EVERY path from here to the function exit pass a node like X".
+//
+// Control statements are decomposed, never stored whole: an IfStmt
+// contributes its Init and Cond as nodes of the branching block, and
+// its branches become blocks of their own.  Function literals are
+// opaque -- a FuncLit is a value, not control flow of the enclosing
+// function, so it appears as part of the node that creates it and its
+// body is never traversed.  Analyzers build a separate Graph per
+// function literal when they care about its interior.
+//
+// Terminating calls (panic, os.Exit, runtime.Goexit, log.Fatal*) end
+// their block with no successors: a path that dies there never
+// "reaches return", so it can never violate an every-path condition.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a straight-line run of atomic nodes with
+// the successor edges control flow can take afterwards.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, entry first.
+	Index int
+	// Nodes are the block's atomic statements and control expressions
+	// (if/for conditions, switch tags, select comm statements), in
+	// execution order.
+	Nodes []ast.Node
+	// Succs are the blocks control can reach next.  The Exit block has
+	// none.
+	Succs []*Block
+}
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the synthetic sink every return, panic and fall-off-end
+	// edge leads to.  It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, entry first, exit last.  Unreachable
+	// blocks (dead code after return) are included.
+	Blocks []*Block
+}
+
+// New builds the graph of one function body.  A nil body (declaration
+// without definition) yields a graph whose entry edges straight to
+// exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	b.entry = b.newBlock()
+	b.exit = b.newBlock()
+	b.cur = b.entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, b.exit)
+	b.resolveGotos()
+	// Exit last, for readability of dumps.
+	for i, blk := range b.blocks {
+		blk.Index = i
+	}
+	g := &Graph{Entry: b.entry, Exit: b.exit, Blocks: b.blocks}
+	return g
+}
+
+// builder accumulates blocks while walking one function body.
+type builder struct {
+	blocks []*Block
+	entry  *Block
+	exit   *Block
+	cur    *Block
+
+	// breakables / continuables are the innermost-first stacks of
+	// targets an unlabeled break or continue jumps to.
+	breakables   []*Block
+	continuables []*Block
+
+	// labels maps a label name to the targets its labeled statement
+	// established; gotoSites are forward references resolved at the end.
+	labels    map[string]*labelTargets
+	gotoSites []gotoSite
+	// pendingLabel is the label of the statement about to be built.
+	pendingLabel string
+}
+
+type labelTargets struct {
+	brk, cont *Block // break/continue targets; nil when not a loop
+	start     *Block // goto target: where the labeled statement begins
+}
+
+type gotoSite struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends an atomic node to the current block.
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// jump ends the current block with an edge to target and parks the
+// builder on a fresh unreachable block (dead code after the jump).
+func (b *builder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// Record the label, then build the labeled statement with the
+		// label pending so loops and switches claim it as their own
+		// break/continue name.
+		start := b.newBlock()
+		b.jump2(start)
+		b.cur = start
+		if b.labels == nil {
+			b.labels = map[string]*labelTargets{}
+		}
+		lt := &labelTargets{start: start}
+		b.labels[s.Label.Name] = lt
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlock := b.cur
+		after := b.newBlock()
+		b.cur = b.newBlock()
+		b.edge(condBlock, b.cur)
+		b.stmt(s.Body)
+		b.jump2(after)
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(condBlock, b.cur)
+			b.stmt(s.Else)
+			b.jump2(after)
+		} else {
+			b.edge(condBlock, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.jump2(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump2(cont)
+		b.popLoop()
+		if post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jump2(head)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		b.jump2(head)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump2(head)
+		b.popLoop()
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchStmt(label, s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(label, s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.pushBreakable(label, after)
+		hasClause := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			hasClause = true
+			b.cur = b.newBlock()
+			b.edge(head, b.cur)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.jump2(after)
+		}
+		if !hasClause {
+			// select{} blocks forever: no edge to after.
+			_ = head
+		}
+		b.popBreakable()
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exit)
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			b.jump(b.branchTarget(s.Label, true))
+		case token.CONTINUE:
+			b.jump(b.branchTarget(s.Label, false))
+		case token.GOTO:
+			if s.Label != nil {
+				b.gotoSites = append(b.gotoSites, gotoSite{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled structurally by switchStmt (the clause body's
+			// last statement); nothing to do here.
+		}
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			// Dead end: no successor, so the path never reaches Exit.
+			b.cur = b.newBlock()
+		}
+	default:
+		// Assign, IncDec, Send, Decl, Defer, Go, Empty: atomic.
+		b.add(s)
+	}
+}
+
+// switchStmt builds expression and type switches: the head evaluates
+// init plus tag/assign, every clause hangs off the head, fallthrough
+// chains clause bodies, and a missing default adds a head->after edge.
+func (b *builder) switchStmt(label string, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.pushBreakable(label, after)
+	clauses := body.List
+	// Pre-create each clause's block so fallthrough can edge forward.
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blocks[i])
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(clauses) {
+			b.jump2(blocks[i+1])
+		} else {
+			b.jump2(after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.popBreakable()
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// jump2 is jump for structural joins: it only draws the edge when the
+// current block can still fall through (i.e. it was not already ended
+// by return/break/continue, which parked the builder on a dead block).
+// Unlike jump it does not allocate a replacement block, so structural
+// joins do not litter the graph.
+func (b *builder) jump2(target *Block) {
+	b.edge(b.cur, target)
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breakables = append(b.breakables, brk)
+	b.continuables = append(b.continuables, cont)
+	if label != "" && b.labels[label] != nil {
+		b.labels[label].brk = brk
+		b.labels[label].cont = cont
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.continuables = b.continuables[:len(b.continuables)-1]
+}
+
+func (b *builder) pushBreakable(label string, brk *Block) {
+	b.breakables = append(b.breakables, brk)
+	if label != "" && b.labels[label] != nil {
+		b.labels[label].brk = brk
+	}
+}
+
+func (b *builder) popBreakable() {
+	b.breakables = b.breakables[:len(b.breakables)-1]
+}
+
+// branchTarget resolves a break (isBreak) or continue target, labeled
+// or not.  An unresolvable target (malformed source) goes to exit so
+// queries stay conservative.
+func (b *builder) branchTarget(label *ast.Ident, isBreak bool) *Block {
+	if label != nil {
+		if lt := b.labels[label.Name]; lt != nil {
+			if isBreak && lt.brk != nil {
+				return lt.brk
+			}
+			if !isBreak && lt.cont != nil {
+				return lt.cont
+			}
+		}
+		return b.exit
+	}
+	if isBreak {
+		if n := len(b.breakables); n > 0 {
+			return b.breakables[n-1]
+		}
+	} else {
+		if n := len(b.continuables); n > 0 {
+			return b.continuables[n-1]
+		}
+	}
+	return b.exit
+}
+
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotoSites {
+		if lt := b.labels[g.label]; lt != nil {
+			b.edge(g.from, lt.start)
+		} else {
+			b.edge(g.from, b.exit)
+		}
+	}
+}
+
+// isTerminatingCall matches calls that never return: panic, os.Exit,
+// runtime.Goexit, log.Fatal/Fatalf/Fatalln (by name -- the analyzers
+// run this package without type information for these).
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// ---- queries ----
+
+// Contains reports whether node n (or one of n's descendants, function
+// literal bodies excluded) satisfies pred.  It is the match primitive
+// the path queries apply per atomic node: an atomic node like an
+// assignment carries its whole expression subtree.
+func Contains(n ast.Node, pred func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil || found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false // opaque: a closure body is not this function's flow
+		}
+		if pred(x) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// locate finds the block and node index holding `at`: the atomic node
+// that is, or whose subtree contains, the given node.
+func (g *Graph) locate(at ast.Node) (*Block, int) {
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if n == at || Contains(n, func(x ast.Node) bool { return x == at }) {
+				return blk, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// EveryPathContains reports whether every execution path from the node
+// `from` (exclusive; nil means the function entry) to the function
+// exit passes at least one atomic node matching pred.  A path that
+// loops forever without reaching the exit never violates the
+// condition, and a `from` node the graph does not contain (dead code)
+// is vacuously true.
+func (g *Graph) EveryPathContains(from ast.Node, pred func(ast.Node) bool) bool {
+	match := func(n ast.Node) bool { return Contains(n, pred) }
+	blk, idx := g.Entry, 0
+	if from != nil {
+		b, i := g.locate(from)
+		if b == nil {
+			return true
+		}
+		blk, idx = b, i+1
+	}
+	e := &escaper{g: g, match: match, state: make(map[*Block]int)}
+	return !e.escapes(blk, idx)
+}
+
+// SomePathContains reports whether any execution path from the node
+// `from` (exclusive; nil means entry) onward reaches an atomic node
+// matching pred, whether or not that path later exits.
+func (g *Graph) SomePathContains(from ast.Node, pred func(ast.Node) bool) bool {
+	match := func(n ast.Node) bool { return Contains(n, pred) }
+	blk, idx := g.Entry, 0
+	if from != nil {
+		b, i := g.locate(from)
+		if b == nil {
+			return false
+		}
+		blk, idx = b, i+1
+	}
+	seen := make(map[*Block]bool)
+	var reach func(b *Block, i int) bool
+	reach = func(b *Block, i int) bool {
+		if i == 0 {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		for _, n := range b.Nodes[i:] {
+			if match(n) {
+				return true
+			}
+		}
+		for _, s := range b.Succs {
+			if reach(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	return reach(blk, idx)
+}
+
+// escaper answers "can control reach the exit from here without
+// passing a matching node".  In-progress blocks (cycles) cannot escape
+// through themselves: a loop with no exit path never reaches return.
+type escaper struct {
+	g     *Graph
+	match func(ast.Node) bool
+	state map[*Block]int // 0 unknown, 1 in progress, 2 escapes, 3 contained
+}
+
+func (e *escaper) escapes(b *Block, from int) bool {
+	if from == 0 {
+		switch e.state[b] {
+		case 1: // cycle: this route never reaches exit
+			return false
+		case 2:
+			return true
+		case 3:
+			return false
+		}
+		e.state[b] = 1
+	}
+	for _, n := range b.Nodes[from:] {
+		if e.match(n) {
+			if from == 0 {
+				e.state[b] = 3
+			}
+			return false
+		}
+	}
+	out := false
+	if b == e.g.Exit {
+		out = true
+	}
+	for _, s := range b.Succs {
+		if out {
+			break
+		}
+		out = e.escapes(s, 0)
+	}
+	if from == 0 {
+		if out {
+			e.state[b] = 2
+		} else {
+			e.state[b] = 3
+		}
+	}
+	return out
+}

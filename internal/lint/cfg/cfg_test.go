@@ -1,0 +1,485 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFunc parses src as a file and returns the CFG of the first
+// function declaration plus the file for node lookups.
+func parseFunc(t *testing.T, src string) (*Graph, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body), f
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// callTo matches an atomic node containing a call to the named
+// function (identifier form only; good enough for fixtures).
+func callTo(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// findCall returns the CallExpr to the named function, for use as a
+// query anchor.
+func findCall(t *testing.T, f *ast.File, name string) ast.Node {
+	t.Helper()
+	var found ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no call to %s in fixture", name)
+	}
+	return found
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := parseFunc(t, `package p
+func f() { a(); b(); c() }
+func a(); func b(); func c()`)
+	if !g.EveryPathContains(nil, callTo("b")) {
+		t.Error("b() is on the only path but EveryPathContains said no")
+	}
+	if !g.SomePathContains(nil, callTo("c")) {
+		t.Error("c() is reachable but SomePathContains said no")
+	}
+	if g.EveryPathContains(nil, callTo("missing")) {
+		t.Error("EveryPathContains matched a call that is not there")
+	}
+}
+
+func TestIfJoin(t *testing.T) {
+	src := `package p
+func f(x bool) {
+	if x {
+		a()
+	} else {
+		b()
+	}
+	c()
+}
+func a(); func b(); func c()`
+	g, _ := parseFunc(t, src)
+	if g.EveryPathContains(nil, callTo("a")) {
+		t.Error("a() is only on the then-branch; every-path must fail")
+	}
+	if !g.EveryPathContains(nil, callTo("c")) {
+		t.Error("c() follows the join; every path passes it")
+	}
+	if !g.SomePathContains(nil, callTo("b")) {
+		t.Error("b() is reachable on the else branch")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g, _ := parseFunc(t, `package p
+func f(x bool) {
+	if x {
+		a()
+	}
+}
+func a()`)
+	if g.EveryPathContains(nil, callTo("a")) {
+		t.Error("the fallthrough path skips a(); every-path must fail")
+	}
+}
+
+func TestEarlyReturnSplitsPaths(t *testing.T) {
+	src := `package p
+func f(x bool) {
+	if x {
+		return
+	}
+	done()
+}
+func done()`
+	g, _ := parseFunc(t, src)
+	if g.EveryPathContains(nil, callTo("done")) {
+		t.Error("the early return bypasses done(); every-path must fail")
+	}
+	if !g.SomePathContains(nil, callTo("done")) {
+		t.Error("done() is reachable on the non-returning path")
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	// A path that panics never reaches the exit, so it cannot violate
+	// an every-path condition.
+	src := `package p
+func f(x bool) {
+	if x {
+		panic("boom")
+	}
+	done()
+}
+func done()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("done")) {
+		t.Error("the panicking path dies before exit; every surviving path passes done()")
+	}
+}
+
+func TestQueryFromAnchor(t *testing.T) {
+	src := `package p
+func f(x bool) {
+	before()
+	start()
+	if x {
+		return
+	}
+	after()
+}
+func before(); func start(); func after()`
+	g, f := parseFunc(t, src)
+	anchor := findCall(t, f, "start")
+	if g.EveryPathContains(anchor, callTo("after")) {
+		t.Error("the return path from the anchor skips after()")
+	}
+	if !g.SomePathContains(anchor, callTo("after")) {
+		t.Error("after() is reachable from the anchor")
+	}
+	// Queries are exclusive of the anchor and see nothing behind it.
+	if g.SomePathContains(anchor, callTo("before")) {
+		t.Error("before() precedes the anchor; it must not be visible forward")
+	}
+	if g.SomePathContains(anchor, callTo("start")) {
+		t.Error("the anchor itself is excluded from the forward query")
+	}
+}
+
+func TestLoopBodyNotOnEveryPath(t *testing.T) {
+	src := `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+func work()`
+	g, _ := parseFunc(t, src)
+	if g.EveryPathContains(nil, callTo("work")) {
+		t.Error("a conditional loop may run zero times; every-path must fail")
+	}
+	if !g.SomePathContains(nil, callTo("work")) {
+		t.Error("the loop body is reachable")
+	}
+}
+
+func TestInfiniteLoopNeverViolates(t *testing.T) {
+	// for{} without break never reaches exit, so every-path holds
+	// vacuously past it.
+	src := `package p
+func f() {
+	for {
+		work()
+	}
+}
+func work()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("cleanup")) {
+		t.Error("no path reaches exit; every-path holds vacuously")
+	}
+}
+
+func TestLoopBreakPath(t *testing.T) {
+	src := `package p
+func f() {
+	for {
+		if stop() {
+			break
+		}
+		work()
+	}
+	cleanup()
+}
+func stop() bool
+func work(); func cleanup()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("cleanup")) {
+		t.Error("the only route to exit is break -> cleanup()")
+	}
+	if g.EveryPathContains(nil, callTo("work")) {
+		t.Error("breaking on the first iteration skips work()")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	// The sweep collector idiom: a labeled outer loop broken from an
+	// inner select, with a join (wait) after the label on all paths.
+	src := `package p
+func f(items []int, done chan int, ctx chan int) {
+collect:
+	for range items {
+		select {
+		case <-ctx:
+			break collect
+		case <-done:
+		}
+		row()
+	}
+	wait()
+}
+func row(); func wait()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("wait")) {
+		t.Error("both the labeled break and loop exhaustion reach wait()")
+	}
+	if g.EveryPathContains(nil, callTo("row")) {
+		t.Error("the break-collect path skips row()")
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	src := `package p
+func f(xs, ys []int) {
+outer:
+	for range xs {
+		for range ys {
+			if skip() {
+				continue outer
+			}
+			inner()
+		}
+		tail()
+	}
+	done()
+}
+func skip() bool
+func inner(); func tail(); func done()`
+	g, f := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("done")) {
+		t.Error("all paths drain to done()")
+	}
+	// From the continue site, tail() is skipped on that iteration but
+	// reachable on later ones -- SomePath yes.
+	anchor := findCall(t, f, "skip")
+	if !g.SomePathContains(anchor, callTo("tail")) {
+		t.Error("tail() is reachable from skip() via a non-continuing iteration")
+	}
+}
+
+func TestSelectBranches(t *testing.T) {
+	src := `package p
+func f(a, b chan int) {
+	select {
+	case <-a:
+		left()
+	case <-b:
+		right()
+	}
+	after()
+}
+func left(); func right(); func after()`
+	g, _ := parseFunc(t, src)
+	if g.EveryPathContains(nil, callTo("left")) {
+		t.Error("left() runs on only one comm clause")
+	}
+	if !g.EveryPathContains(nil, callTo("after")) {
+		t.Error("every clause falls through to after()")
+	}
+}
+
+func TestSwitchDefaultAndFallthrough(t *testing.T) {
+	src := `package p
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+	after()
+}
+func one(); func two(); func other(); func after()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("after")) {
+		t.Error("every clause reaches after()")
+	}
+	if g.EveryPathContains(nil, callTo("two")) {
+		t.Error("the default clause skips two()")
+	}
+	// fallthrough: every path through one() continues into two().
+	g2, f2 := parseFunc(t, src)
+	anchor := findCall(t, f2, "one")
+	if !g2.EveryPathContains(anchor, callTo("two")) {
+		t.Error("fallthrough chains case 1 into case 2")
+	}
+}
+
+func TestSwitchWithoutDefault(t *testing.T) {
+	src := `package p
+func f(x int) {
+	switch x {
+	case 1:
+		one()
+	}
+	after()
+}
+func one(); func after()`
+	g, _ := parseFunc(t, src)
+	if g.EveryPathContains(nil, callTo("one")) {
+		t.Error("a switch without default can match nothing")
+	}
+	if !g.EveryPathContains(nil, callTo("after")) {
+		t.Error("all switch outcomes reach after()")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	src := `package p
+func f(x any) {
+	switch x.(type) {
+	case int:
+		num()
+	default:
+		other()
+	}
+	after()
+}
+func num(); func other(); func after()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("after")) {
+		t.Error("both clauses reach after()")
+	}
+	if g.EveryPathContains(nil, callTo("num")) {
+		t.Error("num() runs on one clause only")
+	}
+}
+
+func TestFuncLitIsOpaque(t *testing.T) {
+	// A closure body is not control flow of the enclosing function: a
+	// call inside it must not satisfy path queries for the outer graph.
+	src := `package p
+func f() {
+	g := func() { hidden() }
+	g()
+	done()
+}
+func hidden(); func done()`
+	g, _ := parseFunc(t, src)
+	if g.SomePathContains(nil, callTo("hidden")) {
+		t.Error("hidden() lives in a FuncLit; the outer graph must not see it")
+	}
+	if !g.EveryPathContains(nil, callTo("done")) {
+		t.Error("done() is on the only outer path")
+	}
+}
+
+func TestDeferAndGoAreAtomic(t *testing.T) {
+	src := `package p
+func f() {
+	defer cleanup()
+	go worker()
+	done()
+}
+func cleanup(); func worker(); func done()`
+	g, _ := parseFunc(t, src)
+	// The defer and go statements themselves are nodes; their callee
+	// expressions are visible as part of those nodes.
+	if !g.EveryPathContains(nil, func(n ast.Node) bool {
+		_, ok := n.(*ast.GoStmt)
+		return ok
+	}) {
+		t.Error("the go statement is an atomic node on the only path")
+	}
+	if !g.EveryPathContains(nil, callTo("done")) {
+		t.Error("done() follows unconditionally")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	src := `package p
+func f(x bool) {
+	if x {
+		goto end
+	}
+	work()
+end:
+	done()
+}
+func work(); func done()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("done")) {
+		t.Error("both the goto and fallthrough paths reach done()")
+	}
+	if g.EveryPathContains(nil, callTo("work")) {
+		t.Error("the goto path skips work()")
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	src := `package p
+import "os"
+func f(x bool) {
+	if x {
+		os.Exit(1)
+	}
+	done()
+}
+func done()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, callTo("done")) {
+		t.Error("the os.Exit path never reaches the function exit")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if g.EveryPathContains(nil, func(ast.Node) bool { return true }) {
+		t.Error("an empty body has an unmatched entry->exit path")
+	}
+	if g.SomePathContains(nil, func(ast.Node) bool { return true }) {
+		t.Error("an empty body has no nodes to match")
+	}
+}
+
+func TestRangeLoopJoin(t *testing.T) {
+	// The worker-pool shape: range over items, block on a channel per
+	// item, wait after.  EveryPath from the range must include wait().
+	src := `package p
+func f(items []int, wgWait func()) {
+	for range items {
+		recv()
+	}
+	wgWait()
+}
+func recv()`
+	g, _ := parseFunc(t, src)
+	if !g.EveryPathContains(nil, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "wgWait"
+	}) {
+		t.Error("loop exhaustion always reaches wgWait()")
+	}
+}

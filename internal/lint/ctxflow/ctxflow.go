@@ -1,0 +1,249 @@
+// Package ctxflow enforces cancellation discipline in the packages
+// whose loops and goroutines sit on the request path: every loop that
+// can block must stay cancellable, and every goroutine launch must be
+// handed a context or declare itself detached.
+//
+// A loop "can block" when its body performs a channel send or receive
+// or sleeps (time.Sleep).  Such a loop must also consult its context
+// each iteration, in any of the forms Go code actually uses:
+//
+//   - select on <-ctx.Done() (or receive it directly),
+//   - poll ctx.Err(),
+//   - pass the context to a callee (fn(ctx, ...)) that does either.
+//
+// A `go` launch must receive a context -- as a call argument or by
+// capturing a context variable in its function literal -- so the new
+// goroutine is tied to some cancellation scope.  A goroutine that is
+// deliberately unscoped (a process-lifetime listener, a singleflight
+// body that outlives canceled callers) must say so where it launches:
+//
+//	//repro:detached <reason>
+//
+// on the go statement's line or the line above, reason mandatory.
+// The annotation shares the //repro:nokey grammar and also satisfies
+// the goroleak join requirement: detached means "audited to leak
+// nothing", and the reason records the audit.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/nokey"
+)
+
+// Analyzer is the cancellation-discipline check.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require blocking loops to consult their context and goroutine launches to receive one or be marked //repro:detached",
+	Run:  run,
+}
+
+// gated lists the packages under the rule: the sweep worker pool, the
+// executor, and the HTTP service layer.  (cmd/reprosrv's goroutines
+// are covered by goroleak; its loops are flag parsing and shutdown
+// plumbing, not request-path concurrency.)
+var gated = map[string]bool{
+	"repro/internal/sweep":  true,
+	"repro/internal/exec":   true,
+	"repro/internal/server": true,
+}
+
+// DetachedVerb is the escape-hatch annotation verb, shared with
+// goroleak.
+const DetachedVerb = "detached"
+
+func run(pass *lint.Pass) error {
+	if !gated[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		dirs := nokey.CollectDirectives(pass.Fset, f, DetachedVerb)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				checkLoop(pass, n.Body, token.NoPos)
+			case *ast.RangeStmt:
+				// Ranging over a channel is itself a blocking receive.
+				chanRange := token.NoPos
+				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						chanRange = n.Pos()
+					}
+				}
+				checkLoop(pass, n.Body, chanRange)
+			case *ast.GoStmt:
+				checkGo(pass, n, dirs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoop flags a blocking loop that never consults a context.  A
+// valid rangeRecv marks a loop whose range clause already blocks
+// (ranging over a channel).
+func checkLoop(pass *lint.Pass, body *ast.BlockStmt, rangeRecv token.Pos) {
+	blockSite := rangeRecv
+	if !blockSite.IsValid() {
+		blockSite = findBlockingOp(pass, body)
+	}
+	if !blockSite.IsValid() {
+		return
+	}
+	if consultsContext(pass, body) {
+		return
+	}
+	pass.Reportf(blockSite, "this loop can block here but never consults a context; select on ctx.Done(), poll ctx.Err(), or pass the context to a callee so cancellation can reach it")
+}
+
+// findBlockingOp returns the position of the first operation in the
+// loop body that can block indefinitely: a channel send, a channel
+// receive, or time.Sleep.  Receives of a context's Done channel do not
+// count -- blocking on cancellation IS the remedy.  Function literals
+// and nested loops are skipped: a closure's interior blocks the
+// goroutine that runs it, and nested loops are checked on their own,
+// so each blocking site is attributed to exactly one loop.
+func findBlockingOp(pass *lint.Pass, body *ast.BlockStmt) token.Pos {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.SendStmt:
+			found = n.Arrow
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !isContextChannel(pass, n.X) {
+				found = n.OpPos
+			}
+		case *ast.CallExpr:
+			if fn := lint.Callee(pass.Info, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				found = n.Pos()
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// consultsContext reports whether the loop body touches a context at
+// all: calls ctx.Done()/ctx.Err(), or passes a context-typed argument
+// to any callee.
+func consultsContext(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && isContextExpr(pass, sel.X) {
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if isContextExpr(pass, arg) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkGo requires the launched goroutine to receive a context (as an
+// argument or by closing over one) or to carry //repro:detached.
+func checkGo(pass *lint.Pass, g *ast.GoStmt, dirs *nokey.Directives) {
+	if goroutineSeesContext(pass, g.Call) {
+		return
+	}
+	d, ok := dirs.At(g.Pos(), DetachedVerb)
+	if !ok {
+		pass.Reportf(g.Pos(), "goroutine launches without a context; pass one (or close over one) so it joins a cancellation scope, or annotate //repro:detached <reason> if it is deliberately unscoped")
+		return
+	}
+	if d.Reason == "" {
+		pass.Reportf(g.Pos(), "//repro:detached needs a reason: //repro:detached <why this goroutine outlives its launcher>")
+	}
+}
+
+// goroutineSeesContext reports whether the go statement's call passes
+// a context argument or its function literal mentions a context-typed
+// variable (capture).
+func goroutineSeesContext(pass *lint.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if isContextExpr(pass, arg) {
+			return true
+		}
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && isContextExpr(pass, id) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextExpr reports whether the expression's static type is
+// context.Context.
+func isContextExpr(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		// Identifiers used as operands are sometimes only in Uses.
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				return isContextType(obj.Type())
+			}
+		}
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+// isContextChannel reports whether a received-from expression is a
+// context's Done channel: <-ctx.Done() or a variable of type
+// <-chan struct{} produced by one is out of scope -- only the direct
+// call form counts, which is the form the codebase uses.
+func isContextChannel(pass *lint.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextExpr(pass, sel.X)
+}
+
+// isContextType matches the context.Context named interface.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture analysis shells out to go list")
+	}
+	linttest.Run(t, "testdata/mod", ctxflow.Analyzer)
+}

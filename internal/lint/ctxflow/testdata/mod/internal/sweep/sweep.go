@@ -1,0 +1,114 @@
+// Package sweep is the ctxflow fixture: its gated import path puts
+// every loop and goroutine here under the cancellation rule.
+package sweep
+
+import (
+	"context"
+	"time"
+)
+
+// recvNoContext blocks on a bare channel receive with no cancellation
+// route at all: the canonical leak.
+func recvNoContext(ch chan int) int {
+	total := 0
+	for {
+		v, ok := <-ch // want `never consults a context`
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// sendNoContext blocks on the send side instead.
+func sendNoContext(out chan<- int, items []int) {
+	for _, v := range items {
+		out <- v // want `never consults a context`
+	}
+}
+
+// sleepPoll spins on the wall clock without a context.
+func sleepPoll(ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Millisecond) // want `never consults a context`
+	}
+}
+
+// selectDone is the remedied form of recvNoContext: the select gives
+// cancellation a route in every iteration.
+func selectDone(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+// errPoll consults ctx.Err each pass, the sweep-worker idiom.
+func errPoll(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += <-ch
+	}
+}
+
+// passThrough hands its context to the callee that does the blocking
+// coordination; the loop itself stays cancellable through it.
+func passThrough(ctx context.Context, ch chan int, fn func(context.Context, int) int) int {
+	total := 0
+	for v := range ch {
+		total += fn(ctx, v)
+		ch <- total
+	}
+	return total
+}
+
+// nonBlocking loops never trip the rule: no channel ops, no sleeps.
+func nonBlocking(items []int) int {
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+// launchBare starts a goroutine with no context and no annotation.
+func launchBare(fn func()) {
+	go fn() // want `goroutine launches without a context`
+}
+
+// launchWithArg passes its context as a call argument: scoped.
+func launchWithArg(ctx context.Context, fn func(context.Context)) {
+	go fn(ctx)
+}
+
+// launchCapture closes over the context inside the literal: scoped.
+func launchCapture(ctx context.Context, ch chan int) {
+	go func() {
+		<-ctx.Done()
+		close(ch)
+	}()
+}
+
+// launchDetached is sanctioned: the annotation names why it outlives
+// its launcher.
+func launchDetached(fn func()) {
+	//repro:detached fixture goroutine serves until process exit
+	go fn()
+}
+
+// launchDetachedNoReason carries the verb but forgets the audit.
+func launchDetachedNoReason(fn func()) {
+	//repro:detached
+	go fn() // want `needs a reason`
+}

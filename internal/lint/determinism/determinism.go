@@ -14,10 +14,13 @@
 // and the flight-recorder purity tests all assume byte-identical
 // reruns; any one of these constructs silently breaks all four.
 //
-// Server-side telemetry is exactly the code that *should* read the
-// wall clock, so those packages are exempt by allowlist.  A single
-// audited site can be suppressed with a same-line or preceding-line
-// comment: //repro:nondet-ok <reason>.
+// There is no package-level exemption: even the HTTP service layer,
+// whose telemetry is wall-clock by definition, must annotate each
+// audited site with a same-line or preceding-line comment
+// (//repro:nondet-ok <reason>), so new nondeterminism is opt-in
+// rather than invisible.  Test files are skipped -- a deadline loop
+// in a test reads the wall clock legitimately and never feeds
+// simulation state.
 package determinism
 
 import (
@@ -34,16 +37,6 @@ var Analyzer = &lint.Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock reads, unseeded randomness and order-leaking map iteration in simulation packages",
 	Run:  run,
-}
-
-// exempt lists the packages allowed to read the wall clock and emit in
-// arbitrary order: the HTTP service layer and its binary, whose
-// telemetry is wall-clock by definition.  Everything else in the
-// module -- simulation kernel, policies, sweep engine, observability,
-// wire schema, CLIs -- must stay bit-deterministic.
-var exempt = map[string]bool{
-	"repro/internal/server": true,
-	"repro/cmd/reprosrv":    true,
 }
 
 // bannedTime are the wall-clock reads.
@@ -70,10 +63,10 @@ var emitNames = map[string]bool{
 const suppressMarker = "//repro:nondet-ok"
 
 func run(pass *lint.Pass) error {
-	if exempt[pass.Pkg.Path()] {
-		return nil
-	}
 	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
 		suppressed := suppressedLines(pass.Fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {

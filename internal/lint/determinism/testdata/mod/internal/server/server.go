@@ -1,10 +1,17 @@
-// Package server is exempt by allowlist: HTTP telemetry is wall-clock
-// by definition, so nothing here may be flagged.
+// Package server is NOT exempt: the old package allowlist is gone, so
+// even telemetry code must annotate each audited wall-clock site with
+// //repro:nondet-ok <reason>.
 package server
 
 import "time"
 
-// Stamp timestamps a telemetry record.
+// Stamp timestamps a telemetry record without an audit annotation.
 func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// StampAudited is the same read, opted in per-site.
+func StampAudited() int64 {
+	//repro:nondet-ok request telemetry is wall-clock by definition
 	return time.Now().UnixNano()
 }

@@ -1,0 +1,234 @@
+// Package goroleak requires every goroutine launched in the service
+// layer to have a join edge its launcher actually reaches: evidence,
+// on every path from the `go` statement to the enclosing function's
+// return, that someone waits for the goroutine to finish.
+//
+// Accepted join shapes, matched by object identity between the
+// goroutine body and the launching function:
+//
+//   - WaitGroup pairing: the body calls (or defers) wg.Done() and the
+//     launcher reaches wg.Wait() on the same WaitGroup;
+//   - channel close: the body runs close(ch) and the launcher receives
+//     from ch (<-ch, a select comm case, or ranging over it);
+//   - errgroup-style collection: the body sends its result on ch and
+//     the launcher receives from ch.
+//
+// "On every path" is the flow-sensitive part, answered by the
+// internal/lint/cfg graph: a wg.Wait() in one select branch while
+// another branch returns early is exactly the leak this analyzer
+// exists to catch.  A goroutine that is designed to outlive its
+// launcher -- a process-lifetime listener, a singleflight flight that
+// survives canceled callers -- must carry //repro:detached <reason>
+// (shared with ctxflow) on the go statement's line or the line above.
+//
+// Launches whose callee is not a function literal (go fn()) have no
+// inspectable body, so they always need either a detached annotation
+// or wrapping in a literal that pairs with a join.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/nokey"
+)
+
+// Analyzer is the goroutine-join check.
+var Analyzer = &lint.Analyzer{
+	Name: "goroleak",
+	Doc:  "require every goroutine launch to have a join edge (WaitGroup, channel close, or result collection) on all paths, or //repro:detached <reason>",
+	Run:  run,
+}
+
+// gated lists the packages under the rule: the HTTP service layer, the
+// sweep worker pool, and the server binary.
+var gated = map[string]bool{
+	"repro/internal/server": true,
+	"repro/internal/sweep":  true,
+	"repro/cmd/reprosrv":    true,
+}
+
+func run(pass *lint.Pass) error {
+	if !gated[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		dirs := nokey.CollectDirectives(pass.Fset, f, ctxflow.DetachedVerb)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBody(pass, fd.Body, dirs)
+		}
+	}
+	return nil
+}
+
+// checkFuncBody examines one function body's directly-owned go
+// statements against that body's CFG, then recurses into nested
+// function literals, each of which owns its interior go statements.
+func checkFuncBody(pass *lint.Pass, body *ast.BlockStmt, dirs *nokey.Directives) {
+	var gos []*ast.GoStmt
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.GoStmt:
+			gos = append(gos, n)
+			// The launched literal's interior belongs to the goroutine.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+				// Arguments may still contain literals of their own.
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, func(a ast.Node) bool {
+						if al, ok := a.(*ast.FuncLit); ok {
+							lits = append(lits, al)
+							return false
+						}
+						return true
+					})
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if len(gos) > 0 {
+		g := cfg.New(body)
+		for _, stmt := range gos {
+			checkGo(pass, g, stmt, dirs)
+		}
+	}
+	for _, lit := range lits {
+		checkFuncBody(pass, lit.Body, dirs)
+	}
+}
+
+// checkGo verifies one go statement's join edge.
+func checkGo(pass *lint.Pass, g *cfg.Graph, stmt *ast.GoStmt, dirs *nokey.Directives) {
+	if d, ok := dirs.At(stmt.Pos(), ctxflow.DetachedVerb); ok {
+		if d.Reason == "" {
+			pass.Reportf(stmt.Pos(), "//repro:detached needs a reason: //repro:detached <why this goroutine is never joined>")
+		}
+		return
+	}
+	lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(stmt.Pos(), "goroutine body is not inspectable (go on a named function); wrap it in a literal that pairs with a WaitGroup or channel join, or annotate //repro:detached <reason>")
+		return
+	}
+	handles := joinHandles(pass, lit.Body)
+	if len(handles) == 0 {
+		pass.Reportf(stmt.Pos(), "goroutine signals completion to no one (no wg.Done, close, or result send in its body); add a join edge or annotate //repro:detached <reason>")
+		return
+	}
+	for _, h := range handles {
+		if g.EveryPathContains(stmt, func(n ast.Node) bool { return isJoinUse(pass, n, h) }) {
+			return
+		}
+	}
+	pass.Reportf(stmt.Pos(), "goroutine's completion signal (%s) is not consumed on every path from this launch to return; join it on all paths or annotate //repro:detached <reason>", handleNames(handles))
+}
+
+// handle is one completion signal the goroutine body offers: a
+// WaitGroup it calls Done on, or a channel it closes or sends to.
+type handle struct {
+	obj types.Object
+	wg  bool // true: WaitGroup Done; false: channel close/send
+}
+
+func handleNames(hs []handle) string {
+	out := ""
+	for i, h := range hs {
+		if i > 0 {
+			out += ", "
+		}
+		out += h.obj.Name()
+	}
+	return out
+}
+
+// joinHandles scans the goroutine body for completion signals.
+// Nested literals count: a deferred func(){ wg.Done() }() still
+// signals the same WaitGroup.
+func joinHandles(pass *lint.Pass, body *ast.BlockStmt) []handle {
+	var out []handle
+	seen := map[types.Object]bool{}
+	add := func(obj types.Object, wg bool) {
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, handle{obj: obj, wg: wg})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := lint.Callee(pass.Info, n); fn != nil && fn.FullName() == "(*sync.WaitGroup).Done" {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					add(rootObject(pass, sel.X), true)
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					add(rootObject(pass, n.Args[0]), false)
+				}
+			}
+		case *ast.SendStmt:
+			add(rootObject(pass, n.Chan), false)
+		}
+		return true
+	})
+	return out
+}
+
+// isJoinUse reports whether the node joins on the handle: wg.Wait for
+// a WaitGroup handle; a receive (<-ch, including select comm cases)
+// for a channel handle.
+func isJoinUse(pass *lint.Pass, n ast.Node, h handle) bool {
+	if h.wg {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := lint.Callee(pass.Info, call)
+		if fn == nil || fn.FullName() != "(*sync.WaitGroup).Wait" {
+			return false
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		return ok && rootObject(pass, sel.X) == h.obj
+	}
+	ue, ok := n.(*ast.UnaryExpr)
+	return ok && ue.Op == token.ARROW && rootObject(pass, ue.X) == h.obj
+}
+
+// rootObject resolves the base identifier of an expression (x, x.f,
+// x[i], *x) to its declared object, so close(done[i]) in the goroutine
+// and <-done[i] in the launcher match on `done`.
+func rootObject(pass *lint.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.Ident:
+			if obj := pass.Info.Defs[e]; obj != nil {
+				return obj
+			}
+			return pass.Info.Uses[e]
+		default:
+			return nil
+		}
+	}
+}

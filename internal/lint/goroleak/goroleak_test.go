@@ -1,0 +1,15 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/goroleak"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture analysis shells out to go list")
+	}
+	linttest.Run(t, "testdata/mod", goroleak.Analyzer)
+}

@@ -1,0 +1,127 @@
+// Package server is the goroleak fixture: its gated import path puts
+// every goroutine launch here under the join rule.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+func work() error { return nil }
+
+// leakNoSignal starts a goroutine that tells no one when it finishes.
+func leakNoSignal() {
+	go func() { // want `signals completion to no one`
+		_ = work()
+	}()
+}
+
+// leakNamed launches a named function: the body is not inspectable, so
+// the launch must be annotated or wrapped.
+func leakNamed(fn func()) {
+	go fn() // want `not inspectable`
+}
+
+// wgJoined is the canonical pairing: Done in the body, Wait on the
+// only path out.
+func wgJoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+// wgBranchLeak waits on only one branch: the early return leaks the
+// goroutine, and the flow-sensitive query catches exactly that.
+func wgBranchLeak(skip bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `not consumed on every path`
+		defer wg.Done()
+		_ = work()
+	}()
+	if skip {
+		return
+	}
+	wg.Wait()
+}
+
+// closeJoined signals by closing a channel the launcher receives from.
+func closeJoined() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = work()
+	}()
+	<-done
+}
+
+// sendCollected is the errgroup shape: the result send is the signal,
+// the receive is the join.
+func sendCollected() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+// selectPartialJoin receives the done signal on only one comm case;
+// the other case abandons the goroutine.
+func selectPartialJoin(ctx context.Context) {
+	done := make(chan struct{})
+	go func() { // want `not consumed on every path`
+		defer close(done)
+		_ = work()
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// poolJoined is the sweep-engine shape: launches in a loop, a labeled
+// collector loop that can break out early, and a Wait every path still
+// reaches.
+func poolJoined(items []int, fn func(int) error) error {
+	done := make([]chan struct{}, len(items))
+	errs := make([]error, len(items))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func() {
+			defer wg.Done()
+			errs[i] = fn(items[i])
+			close(done[i])
+		}()
+	}
+	var first error
+collect:
+	for i := range items {
+		<-done[i]
+		if errs[i] != nil {
+			first = errs[i]
+			break collect
+		}
+	}
+	wg.Wait()
+	return first
+}
+
+// detachedListener is sanctioned: the reason records the audit.
+func detachedListener(fn func()) {
+	//repro:detached fixture listener serves until process exit
+	go fn()
+}
+
+// detachedNoReason carries the verb but no audit trail.
+func detachedNoReason(fn func()) {
+	//repro:detached
+	go fn() // want `needs a reason`
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/hotpath"
+	"repro/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture analysis shells out to go list")
+	}
+	linttest.Run(t, "testdata/mod", hotpath.Analyzer)
+}

@@ -1,0 +1,132 @@
+// Package exec is the hotpath fixture.  The analyzer is gated by the
+// //repro:hot annotation, not the package path, so the flagged and
+// clean forms live side by side.
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+func sink(v any)      { _ = v }
+func use(v int) int   { return v + 1 }
+func handle(s string) { _ = s }
+
+// hotClean is the shape the annotation promises: arithmetic, indexing,
+// pointer arguments, no per-iteration allocation.
+//
+//repro:hot
+func hotClean(items []int, out []int, m map[int]int) int {
+	total := 0
+	for i, v := range items {
+		out[i] = use(v)
+		m[i] = v
+		total += v
+		sink(&out[i]) // pointer-shaped: stored directly in the interface
+	}
+	return total
+}
+
+// hotSetupAllowed may allocate before and after its loops; only the
+// loop bodies are hot.
+//
+//repro:hot
+func hotSetupAllowed(items []int) map[int]int {
+	m := make(map[int]int, len(items))
+	f := func(v int) int { return v * 2 }
+	for i, v := range items {
+		m[i] = f(v)
+	}
+	sort.Ints(items)
+	return m
+}
+
+// hotFmt formats per iteration.
+//
+//repro:hot
+func hotFmt(items []int) {
+	for _, v := range items {
+		handle(fmt.Sprintf("item %d", v)) // want `fmt\.Sprintf formats through reflection`
+	}
+}
+
+// hotReflect reflects per iteration.
+//
+//repro:hot
+func hotReflect(items []int) {
+	for _, v := range items {
+		_ = reflect.ValueOf(&v) // want `reflect\.ValueOf on every iteration`
+	}
+}
+
+// hotMapMake allocates a map per iteration.
+//
+//repro:hot
+func hotMapMake(items []int) {
+	for range items {
+		m := make(map[int]int) // want `map allocated on every iteration`
+		_ = m
+	}
+}
+
+// hotMapLit allocates through the literal form.
+//
+//repro:hot
+func hotMapLit(items []int) {
+	for _, v := range items {
+		m := map[string]int{"v": v} // want `map allocated on every iteration`
+		_ = m
+	}
+}
+
+// hotClosure allocates a closure per iteration.
+//
+//repro:hot
+func hotClosure(items []int) {
+	for _, v := range items {
+		f := func() int { return v } // want `closure allocated on every iteration`
+		_ = f()
+	}
+}
+
+// hotBoxing passes a concrete int where an interface is expected: one
+// heap allocation per iteration.
+//
+//repro:hot
+func hotBoxing(items []int) {
+	for _, v := range items {
+		sink(v) // want `int boxed into any`
+	}
+}
+
+// hotConversion boxes through an explicit conversion.
+//
+//repro:hot
+func hotConversion(items []int) {
+	for _, v := range items {
+		x := any(v) // want `int boxed into any`
+		_ = x
+	}
+}
+
+// hotStructBoxing boxes a struct value.
+type point struct{ x, y int }
+
+//repro:hot
+func hotStructBoxing(items []point) {
+	for _, p := range items {
+		sink(p) // want `point boxed into any`
+	}
+}
+
+// notHot does all of the above without the annotation: convention says
+// it is allowed to be slow.
+func notHot(items []int) {
+	for _, v := range items {
+		handle(fmt.Sprintf("item %d", v))
+		m := map[string]int{"v": v}
+		_ = m
+		sink(v)
+	}
+}

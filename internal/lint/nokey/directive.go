@@ -1,0 +1,99 @@
+package nokey
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //repro:<verb> comment: the generalized form of the
+// //repro:nokey grammar, used by the flow-sensitive analyzers --
+// //repro:detached <reason> sanctions a deliberately unjoined
+// goroutine, //repro:hot marks a function for hot-path allocation
+// checking, //repro:nondet-ok <reason> suppresses one audited
+// nondeterministic site.  Reasons share the nokey convention: the text
+// after the verb, with an optional leading em dash or "--" separator.
+type Directive struct {
+	Verb   string
+	Reason string // "" when the comment carries no reason text
+	Pos    token.Pos
+}
+
+// ParseDirective parses one comment as //repro:<verb> [— <reason>].
+// It matches whole verbs only: //repro:hotter is not //repro:hot.
+func ParseDirective(c *ast.Comment, verb string) (Directive, bool) {
+	rest, found := strings.CutPrefix(c.Text, "//repro:"+verb)
+	if !found {
+		return Directive{}, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Directive{}, false
+	}
+	reason := strings.TrimSpace(rest)
+	for _, sep := range []string{"—", "--"} {
+		if after, ok := strings.CutPrefix(reason, sep); ok {
+			reason = strings.TrimSpace(after)
+			break
+		}
+	}
+	return Directive{Verb: verb, Reason: reason, Pos: c.Pos()}, true
+}
+
+// HasDirective reports whether a comment group (typically a FuncDecl
+// doc) carries //repro:<verb>, returning the parsed form.
+func HasDirective(doc *ast.CommentGroup, verb string) (Directive, bool) {
+	if doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range doc.List {
+		if d, ok := ParseDirective(c, verb); ok {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Directives indexes one file's //repro:<verb> comments by source
+// line, so analyzers can ask whether a statement is sanctioned by a
+// same-line or directly-preceding-line annotation -- the same
+// placement rule the determinism suppressions established.
+type Directives struct {
+	fset   *token.FileSet
+	byLine map[int][]Directive
+}
+
+// CollectDirectives scans a parsed file's comments for the given verbs.
+func CollectDirectives(fset *token.FileSet, f *ast.File, verbs ...string) *Directives {
+	d := &Directives{fset: fset, byLine: map[int][]Directive{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, verb := range verbs {
+				dir, ok := ParseDirective(c, verb)
+				if !ok {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				d.byLine[line] = append(d.byLine[line], dir)
+				break
+			}
+		}
+	}
+	return d
+}
+
+// At returns the directive sanctioning the node at pos: one written on
+// the same line, or alone on the line directly above.
+func (d *Directives) At(pos token.Pos, verb string) (Directive, bool) {
+	if d == nil {
+		return Directive{}, false
+	}
+	line := d.fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, dir := range d.byLine[l] {
+			if dir.Verb == verb {
+				return dir, true
+			}
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,124 @@
+package nokey_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/nokey"
+)
+
+func TestParseDirective(t *testing.T) {
+	src := `package p
+
+//repro:hot
+func a() {}
+
+//repro:detached serves until process exit
+func b() {}
+
+//repro:detached — em-dash reason
+func c() {}
+
+//repro:hotter not the hot verb
+func d() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, detached int
+	var reasons []string
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if _, ok := nokey.ParseDirective(c, "hot"); ok {
+				hot++
+			}
+			if d, ok := nokey.ParseDirective(c, "detached"); ok {
+				detached++
+				reasons = append(reasons, d.Reason)
+			}
+		}
+	}
+	if hot != 1 {
+		t.Errorf("hot directives = %d, want 1 (//repro:hotter must not match)", hot)
+	}
+	if detached != 2 {
+		t.Fatalf("detached directives = %d, want 2", detached)
+	}
+	if reasons[0] != "serves until process exit" {
+		t.Errorf("bare reason = %q", reasons[0])
+	}
+	if reasons[1] != "em-dash reason" {
+		t.Errorf("em-dash reason = %q, separator must be stripped", reasons[1])
+	}
+}
+
+func TestDirectivesAt(t *testing.T) {
+	src := `package p
+
+func f() {
+	//repro:detached flight outlives callers
+	go work() // line 5, sanctioned by line 4
+	go work() //repro:detached same-line form
+	go work() // line 7, unsanctioned
+}
+
+func work() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := nokey.CollectDirectives(fset, f, "detached")
+	at := func(line int) bool {
+		pos := fset.File(f.Pos()).LineStart(line)
+		_, ok := d.At(pos, "detached")
+		return ok
+	}
+	if !at(5) {
+		t.Error("line 5 is sanctioned by the preceding-line directive")
+	}
+	if !at(6) {
+		t.Error("line 6 is sanctioned by its same-line directive")
+	}
+	if at(8) {
+		t.Error("line 8 carries no directive")
+	}
+	if _, ok := d.At(fset.File(f.Pos()).LineStart(5), "hot"); ok {
+		t.Error("verb filter must not cross: detached is not hot")
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+// f is the dispatch loop.
+//repro:hot
+func f() {}
+
+// g is ordinary.
+func g() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]bool{}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			_, has := nokey.HasDirective(fd.Doc, "hot")
+			docs[fd.Name.Name] = has
+		}
+	}
+	if !docs["f"] {
+		t.Error("f's doc carries //repro:hot")
+	}
+	if docs["g"] {
+		t.Error("g's doc carries no directive")
+	}
+}

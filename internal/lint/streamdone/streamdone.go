@@ -1,0 +1,297 @@
+// Package streamdone proves the NDJSON streaming contract the service
+// documents: once a handler switches the response to
+// application/x-ndjson, the status line is gone, so the stream itself
+// must tell the client how it ended -- with exactly one terminal
+// `done` or `error` envelope on every return path.
+//
+// The analyzer anchors on the Content-Type set call (the stream
+// start), builds the handler's CFG, and requires every path from there
+// to return to contain exactly one terminal emit: an Encode call whose
+// composite-literal argument sets a top-level Done or Error field.
+// Two kinds of early return are sanctioned, because there is no client
+// left to tell:
+//
+//   - transport death: a return guarded by a checked Encode result
+//     (if err := enc.Encode(...); err != nil { return });
+//   - client hang-up: a path that consults ctx.Err() before bailing;
+//   - pre-stream failure: a path through s.fail/http.Error, which ends
+//     the request with an HTTP status because no rows were written yet.
+//
+// Two presence rules ride along: a handler that streams row/event
+// envelopes must flush them (http.Flusher), and a deferred recover()
+// inside a streaming handler must either emit a terminal envelope or
+// re-panic -- a swallowed panic mid-stream would otherwise truncate
+// the stream with no sentinel at all.
+package streamdone
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/cfg"
+)
+
+// Analyzer is the NDJSON-terminal check.
+var Analyzer = &lint.Analyzer{
+	Name: "streamdone",
+	Doc:  "require NDJSON handlers to emit exactly one terminal done/error envelope and a flush on every return path",
+	Run:  run,
+}
+
+// gated lists the packages that write NDJSON streams.
+var gated = map[string]bool{
+	"repro/internal/server": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !gated[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHandler(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHandler applies the streaming contract to one function, if it
+// starts an NDJSON stream.
+func checkHandler(pass *lint.Pass, fd *ast.FuncDecl) {
+	marker := findNDJSONMarker(fd.Body)
+	if marker == nil {
+		return
+	}
+	g := cfg.New(fd.Body)
+
+	// Exactly one terminal on every path: first, at least one.
+	pred := func(n ast.Node) bool { return isTerminalEmit(n) || isSanctionedAbort(pass, n) }
+	if !g.EveryPathContains(marker, pred) {
+		pass.Reportf(marker.Pos(), "a return path of this NDJSON handler emits no terminal done/error envelope; after the stream starts, every return must end it with exactly one sentinel (client hang-up may be skipped after checking ctx.Err())")
+	}
+
+	// Then, at most one: no terminal may be followed by another.
+	var terminals []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if isTerminalEmit(n) {
+			terminals = append(terminals, n)
+		}
+		return true
+	})
+	for _, t := range terminals {
+		if g.SomePathContains(t, isTerminalEmit) {
+			pass.Reportf(t.Pos(), "another terminal envelope can follow this one on the same path; a stream ends with exactly one done/error sentinel -- return after emitting it")
+		}
+	}
+
+	checkFlush(pass, fd)
+	checkRecover(pass, fd, marker)
+}
+
+// checkFlush requires a handler that streams row/event envelopes to
+// flush them.  Row emits usually live in callbacks, so this is a
+// whole-function presence check, closures included.
+func checkFlush(pass *lint.Pass, fd *ast.FuncDecl) {
+	var firstRow ast.Node
+	flushes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if firstRow == nil && encodesEnvelope(call, "Row", "Event") {
+			firstRow = call
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Flush" {
+			flushes = true
+		}
+		return true
+	})
+	if firstRow != nil && !flushes {
+		pass.Reportf(firstRow.Pos(), "row envelopes stream without a flush; take the http.Flusher and flush so rows reach the client before the stream ends")
+	}
+}
+
+// checkRecover requires any deferred recover() in a streaming handler
+// to end the stream: emit a terminal envelope or re-panic.
+func checkRecover(pass *lint.Pass, fd *ast.FuncDecl, marker ast.Node) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(def.Call.Fun).(*ast.FuncLit)
+		if !ok || !containsCallNamed(lit.Body, "recover") {
+			return true
+		}
+		terminal := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if isTerminalEmit(m) || containsPanic(m) {
+				terminal = true
+				return false
+			}
+			return true
+		})
+		if !terminal {
+			pass.Reportf(def.Pos(), "this recover() swallows a mid-stream panic without ending the stream; emit a terminal error envelope from the recover path or re-panic")
+		}
+		return true
+	})
+}
+
+// findNDJSONMarker locates the statement-level call that switches the
+// response to application/x-ndjson, ignoring closures.
+func findNDJSONMarker(body *ast.BlockStmt) ast.Node {
+	var marker ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if marker != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Set" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && strings.Contains(lit.Value, "application/x-ndjson") {
+				marker = call
+				return false
+			}
+		}
+		return true
+	})
+	return marker
+}
+
+// isTerminalEmit matches enc.Encode(Envelope{Done: ...}) and
+// enc.Encode(Envelope{Error: ...}).
+func isTerminalEmit(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return encodesEnvelope(call, "Done", "Error")
+}
+
+// encodesEnvelope matches a .Encode call whose single argument is a
+// composite literal (possibly &-addressed) with one of the given
+// top-level field keys set.
+func encodesEnvelope(call *ast.CallExpr, keys ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Encode" || len(call.Args) != 1 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if ue, ok := arg.(*ast.UnaryExpr); ok {
+		arg = ast.Unparen(ue.X)
+	}
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		id, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		for _, k := range keys {
+			if id.Name == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSanctionedAbort matches the three audited early-return shapes: a
+// checked Encode result, a context liveness probe, and the pre-stream
+// HTTP failure helpers.
+func isSanctionedAbort(pass *lint.Pass, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Encode" {
+					return true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Err" && isContextExpr(pass, sel.X) {
+				return true
+			}
+			if sel.Sel.Name == "fail" {
+				return true
+			}
+		}
+		if fn := lint.Callee(pass.Info, n); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+			return true
+		}
+	}
+	return false
+}
+
+// containsCallNamed reports whether the subtree calls the named
+// built-in or identifier.
+func containsCallNamed(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsPanic reports whether the node is a call to panic.
+func containsPanic(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// isContextExpr reports whether the expression's static type is
+// context.Context.
+func isContextExpr(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,15 @@
+package streamdone_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/streamdone"
+)
+
+func TestFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixture analysis shells out to go list")
+	}
+	linttest.Run(t, "testdata/mod", streamdone.Analyzer)
+}

@@ -1,0 +1,149 @@
+// Package server is the streamdone fixture: every function here that
+// switches to application/x-ndjson is under the terminal-envelope
+// contract.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+)
+
+// envelope mirrors the wire envelopes: one NDJSON line, exactly one
+// field set.
+type envelope struct {
+	Row   *int   `json:"row,omitempty"`
+	Done  *int   `json:"done,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+type srv struct{}
+
+func (s *srv) fail(w http.ResponseWriter, code int, err error) {
+	http.Error(w, err.Error(), code)
+}
+
+// missingTerminal streams rows and then just stops: the client cannot
+// tell a complete stream from a truncated one.
+func (s *srv) missingTerminal(w http.ResponseWriter, rows []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson") // want `no terminal done/error envelope`
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range rows {
+		enc.Encode(envelope{Row: &rows[i]}) //nolint:errcheck
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// streamClean is the production shape: pre-stream failures use the
+// HTTP status, mid-stream failures emit the error envelope unless the
+// client hung up, transport death aborts silently, success ends with
+// done.
+func (s *srv) streamClean(ctx context.Context, w http.ResponseWriter, rows []int, compute func(int) error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for i := range rows {
+		if err := compute(i); err != nil {
+			if n == 0 {
+				s.fail(w, http.StatusInternalServerError, err)
+				return
+			}
+			if ctx.Err() == nil {
+				enc.Encode(envelope{Error: err.Error()}) //nolint:errcheck
+			}
+			return
+		}
+		if err := enc.Encode(envelope{Row: &rows[i]}); err != nil {
+			return // transport dead: nothing left to tell the client
+		}
+		n++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(envelope{Done: &n}) //nolint:errcheck
+}
+
+// doubleTerminal forgets the return after the error envelope, so a
+// failed stream also claims success.
+func (s *srv) doubleTerminal(w http.ResponseWriter, rows []int, err error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, ok := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	for i := range rows {
+		enc.Encode(envelope{Row: &rows[i]}) //nolint:errcheck
+		if ok {
+			flusher.Flush()
+		}
+		n++
+	}
+	if err != nil {
+		enc.Encode(envelope{Error: err.Error()}) // want `another terminal envelope can follow`
+	}
+	enc.Encode(envelope{Done: &n}) //nolint:errcheck
+}
+
+// missingFlush buffers rows until the handler returns, defeating the
+// point of streaming them.
+func (s *srv) missingFlush(w http.ResponseWriter, rows []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	n := 0
+	for i := range rows {
+		enc.Encode(envelope{Row: &rows[i]}) // want `without a flush`
+		n++
+	}
+	enc.Encode(envelope{Done: &n}) //nolint:errcheck
+}
+
+// recoverSwallowed hides a mid-stream panic: the stream ends with no
+// sentinel and the client hangs waiting for one.
+func (s *srv) recoverSwallowed(w http.ResponseWriter, rows []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	defer func() { // want `swallows a mid-stream panic`
+		_ = recover()
+	}()
+	n := 0
+	for i := range rows {
+		enc.Encode(envelope{Row: &rows[i]}) //nolint:errcheck
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+	}
+	enc.Encode(envelope{Done: &n}) //nolint:errcheck
+}
+
+// recoverTerminates turns the panic into the stream's error sentinel.
+func (s *srv) recoverTerminates(w http.ResponseWriter, rows []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	defer func() {
+		if r := recover(); r != nil {
+			enc.Encode(envelope{Error: "panic mid-stream"}) //nolint:errcheck
+		}
+	}()
+	n := 0
+	for i := range rows {
+		enc.Encode(envelope{Row: &rows[i]}) //nolint:errcheck
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+	}
+	enc.Encode(envelope{Done: &n}) //nolint:errcheck
+}
+
+// plainJSON never switches to NDJSON; the contract does not apply.
+func (s *srv) plainJSON(w http.ResponseWriter, doc map[string]int) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc) //nolint:errcheck
+}

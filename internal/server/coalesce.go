@@ -42,6 +42,7 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(ctx context.Co
 		fctx, cancel := context.WithCancel(context.Background())
 		f = &flight{cancel: cancel, done: make(chan struct{})}
 		g.flights[key] = f
+		//repro:detached a flight outlives canceled callers by design; every waiter joins via f.done, and the flight itself is the only writer
 		go func() {
 			body, err := fn(fctx)
 			g.mu.Lock()

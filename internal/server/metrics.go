@@ -54,7 +54,7 @@ func newMetrics(version string) *metrics {
 		requests:  make(map[string]*atomic.Uint64),
 		durations: make(map[string]*hist),
 		version:   version,
-		start:     time.Now(),
+		start:     time.Now(), //repro:nondet-ok process start anchors the uptime gauge, never a simulation
 	}
 }
 
@@ -181,7 +181,7 @@ func (m *metrics) snapshot(cache CacheStats, wf montage.CacheStats) []family {
 		name: "reprosrv_uptime_seconds", typ: "gauge",
 		help: "Seconds since the process started.",
 		samples: []string{fmt.Sprintf("reprosrv_uptime_seconds %s",
-			fmtFloat(time.Since(m.start).Seconds()))},
+			fmtFloat(time.Since(m.start).Seconds()))}, //repro:nondet-ok the uptime gauge is wall-clock by definition
 	})
 	return fams
 }
@@ -205,4 +205,4 @@ func (m *metrics) write(w io.Writer, cache CacheStats, wf montage.CacheStats) {
 
 // uptime reports how long the process has been up (also on /healthz, so
 // the health probe doubles as a readiness signal with history).
-func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
+func (m *metrics) uptime() time.Duration { return time.Since(m.start) } //repro:nondet-ok the uptime gauge is wall-clock by definition

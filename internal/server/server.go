@@ -207,6 +207,7 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	shutdownErr := make(chan error, 1)
+	//repro:detached shutdown watcher is joined via shutdownErr only on the graceful-drain path; on listener error or external close it exits with the process
 	go func() {
 		<-ctx.Done()
 		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)

@@ -75,7 +75,7 @@ func (w *statusWriter) Flush() {
 // route (never the raw URL path).
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //repro:nondet-ok request latency telemetry, never simulation state
 		rid := r.Header.Get("X-Request-Id")
 		if rid == "" {
 			rid = s.nextRequestID()
@@ -84,7 +84,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		s.metrics.count(endpoint)
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //repro:nondet-ok request latency telemetry, never simulation state
 		s.metrics.observe(endpoint, elapsed.Seconds())
 		status := sw.status
 		if status == 0 {

@@ -100,6 +100,12 @@ const cancelCheckInterval = 64
 // every few events and, once it is canceled, stops and returns ctx's
 // error with the virtual clock frozen at the abort point.  Pending
 // events stay queued, as after Stop.
+//
+// This loop fires every simulated event in every run; ROADMAP item 1
+// (event-engine throughput) lives or dies here, so the body must not
+// allocate.
+//
+//repro:hot
 func (e *Engine) RunContext(ctx context.Context) (units.Duration, error) {
 	e.stopped = false
 	for n := 0; len(e.queue) > 0 && !e.stopped; n++ {

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// benchGrid is the synthetic grid every benchmark sweeps: enough items
+// that per-item pool overhead (index claim, done-channel close, ordered
+// collection) dominates setup, with an item function cheap enough that
+// the harness measures the kernel, not the payload.
+const benchGrid = 4096
+
+func benchItems() []int {
+	items := make([]int, benchGrid)
+	for i := range items {
+		items[i] = i
+	}
+	return items
+}
+
+func spin(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i ^ (s << 1)
+	}
+	return s
+}
+
+// BenchmarkStreamGrid measures the sweep kernel end to end on the
+// default pool: claim, simulate (a tiny spin), close, collect in order.
+func BenchmarkStreamGrid(b *testing.B) {
+	items := benchItems()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := 0
+		err := Stream(context.Background(), 0, items,
+			func(ctx context.Context, index int, item int) (int, error) {
+				return spin(64), nil
+			},
+			func(index int, r int) error {
+				sink += r
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamSerial pins one worker, isolating the pool's ordering
+// machinery from parallel speedup.
+func BenchmarkStreamSerial(b *testing.B) {
+	items := benchItems()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := Stream(context.Background(), 1, items,
+			func(ctx context.Context, index int, item int) (int, error) {
+				return spin(64), nil
+			},
+			func(index int, r int) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapGrid measures the buffered variant used by the CLI for
+// whole-grid sweeps.
+func BenchmarkMapGrid(b *testing.B) {
+	items := benchItems()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(context.Background(), 0, items,
+			func(ctx context.Context, index int, item int) (int, error) {
+				return spin(64), nil
+			}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

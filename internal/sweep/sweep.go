@@ -92,32 +92,7 @@ func Stream[I, R any](ctx context.Context, workers int, items []I, fn func(ctx c
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) {
-					return
-				}
-				// A canceled sweep stops pulling work; items already in
-				// flight on other workers finish on their own.  Unfinished
-				// done channels stay open; the collector watches ctx too.
-				if ictx.Err() != nil {
-					return
-				}
-				if int64(i) > minFailed.Load() {
-					close(done[i])
-					continue
-				}
-				results[i], errs[i] = fn(ictx, i, items[i])
-				if errs[i] != nil {
-					for {
-						cur := minFailed.Load()
-						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				}
-				close(done[i])
-			}
+			runWorker(ictx, &next, &minFailed, items, results, errs, done, fn)
 		}()
 	}
 
@@ -146,4 +121,41 @@ collect:
 		return err
 	}
 	return sweepErr
+}
+
+// runWorker is the per-item loop each pool goroutine runs: pull the
+// next index, simulate it (or skip it if a lower-indexed failure
+// already decides the sweep's error), and close the item's done
+// channel so the collector can emit in order.  This is the sweep
+// kernel -- it runs once per grid point, so its loop body must not
+// allocate.
+//
+//repro:hot
+func runWorker[I, R any](ictx context.Context, next, minFailed *atomic.Int64, items []I, results []R, errs []error, done []chan struct{}, fn func(ctx context.Context, index int, item I) (R, error)) {
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(items) {
+			return
+		}
+		// A canceled sweep stops pulling work; items already in
+		// flight on other workers finish on their own.  Unfinished
+		// done channels stay open; the collector watches ctx too.
+		if ictx.Err() != nil {
+			return
+		}
+		if int64(i) > minFailed.Load() {
+			close(done[i])
+			continue
+		}
+		results[i], errs[i] = fn(ictx, i, items[i])
+		if errs[i] != nil {
+			for {
+				cur := minFailed.Load()
+				if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+		close(done[i])
+	}
 }

@@ -1,19 +1,21 @@
 #!/bin/sh
-# Run the executor and event-engine benchmark suites with repeats and
-# emit the results as BENCH_exec.json at the repo root: one JSON object
-# per benchmark run, carrying name, iterations, ns/op and (when the
-# suite reports them) B/op and allocs/op.
+# Run the benchmark suites with repeats and emit one baseline file per
+# suite at the repo root -- BENCH_exec.json (executor + event engine)
+# and BENCH_sweep.json (sweep-engine grid kernel): one JSON object per
+# benchmark run, carrying name, iterations, ns/op and (when the suite
+# reports them) B/op and allocs/op.
 #
-#   make bench                 # 3 repeats, writes BENCH_exec.json
+#   make bench                 # 3 repeats, writes BENCH_*.json
 #   BENCH_COUNT=5 make bench   # more repeats
-#   BENCH_OUT=out.json make bench
+#   BENCH_DIR=out make bench   # write the files somewhere else
 #
 # With -check the script becomes the benchmark-regression gate: it
-# re-runs the suites, compares each benchmark's mean ns/op against the
-# committed baseline (BENCH_BASELINE, default BENCH_exec.json) and
-# fails when any benchmark regressed by more than BENCH_TOLERANCE
-# percent (default 25).  Refresh the baseline with a plain `make bench`
-# when a slowdown is intentional.
+# re-runs every suite into a scratch directory (the gate must not
+# clobber the baselines it compares against), then for each committed
+# BENCH_*.json baseline compares each benchmark's mean ns/op and fails
+# when any benchmark regressed by more than BENCH_TOLERANCE percent
+# (default 25).  Refresh the baselines with a plain `make bench` when a
+# slowdown is intentional.
 #
 #   make bench-check
 #   BENCH_TOLERANCE=40 sh scripts/bench.sh -check
@@ -21,53 +23,70 @@ set -eu
 cd "$(dirname "$0")/.."
 
 COUNT="${BENCH_COUNT:-3}"
-OUT="${BENCH_OUT:-BENCH_exec.json}"
-if [ "${1:-}" = "-check" ] && [ -z "${BENCH_OUT:-}" ]; then
-	# The gate must not clobber the baseline it compares against.
-	OUT="$(mktemp)"
-fi
+DIR="${BENCH_DIR:-.}"
+SCRATCH=""
+
 TMP="$(mktemp)"
 BASE_MEANS="$(mktemp)"
 FRESH_MEANS="$(mktemp)"
-trap 'rm -f "$TMP" "$BASE_MEANS" "$FRESH_MEANS"' EXIT
+cleanup() {
+	rm -f "$TMP" "$BASE_MEANS" "$FRESH_MEANS"
+	if [ -n "$SCRATCH" ]; then
+		rm -rf "$SCRATCH"
+	fi
+}
+trap cleanup EXIT
 
-go test -run '^$' -bench . -benchmem -count "$COUNT" \
-	./internal/exec/ ./internal/sim/ | tee "$TMP"
+if [ "${1:-}" = "-check" ]; then
+	SCRATCH="$(mktemp -d)"
+	DIR="$SCRATCH"
+fi
 
+# suites maps each baseline name to the packages its suite benches.
+# Adding a line here (plus committing the baseline it writes) is all it
+# takes to put a new suite under the regression gate.
+suites() {
+	echo "exec ./internal/exec/ ./internal/sim/"
+	echo "sweep ./internal/sweep/"
+}
+
+# bench_to_json converts `go test -bench` output to the baseline JSON.
 # The GOMAXPROCS suffix (-8) is stripped from names so runs from
 # different machines group under the same benchmark.
-awk '
-BEGIN { print "["; n = 0 }
-/^Benchmark/ {
-	name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
-	sub(/-[0-9]+$/, "", name)
-	for (i = 3; i <= NF; i++) {
-		if ($i == "ns/op")     ns = $(i-1)
-		if ($i == "B/op")      bytes = $(i-1)
-		if ($i == "allocs/op") allocs = $(i-1)
+bench_to_json() {
+	awk '
+	BEGIN { print "["; n = 0 }
+	/^Benchmark/ {
+		name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+		sub(/-[0-9]+$/, "", name)
+		for (i = 3; i <= NF; i++) {
+			if ($i == "ns/op")     ns = $(i-1)
+			if ($i == "B/op")      bytes = $(i-1)
+			if ($i == "allocs/op") allocs = $(i-1)
+		}
+		if (ns == "") next
+		if (n++) printf ",\n"
+		printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+		if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+		if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+		printf "}"
 	}
-	if (ns == "") next
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
-	if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-	printf "}"
+	END { print "\n]" }
+	' "$1"
 }
-END { print "\n]" }
-' "$TMP" > "$OUT"
 
-echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmark runs)"
+suites | while read -r suite pkgs; do
+	# shellcheck disable=SC2086 # pkgs is a deliberate word list
+	go test -run '^$' -bench . -benchmem -count "$COUNT" $pkgs | tee "$TMP"
+	bench_to_json "$TMP" > "$DIR/BENCH_$suite.json"
+	echo "wrote $DIR/BENCH_$suite.json ($(grep -c '"name"' "$DIR/BENCH_$suite.json") benchmark runs)"
+done
 
 [ "${1:-}" = "-check" ] || exit 0
 
 # ---- regression gate ----
 
-BASELINE="${BENCH_BASELINE:-BENCH_exec.json}"
 TOLERANCE="${BENCH_TOLERANCE:-25}"
-if [ ! -f "$BASELINE" ]; then
-	echo "bench: no baseline at $BASELINE; run 'make bench' and commit it" >&2
-	exit 1
-fi
 
 # mean_of_json prints "name mean_ns" per benchmark, averaging repeats.
 mean_of_json() {
@@ -86,26 +105,41 @@ mean_of_json() {
 	' "$1" | sort
 }
 
-mean_of_json "$BASELINE" > "$BASE_MEANS"
-mean_of_json "$OUT" > "$FRESH_MEANS"
-
-# Join on benchmark name; only benchmarks present in both files are
-# gated, so adding or retiring a benchmark never trips the gate.
-join "$BASE_MEANS" "$FRESH_MEANS" | awk -v tol="$TOLERANCE" '
-{
-	base = $2; fresh = $3
-	pct = (fresh - base) / base * 100
-	status = "ok"
-	if (pct > tol) { status = "REGRESSED"; bad++ }
-	printf "%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", $1, base, fresh, pct, status
-	n++
-}
-END {
-	if (n == 0) { print "bench: no benchmarks in common with the baseline" | "cat >&2"; exit 1 }
-	if (bad > 0) {
-		printf "bench: %d benchmark(s) regressed beyond %s%%\n", bad, tol | "cat >&2"
+found=0
+for BASELINE in BENCH_*.json; do
+	[ -f "$BASELINE" ] || continue
+	found=1
+	FRESH="$SCRATCH/$BASELINE"
+	if [ ! -f "$FRESH" ]; then
+		echo "bench: baseline $BASELINE matches no suite in scripts/bench.sh; retire the file or add its suite" >&2
 		exit 1
+	fi
+	echo "== $BASELINE =="
+	mean_of_json "$BASELINE" > "$BASE_MEANS"
+	mean_of_json "$FRESH" > "$FRESH_MEANS"
+
+	# Join on benchmark name; only benchmarks present in both files are
+	# gated, so adding or retiring a benchmark never trips the gate.
+	join "$BASE_MEANS" "$FRESH_MEANS" | awk -v tol="$TOLERANCE" '
+	{
+		base = $2; fresh = $3
+		pct = (fresh - base) / base * 100
+		status = "ok"
+		if (pct > tol) { status = "REGRESSED"; bad++ }
+		printf "%-40s %12.0f -> %12.0f ns/op  %+7.1f%%  %s\n", $1, base, fresh, pct, status
+		n++
 	}
-	printf "bench: %d benchmark(s) within %s%% of the baseline\n", n, tol
-}
-'
+	END {
+		if (n == 0) { print "bench: no benchmarks in common with the baseline" | "cat >&2"; exit 1 }
+		if (bad > 0) {
+			printf "bench: %d benchmark(s) regressed beyond %s%%\n", bad, tol | "cat >&2"
+			exit 1
+		}
+		printf "bench: %d benchmark(s) within %s%% of the baseline\n", n, tol
+	}
+	'
+done
+if [ "$found" = 0 ]; then
+	echo "bench: no BENCH_*.json baselines; run 'make bench' and commit them" >&2
+	exit 1
+fi
