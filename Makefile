@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint lint-vet race bench bench-check smoke smoke-trace check
+.PHONY: build test vet lint lint-vet race bench bench-check smoke smoke-trace smoke-store check
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,12 @@ lint-vet:
 # policy registries, plus the server, sweep engine and the packages
 # their request paths thread through.
 race:
-	$(GO) test -race ./internal/exec/ ./internal/policy/ ./internal/server/ ./internal/sweep/ ./internal/montage/ ./internal/experiments/ ./internal/core/ ./internal/advisor/ ./cmd/reprosrv/ ./cmd/montagesim/ ./wire/
+	$(GO) test -race ./internal/exec/ ./internal/policy/ ./internal/server/ ./internal/store/ ./internal/shard/ ./internal/sweep/ ./internal/montage/ ./internal/experiments/ ./internal/core/ ./internal/advisor/ ./cmd/reprosrv/ ./cmd/montagesim/ ./wire/
 
 # bench runs the benchmark suites with repeats (BENCH_COUNT, default 3)
 # and writes one baseline per suite at the repo root: BENCH_exec.json
-# (executor + event engine) and BENCH_sweep.json (sweep-engine kernel).
+# (executor + event engine), BENCH_sweep.json (sweep-engine kernel) and
+# BENCH_store.json (disk-store put/get/scan).
 bench:
 	sh scripts/bench.sh
 
@@ -58,4 +59,12 @@ smoke:
 smoke-trace:
 	sh scripts/smoke_trace.sh
 
-check: build vet lint test race smoke smoke-trace
+# smoke-store boots reprosrv with a store directory, computes a run,
+# restarts over the same directory and asserts the warm daemon serves
+# the identical bytes from disk without re-simulating; then boots a
+# two-replica peered pool and asserts a sharded sweep streams the same
+# bytes as a standalone daemon.
+smoke-store:
+	sh scripts/smoke_store.sh
+
+check: build vet lint test race smoke smoke-trace smoke-store

@@ -17,6 +17,15 @@ import (
 	"repro/wire"
 )
 
+func newTestHandler(t *testing.T) http.Handler {
+	t.Helper()
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Handler()
+}
+
 func writeDoc(t *testing.T, name, body string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), name)
@@ -51,7 +60,7 @@ func TestScenarioRunMatchesServer(t *testing.T) {
 	if err := runScenario(context.Background(), writeDoc(t, "s.json", scenarioDoc), "json", "", &cli); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	ts := httptest.NewServer(newTestHandler(t))
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v2/run", "application/json", strings.NewReader(scenarioDoc))
 	if err != nil {
@@ -77,7 +86,7 @@ func TestScenarioSweepMatchesServer(t *testing.T) {
 	if err := runScenario(context.Background(), writeDoc(t, "sweep.json", sweepDoc), "text", "", &cli); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	ts := httptest.NewServer(newTestHandler(t))
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v2/sweep", "application/json", strings.NewReader(sweepDoc))
 	if err != nil {

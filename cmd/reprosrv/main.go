@@ -32,6 +32,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +48,11 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max requests waiting for a worker before 503 (0 = 64)")
 	cache := flag.Int("cache", 0, "result cache entries (0 = 1024)")
+	storeDir := flag.String("store-dir", "", "directory for the disk-backed result store (empty = disabled); results persist across restarts")
+	storeMax := flag.Int64("store-max-bytes", 0, "disk-store size bound in bytes before LRU eviction (0 = 1 GiB)")
+	peers := flag.String("peers", "", "comma-separated replica set (host:port each, this replica included) for sharded serving (empty = standalone)")
+	self := flag.String("self", "", "this replica's own address as it appears in -peers (required with -peers)")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-relay peer round-trip cap (0 = 30s)")
 	drain := flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (empty = disabled)")
 	quiet := flag.Bool("quiet", false, "suppress per-request log lines")
@@ -71,6 +77,11 @@ func main() {
 		MaxConcurrent: *workers,
 		QueueDepth:    *queue,
 		CacheEntries:  *cache,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMax,
+		Peers:         splitPeers(*peers),
+		Self:          *self,
+		PeerTimeout:   *peerTimeout,
 		DrainTimeout:  *drain,
 		Version:       version,
 		Logger:        logger,
@@ -87,8 +98,29 @@ func run(ctx context.Context, addr string, cfg server.Config, w io.Writer) error
 	if err != nil {
 		return err
 	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		l.Close()
+		return err
+	}
 	fmt.Fprintf(w, "listening on %s\n", l.Addr())
-	return server.New(cfg).Serve(ctx, l)
+	return srv.Serve(ctx, l)
+}
+
+// splitPeers parses the -peers flag: comma-separated addresses, blanks
+// dropped, nil when the flag is empty so the standalone path stays the
+// zero config.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // serveDebug opens the pprof listener and serves it in the background.

@@ -42,13 +42,16 @@ var Analyzer = &lint.Analyzer{
 }
 
 // gated lists the packages under the rule: the sweep worker pool, the
-// executor, and the HTTP service layer.  (cmd/reprosrv's goroutines
-// are covered by goroleak; its loops are flag parsing and shutdown
-// plumbing, not request-path concurrency.)
+// executor, the HTTP service layer, and the storage/sharding tiers its
+// request paths thread through.  (cmd/reprosrv's goroutines are covered
+// by goroleak; its loops are flag parsing and shutdown plumbing, not
+// request-path concurrency.)
 var gated = map[string]bool{
 	"repro/internal/sweep":  true,
 	"repro/internal/exec":   true,
 	"repro/internal/server": true,
+	"repro/internal/store":  true,
+	"repro/internal/shard":  true,
 }
 
 // DetachedVerb is the escape-hatch annotation verb, shared with

@@ -45,11 +45,14 @@ var Analyzer = &lint.Analyzer{
 }
 
 // gated lists the packages under the rule: the HTTP service layer, the
-// sweep worker pool, and the server binary.
+// sweep worker pool, the server binary, and the storage/sharding tiers
+// the request paths thread through.
 var gated = map[string]bool{
 	"repro/internal/server": true,
 	"repro/internal/sweep":  true,
 	"repro/cmd/reprosrv":    true,
+	"repro/internal/store":  true,
+	"repro/internal/shard":  true,
 }
 
 func run(pass *lint.Pass) error {

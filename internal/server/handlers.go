@@ -15,6 +15,7 @@ import (
 	"repro/internal/datamgmt"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/wire"
@@ -85,7 +86,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCachedRun(w, r, repro.CanonicalRunKey(spec, plan), func(ctx context.Context) ([]byte, error) {
+	s.serveCachedRun(w, r, repro.CanonicalRunKey(spec, plan), nil, func(ctx context.Context) ([]byte, error) {
 		wf, err := s.wfCache.Generate(spec)
 		if err != nil {
 			return nil, err
@@ -98,20 +99,57 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// serveCachedRun serves one deterministic simulation through the result
-// cache and the coalescing flight group: a hit is byte-identical to a
-// cold run, concurrent identical requests share one simulation, and the
-// simulation itself runs inside a bounded worker slot.  Both /v1/run
-// and /v2/run ride this path; their key spaces are disjoint because the
-// marshaled document shapes differ.
-func (s *Server) serveCachedRun(w http.ResponseWriter, r *http.Request, key string, simulate func(ctx context.Context) ([]byte, error)) {
+// tierRoute is what the v2 tier chain needs beyond the cache key: the
+// marshaled scenario document (to relay the request to its owning peer)
+// and whether this request was itself relayed by a peer, in which case
+// it must be answered locally -- a relayed request that forwarded again
+// could loop on a misconfigured ring.  A nil route keeps the legacy
+// /v1 behavior: memory LRU plus compute, no disk, no peers.
+type tierRoute struct {
+	scenario []byte
+	relayed  bool
+}
+
+// serveCachedRun serves one deterministic simulation through the cache
+// tiers -- memory LRU, disk store, owning peer, compute -- and the
+// coalescing flight group.  Determinism makes every tier byte-identical
+// to a cold run, so which tier answers is pure economics: memory is
+// free, a disk read is cheap, a peer hop costs a LAN round trip, and a
+// simulation costs seconds of CPU.  The X-Cache header names the tier
+// that answered (hit, store, peer, miss).  Peer failure never fails the
+// request; it degrades to local computation.  The disk read, the peer
+// relay and the simulation all run inside the flight, so a thundering
+// herd of identical requests costs one of whichever tier answers.
+func (s *Server) serveCachedRun(w http.ResponseWriter, r *http.Request, key string, route *tierRoute, simulate func(ctx context.Context) ([]byte, error)) {
 	if body, ok := s.cache.Get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(body) //nolint:errcheck
+		s.serveResult(w, "hit", body)
 		return
 	}
+	tier := "miss"
 	body, shared, err := s.flights.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		if route != nil && s.store != nil {
+			if body, ok := s.store.Get(key); ok {
+				tier = "store"
+				s.cache.Put(key, body)
+				return body, nil
+			}
+		}
+		if route != nil && !route.relayed && s.ring != nil {
+			if owner := s.ring.Owner(wire.KeyHash(key)); owner != s.self {
+				s.metrics.peerFetches.Add(1)
+				body, err := s.relay.Run(ctx, owner, route.scenario)
+				if err == nil {
+					tier = "peer"
+					s.cache.Put(key, body)
+					return body, nil
+				}
+				// The owner is down or slow: degrade to computing here.
+				// The result is byte-identical either way; only the
+				// pool's cache locality suffers, which the counter makes
+				// visible.
+				s.metrics.peerFailures.Add(1)
+			}
+		}
 		release, err := s.admit(ctx)
 		if err != nil {
 			return nil, err
@@ -126,6 +164,9 @@ func (s *Server) serveCachedRun(w http.ResponseWriter, r *http.Request, key stri
 			return nil, err
 		}
 		s.cache.Put(key, body)
+		if route != nil && s.store != nil {
+			s.store.Put(key, body) //nolint:errcheck // a failed persist only costs a future recompute
+		}
 		return body, nil
 	})
 	if shared {
@@ -135,8 +176,14 @@ func (s *Server) serveCachedRun(w http.ResponseWriter, r *http.Request, key stri
 		s.fail(w, r, statusFor(err), err)
 		return
 	}
+	s.serveResult(w, tier, body)
+}
+
+// serveResult writes one canonical result body, naming the tier that
+// answered in X-Cache.
+func (s *Server) serveResult(w http.ResponseWriter, tier string, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("X-Cache", tier)
 	w.Write(body) //nolint:errcheck
 }
 
@@ -536,22 +583,47 @@ type healthCache struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status        string      `json:"status"`
-		Version       string      `json:"version"`
-		UptimeSeconds float64     `json:"uptime_seconds"`
-		ResultCache   healthCache `json:"result_cache"`
-		WorkflowCache healthCache `json:"workflow_cache"`
+	resp := struct {
+		Status        string       `json:"status"`
+		Version       string       `json:"version"`
+		UptimeSeconds float64      `json:"uptime_seconds"`
+		ResultCache   healthCache  `json:"result_cache"`
+		WorkflowCache healthCache  `json:"workflow_cache"`
+		Store         *healthStore `json:"store,omitempty"`
 	}{
 		Status:        "ok",
 		Version:       s.metrics.version,
 		UptimeSeconds: s.metrics.uptime().Seconds(),
 		ResultCache:   healthCache{Entries: s.cache.Stats().Entries, Capacity: s.cfg.CacheEntries},
 		WorkflowCache: healthCache{Entries: s.wfCache.Stats().Entries, Capacity: s.cfg.WorkflowCacheEntries},
-	})
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &healthStore{Entries: st.Entries, Bytes: st.Bytes, MaxBytes: st.MaxBytes, Dir: st.Dir}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthStore is the /healthz block describing the disk store; present
+// only when a store directory is configured.
+type healthStore struct {
+	Entries  int    `json:"entries"`
+	Bytes    int64  `json:"bytes"`
+	MaxBytes int64  `json:"max_bytes"`
+	Dir      string `json:"dir"`
+}
+
+// storeStats snapshots the disk store, or a zero Stats when the store
+// is disabled; metric families are emitted either way so the exposition
+// schema is identical across configurations.
+func (s *Server) storeStats() store.Stats {
+	if s.store == nil {
+		return store.Stats{}
+	}
+	return s.store.Stats()
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.cache.Stats(), s.wfCache.Stats())
+	s.metrics.write(w, s.cache.Stats(), s.wfCache.Stats(), s.storeStats())
 }

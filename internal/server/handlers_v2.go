@@ -10,6 +10,7 @@ package server
 // a POST body.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/sweep"
 	"repro/wire"
 )
@@ -45,7 +47,16 @@ func (s *Server) handleRunV2(w http.ResponseWriter, r *http.Request) {
 		s.serveTracedRun(w, r, spec, plan)
 		return
 	}
-	s.serveCachedRun(w, r, wire.CanonicalRunKeyV2(spec, plan), func(ctx context.Context) ([]byte, error) {
+	route := &tierRoute{relayed: r.Header.Get(shard.RelayHeader) != ""}
+	if s.ring != nil && !route.relayed {
+		raw, err := json.Marshal(sc)
+		if err != nil {
+			s.fail(w, r, http.StatusInternalServerError, err)
+			return
+		}
+		route.scenario = raw
+	}
+	s.serveCachedRun(w, r, wire.CanonicalRunKeyV2(spec, plan), route, func(ctx context.Context) ([]byte, error) {
 		wf, err := s.wfCache.Generate(spec)
 		if err != nil {
 			return nil, err
@@ -190,15 +201,7 @@ func (s *Server) handleSweepV2(w http.ResponseWriter, r *http.Request) {
 					return wire.RunDocumentV2{}, err
 				}
 			}
-			wf, err := s.wfCache.Generate(p.Spec)
-			if err != nil {
-				return wire.RunDocumentV2{}, err
-			}
-			res, err := repro.RunContext(ctx, wf, p.Plan)
-			if err != nil {
-				return wire.RunDocumentV2{}, err
-			}
-			return wire.NewRunDocumentV2(p.Spec, res), nil
+			return s.sweepPoint(ctx, p)
 		},
 		func(i int, doc wire.RunDocumentV2) error {
 			row := wire.SweepRow{Index: i, RunDocumentV2: doc}
@@ -225,6 +228,72 @@ func (s *Server) handleSweepV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	enc.Encode(wire.SweepEnvelope{Done: &wire.SweepDone{Rows: rows}}) //nolint:errcheck
+}
+
+// sweepPoint produces one grid point's document through the v2 tiers.
+// A point owned by a peer is fetched from it as a standalone /v2/run
+// request -- every materialized point scenario is directly POSTable --
+// which splits the grid across the pool and warms each owner's caches;
+// any peer failure degrades that point to local computation.  Local
+// points consult the disk store before simulating and persist what they
+// compute, so sweeps both feed and benefit from the same
+// content-addressed tier as /v2/run.  Round-tripping a stored or
+// relayed body through DecodeStrict is lossless here: result documents
+// carry no maps and no custom marshalers, so they re-encode
+// byte-identically and a row is the same bytes no matter which tier
+// produced it.
+func (s *Server) sweepPoint(ctx context.Context, p wire.ResolvedPoint) (wire.RunDocumentV2, error) {
+	key := wire.CanonicalRunKeyV2(p.Spec, p.Plan)
+	if s.ring != nil {
+		if owner := s.ring.Owner(wire.KeyHash(key)); owner != s.self {
+			if doc, ok := s.fetchPeerDoc(ctx, owner, p.Scenario); ok {
+				return doc, nil
+			}
+		}
+	}
+	if s.store != nil {
+		if body, ok := s.store.Get(key); ok {
+			var doc wire.RunDocumentV2
+			if err := wire.DecodeStrict(bytes.NewReader(body), &doc); err == nil {
+				return doc, nil
+			}
+		}
+	}
+	wf, err := s.wfCache.Generate(p.Spec)
+	if err != nil {
+		return wire.RunDocumentV2{}, err
+	}
+	res, err := repro.RunContext(ctx, wf, p.Plan)
+	if err != nil {
+		return wire.RunDocumentV2{}, err
+	}
+	doc := wire.NewRunDocumentV2(p.Spec, res)
+	if s.store != nil {
+		if body, err := doc.Encode(); err == nil {
+			s.store.Put(key, body) //nolint:errcheck // a failed persist only costs a future recompute
+		}
+	}
+	return doc, nil
+}
+
+// fetchPeerDoc relays one scenario to its owning replica and decodes
+// the canonical result body.  false means "compute it here instead":
+// the relay path is an optimization, never a dependency.
+func (s *Server) fetchPeerDoc(ctx context.Context, owner string, sc wire.Scenario) (wire.RunDocumentV2, bool) {
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		return wire.RunDocumentV2{}, false
+	}
+	s.metrics.peerFetches.Add(1)
+	body, err := s.relay.Run(ctx, owner, raw)
+	if err == nil {
+		var doc wire.RunDocumentV2
+		if err := wire.DecodeStrict(bytes.NewReader(body), &doc); err == nil {
+			return doc, true
+		}
+	}
+	s.metrics.peerFailures.Add(1)
+	return wire.RunDocumentV2{}, false
 }
 
 // ---- GET /v2/advisor ----

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/montage"
+	"repro/internal/store"
 )
 
 // latencyBuckets are the upper bounds of the request-duration histogram,
@@ -38,6 +39,9 @@ type metrics struct {
 	coalesced   atomic.Uint64 // requests that joined another's flight
 	rejected    atomic.Uint64 // requests refused at the admission queue
 	errors      atomic.Uint64 // requests that failed
+
+	peerFetches  atomic.Uint64 // runs relayed to their owning replica
+	peerFailures atomic.Uint64 // relays that degraded to local computation
 
 	inflight atomic.Int64 // requests holding a worker slot
 	queued   atomic.Int64 // requests waiting for a worker slot
@@ -103,7 +107,7 @@ type family struct {
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // snapshot renders every family under a single lock acquisition.
-func (m *metrics) snapshot(cache CacheStats, wf montage.CacheStats) []family {
+func (m *metrics) snapshot(cache CacheStats, wf montage.CacheStats, st store.Stats) []family {
 	m.mu.Lock()
 	endpoints := make([]string, 0, len(m.requests))
 	for e := range m.requests {
@@ -171,6 +175,19 @@ func (m *metrics) snapshot(cache CacheStats, wf montage.CacheStats) []family {
 	counter("reprosrv_workflow_cache_misses_total", "Workflow-generation-cache misses.", wf.Misses)
 	counter("reprosrv_workflow_cache_evictions_total", "Workflow-generation-cache LRU evictions.", wf.Evictions)
 	gauge("reprosrv_workflow_cache_entries", "Workflow-generation-cache resident entries.", int64(wf.Entries))
+	// Store and peer families are emitted even when those subsystems are
+	// off (all zeros): the exposition schema stays identical across
+	// configurations, so dashboards and the conformance tests never see
+	// families appear or vanish.
+	counter("reprosrv_store_hits_total", "Disk-store hits.", st.Hits)
+	counter("reprosrv_store_misses_total", "Disk-store misses.", st.Misses)
+	counter("reprosrv_store_writes_total", "Disk-store entries persisted.", st.Writes)
+	counter("reprosrv_store_evictions_total", "Disk-store LRU evictions.", st.Evictions)
+	counter("reprosrv_store_corrupt_total", "Disk-store entries dropped as corrupt.", st.Corrupt)
+	gauge("reprosrv_store_entries", "Disk-store resident entries.", int64(st.Entries))
+	gauge("reprosrv_store_bytes", "Disk-store resident bytes.", st.Bytes)
+	counter("reprosrv_peer_fetches_total", "Runs relayed to their owning replica.", m.peerFetches.Load())
+	counter("reprosrv_peer_failures_total", "Peer relays that degraded to local computation.", m.peerFailures.Load())
 	fams = append(fams, family{
 		name: "reprosrv_build_info", typ: "gauge",
 		help: "Build metadata; the value is always 1.",
@@ -191,8 +208,8 @@ func (m *metrics) snapshot(cache CacheStats, wf montage.CacheStats) []family {
 // lines, so scrapers ingest them with the right semantics and two
 // scrapes of the same state are byte-identical apart from sample
 // values.
-func (m *metrics) write(w io.Writer, cache CacheStats, wf montage.CacheStats) {
-	fams := m.snapshot(cache, wf)
+func (m *metrics) write(w io.Writer, cache CacheStats, wf montage.CacheStats, st store.Stats) {
+	fams := m.snapshot(cache, wf, st)
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	for _, f := range fams {
 		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)

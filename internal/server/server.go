@@ -38,11 +38,22 @@
 // work runs on a bounded worker pool with per-request context
 // cancellation, so a client hanging up aborts its grid and SIGTERM
 // drains in-flight requests before the process exits.
+//
+// The same determinism extends the v2 cache beyond the process:
+// Config.StoreDir adds a disk-backed content-addressed tier
+// (internal/store) that survives restarts, and Config.Peers shards the
+// key space across a replica pool on a consistent-hash ring
+// (internal/shard), relaying each /v2/run to its owner and scattering
+// /v2/sweep grids per point.  The tier order is memory -> disk ->
+// owning peer -> compute; every tier serves byte-identical documents,
+// and any store or peer failure degrades to the next tier, never to an
+// error.
 package server
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -51,6 +62,9 @@ import (
 	"time"
 
 	"repro/internal/montage"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/wire"
 )
 
 // Config sizes the daemon.  The zero value picks sensible defaults.
@@ -73,6 +87,24 @@ type Config struct {
 	// DrainTimeout caps how long Serve waits for in-flight requests
 	// after its context is canceled; <= 0 means 30s.
 	DrainTimeout time.Duration
+	// StoreDir, when non-empty, enables the disk-backed content-addressed
+	// result store (internal/store): a second cache tier under the LRU
+	// that survives restarts and can be shared by replicas on one volume.
+	StoreDir string
+	// StoreMaxBytes bounds the disk store; <= 0 means 1 GiB.  Eviction is
+	// least-recently-used.
+	StoreMaxBytes int64
+	// Peers, when non-empty, is the full replica set of a sharded pool --
+	// every member's advertised host:port, this replica included.  The
+	// consistent-hash ring over it routes /v2/run by canonical-key hash
+	// and splits /v2/sweep grids across owners.
+	Peers []string
+	// Self is this replica's own address as it appears in Peers.
+	// Required when Peers is set.
+	Self string
+	// PeerTimeout caps one relay round trip to a peer; <= 0 means 30s.
+	// A peer that misses it degrades that request to local computation.
+	PeerTimeout time.Duration
 	// Version is the build version surfaced on reprosrv_build_info and
 	// /healthz; empty means "dev".
 	Version string
@@ -97,6 +129,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.StoreMaxBytes <= 0 {
+		c.StoreMaxBytes = 1 << 30
+	}
 	return c
 }
 
@@ -115,6 +150,13 @@ type Server struct {
 	ridNonce string
 	ridSeq   atomic.Uint64
 
+	// store is the disk tier under the LRU; nil when StoreDir is unset.
+	store *store.Store
+	// ring/relay shard the v2 key space across Peers; nil off a pool.
+	ring  *shard.Ring
+	relay *shard.Client
+	self  string
+
 	// testHookPreSim, when set by tests in this package, runs inside the
 	// worker slot just before a /v1/run simulation starts.
 	testHookPreSim func()
@@ -124,8 +166,12 @@ type Server struct {
 	testHookSweepPoint func(index int) error
 }
 
-// New builds a server from the config.
-func New(cfg Config) *Server {
+// New builds a server from the config.  It fails when the result store
+// directory cannot be opened or the shard configuration is inconsistent
+// (Peers without Self, or Self missing from Peers) -- a replica that
+// silently dropped its persistence or its ring position would defeat
+// both subsystems.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	logger := cfg.Logger
 	if logger == nil {
@@ -139,6 +185,31 @@ func New(cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		logger:   logger,
 		ridNonce: newRequestIDNonce(),
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{
+			MaxBytes:    cfg.StoreMaxBytes,
+			WireVersion: wire.Version,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("server: a peer set needs Self, this replica's own address in it")
+		}
+		ring, err := shard.New(cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		if !ring.Contains(cfg.Self) {
+			return nil, fmt.Errorf("server: Self %q is not in the peer set %v", cfg.Self, ring.Members())
+		}
+		s.ring = ring
+		s.self = cfg.Self
+		s.relay = shard.NewClient(cfg.PeerTimeout)
 	}
 	// Endpoint labels are the stable metrics keys of the routes: every
 	// route is wrapped by instrument (request ID + counter + latency
@@ -160,7 +231,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).

@@ -20,7 +20,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -681,7 +684,17 @@ func TestMetricsPrometheusConformance(t *testing.T) {
 			t.Errorf("%s declared %s, want %s", name, typ, want)
 		}
 	}
-	for _, want := range []string{"reprosrv_requests_total", "reprosrv_simulations_total", "reprosrv_in_flight", "reprosrv_result_cache_entries"} {
+	for _, want := range []string{
+		"reprosrv_requests_total", "reprosrv_simulations_total", "reprosrv_in_flight",
+		"reprosrv_result_cache_entries",
+		// The store and peer families are present (as zeros) even on a
+		// standalone, storeless daemon: the exposition schema must not
+		// depend on configuration.
+		"reprosrv_store_hits_total", "reprosrv_store_misses_total", "reprosrv_store_writes_total",
+		"reprosrv_store_evictions_total", "reprosrv_store_corrupt_total",
+		"reprosrv_store_entries", "reprosrv_store_bytes",
+		"reprosrv_peer_fetches_total", "reprosrv_peer_failures_total",
+	} {
 		if !samples[want] {
 			t.Errorf("exposition missing %s", want)
 		}
@@ -692,7 +705,10 @@ func TestMetricsPrometheusConformance(t *testing.T) {
 // canceling Serve's context (what SIGTERM does in cmd/reprosrv) lets
 // in-flight requests finish before Serve returns.
 func TestServeDrainsInflightRequests(t *testing.T) {
-	s := New(Config{DrainTimeout: 30 * time.Second})
+	s, err := New(Config{DrainTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	s.testHookPreSim = func() { <-release }
 

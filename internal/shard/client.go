@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RelayHeader marks a request as already routed by a ring member.  A
+// replica receiving it answers from its own tiers and never forwards
+// again, so a misconfigured ring degrades to local computation instead
+// of a forwarding loop.
+const RelayHeader = "X-Repro-Relay"
+
+// maxPeerBody bounds a relayed response: run documents are kilobytes,
+// so anything beyond this is a misbehaving peer, not a result.
+const maxPeerBody = 64 << 20
+
+// Client relays run requests to their owning replicas.  It is a thin,
+// connection-pooling wrapper over net/http; safe for concurrent use.
+type Client struct {
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// NewClient builds a relay client.  timeout caps one peer round trip
+// (on top of the caller's context); <= 0 means 30s, generous enough for
+// a cold 4-degree simulation on the owner.
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{hc: &http.Client{}, timeout: timeout}
+}
+
+// Run posts a marshaled v2 scenario document to peer's /v2/run and
+// returns the response body verbatim: the owner's canonical result
+// bytes, byte-identical to what computing locally would produce.
+func (c *Client) Run(ctx context.Context, peer string, scenario []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+peer+"/v2/run", bytes.NewReader(scenario))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RelayHeader, "1")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard: peer %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("shard: peer %s: %w", peer, err)
+	}
+	if len(body) > maxPeerBody {
+		return nil, fmt.Errorf("shard: peer %s: response exceeds %d bytes", peer, maxPeerBody)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: peer %s: status %d: %s", peer, resp.StatusCode, snippet(body))
+	}
+	return body, nil
+}
+
+// snippet trims an error body for a log-friendly message.
+func snippet(b []byte) string {
+	const max = 200
+	s := string(b)
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}

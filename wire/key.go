@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -55,4 +57,21 @@ func CanonicalRunKey(spec montage.Spec, plan core.Plan) string {
 // body from ever being served on /v2/run or vice versa.
 func CanonicalRunKeyV2(spec montage.Spec, plan core.Plan) string {
 	return "v2|" + CanonicalRunKey(spec, plan)
+}
+
+// KeyHash is the content address of a canonical run key: its SHA-256,
+// hex-encoded.  The disk store names entry files with it and the shard
+// ring positions keys on the hash circle with it, so every replica --
+// and every restart -- derives the same address for the same scenario.
+func KeyHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// RunKeyHashV2 is the content address of a resolved v2 scenario:
+// KeyHash over CanonicalRunKeyV2.  Equal hashes mean byte-identical
+// result documents (modulo the astronomically unlikely SHA-256
+// collision, which the store's recorded-key check would still catch).
+func RunKeyHashV2(spec montage.Spec, plan core.Plan) string {
+	return KeyHash(CanonicalRunKeyV2(spec, plan))
 }
